@@ -1,0 +1,31 @@
+//! Figure 8: planner runtimes across topology sizes (HGRID v1→v2).
+//!
+//! Criterion covers the laptop-fast presets A–C; the `report` binary runs
+//! the full A–E matrix including the slow baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use klotski_bench::runner::{run_planner, spec_for, PlannerKind};
+use klotski_core::migration::MigrationOptions;
+use klotski_topology::presets::PresetId;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig08_scalability");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    for id in [PresetId::A, PresetId::B, PresetId::C] {
+        let spec = spec_for(id, &MigrationOptions::default());
+        for kind in PlannerKind::COMPARISON {
+            group.bench_function(format!("{}/{}", kind.label(), id), |b| {
+                b.iter(|| {
+                    let r = run_planner(kind, &spec, 0.0);
+                    assert!(r.ok());
+                    r.cost
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 9: planner runtimes across migration types (E, E-DMAG, E-SSW).
+//!
+//! Criterion measures the Klotski planners on all three migration types at
+//! bench scale; the baselines' failures on E-DMAG are asserted, not timed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use klotski_bench::runner::{run_planner, spec_for, PlannerKind};
+use klotski_core::migration::MigrationOptions;
+use klotski_topology::presets::PresetId;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig09_generality");
+    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    for id in [PresetId::E, PresetId::EDmag, PresetId::ESsw] {
+        let spec = spec_for(id, &MigrationOptions::default());
+        for kind in [PlannerKind::KlotskiAStar, PlannerKind::KlotskiDp] {
+            group.bench_function(format!("{}/{}", kind.label(), id), |b| {
+                b.iter(|| {
+                    let r = run_planner(kind, &spec, 0.0);
+                    assert!(r.ok());
+                    r.cost
+                })
+            });
+        }
+    }
+    // The §6.3 capability result: MRC and Janus must reject E-DMAG.
+    let dmag = spec_for(PresetId::EDmag, &MigrationOptions::default());
+    assert!(!run_planner(PlannerKind::Mrc, &dmag, 0.0).ok());
+    assert!(!run_planner(PlannerKind::Janus, &dmag, 0.0).ok());
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

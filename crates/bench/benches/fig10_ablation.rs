@@ -1,0 +1,26 @@
+//! Figure 10: Klotski design ablations (w/o OB, w/o A*, w/o ESC).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use klotski_bench::runner::{run_planner, spec_for, spec_without_ob, PlannerKind};
+use klotski_core::migration::MigrationOptions;
+use klotski_topology::presets::PresetId;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_ablation");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    let id = PresetId::B;
+    let opts = MigrationOptions::default();
+    let spec = spec_for(id, &opts);
+    let fine = spec_without_ob(id, &opts).expect("w/o OB spec");
+    for kind in PlannerKind::ABLATION {
+        let target = if kind == PlannerKind::WithoutOb { &fine } else { &spec };
+        group.bench_function(format!("{}/{}", kind.label(), id), |b| {
+            b.iter(|| run_planner(kind, target, 0.0).cost)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 11: operation-block granularity sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use klotski_bench::runner::{run_planner, spec_for, PlannerKind};
+use klotski_core::migration::MigrationOptions;
+use klotski_topology::presets::PresetId;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_blocks");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    for scale in [0.5, 1.0, 2.0] {
+        let opts = MigrationOptions {
+            block_scale: scale,
+            ..MigrationOptions::default()
+        };
+        let spec = spec_for(PresetId::B, &opts);
+        for kind in [PlannerKind::KlotskiAStar, PlannerKind::KlotskiDp] {
+            group.bench_function(format!("{}/{}x", kind.label(), scale), |b| {
+                b.iter(|| run_planner(kind, &spec, 0.0).cost)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 12: utilization-rate-bound sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use klotski_bench::runner::{run_planner, spec_for, PlannerKind};
+use klotski_core::migration::MigrationOptions;
+use klotski_topology::presets::PresetId;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_theta");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    for theta in [0.65, 0.75, 0.95] {
+        let opts = MigrationOptions {
+            theta,
+            ..MigrationOptions::default()
+        };
+        let spec = spec_for(PresetId::B, &opts);
+        for kind in [PlannerKind::KlotskiAStar, PlannerKind::KlotskiDp] {
+            group.bench_function(
+                format!("{}/theta-{:.0}%", kind.label(), theta * 100.0),
+                |b| b.iter(|| run_planner(kind, &spec, 0.0).cost),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 13: cost-function (α) sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use klotski_bench::runner::{run_planner, spec_for, PlannerKind};
+use klotski_core::migration::MigrationOptions;
+use klotski_topology::presets::PresetId;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_alpha");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    let spec = spec_for(PresetId::B, &MigrationOptions::default());
+    for alpha in [0.0, 0.5, 1.0] {
+        for kind in [PlannerKind::KlotskiAStar, PlannerKind::KlotskiDp] {
+            group.bench_function(format!("{}/alpha-{alpha}", kind.label()), |b| {
+                b.iter(|| run_planner(kind, &spec, alpha).cost)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Table 1: migration-spec construction across the three migration types.
+//!
+//! Spec construction is the interactive front half of the pipeline
+//! (topology union, demand calibration, port/space derivation), so its
+//! latency matters to operators tuning inputs iteratively (§2.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use klotski_core::migration::{MigrationBuilder, MigrationOptions};
+use klotski_topology::presets::{self, PresetId};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_migrations");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    for id in [PresetId::C, PresetId::EDmag, PresetId::ESsw] {
+        let preset = presets::build_for_bench(id);
+        group.bench_function(format!("spec/{id}"), |b| {
+            b.iter(|| {
+                MigrationBuilder::for_preset(&preset, &MigrationOptions::default())
+                    .unwrap()
+                    .num_blocks()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Regenerates the paper's evaluation tables and figures.
+//!
+//! ```text
+//! cargo run -p klotski-bench --release --bin report            # everything
+//! cargo run -p klotski-bench --release --bin report -- fig8    # one experiment
+//! cargo run -p klotski-bench --release --bin report -- fig11 fig12
+//! ```
+//!
+//! Environment:
+//! - `KLOTSKI_FULL_SCALE=1` — build D/E at full paper scale (slow);
+//! - `KLOTSKI_BENCH_TIMEOUT_SECS` — per-planner cap (default 120).
+
+use klotski_bench::experiments;
+
+const EXPERIMENTS: [(&str, fn() -> String); 8] = [
+    ("table1", experiments::table1),
+    ("table3", experiments::table3),
+    ("fig8", experiments::fig8),
+    ("fig9", experiments::fig9),
+    ("fig10", experiments::fig10),
+    ("fig11", experiments::fig11),
+    ("fig12", experiments::fig12),
+    ("fig13", experiments::fig13),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let selected: Vec<&(&str, fn() -> String)> = if args.is_empty() || args[0] == "all" {
+        EXPERIMENTS.iter().collect()
+    } else {
+        let mut picked = Vec::new();
+        for arg in &args {
+            match EXPERIMENTS.iter().find(|(name, _)| name == arg) {
+                Some(exp) => picked.push(exp),
+                None => {
+                    eprintln!(
+                        "unknown experiment {arg:?}; available: {}",
+                        EXPERIMENTS
+                            .iter()
+                            .map(|(n, _)| *n)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        picked
+    };
+
+    for (name, run) in selected {
+        let start = std::time::Instant::now();
+        let output = run();
+        println!("{output}");
+        println!("[{name} completed in {:.1}s]\n", start.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,34 @@
+//! # klotski-bench
+//!
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (§6). The `report` binary prints the same rows/series the
+//! paper reports; the Criterion benches under `benches/` measure the same
+//! scenarios for statistically solid timing.
+//!
+//! Absolute numbers differ from the paper — the substrate here is a
+//! synthetic simulator, not Meta's production fleet — but the *shape* of
+//! every result (who wins, by what ballpark factor, where feasibility
+//! crosses appear) is the reproduction target. `EXPERIMENTS.md` records
+//! paper-vs-measured for each experiment.
+//!
+//! Scale: topologies A–C build at paper scale; D and E shrink their fabric
+//! unless `KLOTSKI_FULL_SCALE=1` (see `klotski_topology::presets`). The
+//! planner-visible problem (blocks, action types, feasible region) is
+//! identical at both scales.
+
+pub mod experiments;
+pub mod runner;
+pub mod table;
+
+pub use runner::{run_planner, spec_for, PlannerKind, RunResult};
+
+/// Default per-planner wall-clock limit for report runs. The paper caps
+/// planners at 24 h; the report uses a laptop-friendly cap, overridable via
+/// `KLOTSKI_BENCH_TIMEOUT_SECS`.
+pub fn bench_timeout() -> std::time::Duration {
+    let secs = std::env::var("KLOTSKI_BENCH_TIMEOUT_SECS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(120);
+    std::time::Duration::from_secs(secs)
+}

@@ -1,0 +1,75 @@
+//! Error types for migration specification and planning.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Errors from building a [`MigrationSpec`](crate::migration::MigrationSpec)
+/// or running a planner over one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// The preset/topology lacks the elements this migration type needs
+    /// (e.g. a DMAG migration without an MA layer in the union graph).
+    MissingElements(String),
+    /// The initial world already violates the constraints; no plan can start.
+    InitialInfeasible(String),
+    /// The target world violates the constraints; no plan can finish.
+    TargetInfeasible(String),
+    /// No action sequence satisfies the constraints (Figure 11's 0.25×E).
+    NoFeasiblePlan,
+    /// The planner exceeded its state budget or wall-clock limit
+    /// (the paper caps planners at 24 h; ours is configurable).
+    BudgetExceeded {
+        states_visited: u64,
+        elapsed: Duration,
+    },
+    /// This planner cannot handle this migration type (MRC and Janus cannot
+    /// plan topology-changing migrations, §6.3).
+    UnsupportedMigration(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::MissingElements(what) => {
+                write!(f, "topology lacks required elements: {what}")
+            }
+            PlanError::InitialInfeasible(why) => {
+                write!(f, "initial topology violates constraints: {why}")
+            }
+            PlanError::TargetInfeasible(why) => {
+                write!(f, "target topology violates constraints: {why}")
+            }
+            PlanError::NoFeasiblePlan => write!(f, "no feasible action sequence exists"),
+            PlanError::BudgetExceeded {
+                states_visited,
+                elapsed,
+            } => write!(
+                f,
+                "planner budget exceeded after {states_visited} states in {elapsed:?}"
+            ),
+            PlanError::UnsupportedMigration(why) => {
+                write!(f, "planner cannot handle this migration: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(PlanError::NoFeasiblePlan.to_string().contains("feasible"));
+        let e = PlanError::BudgetExceeded {
+            states_visited: 42,
+            elapsed: Duration::from_secs(3),
+        };
+        assert!(e.to_string().contains("42"));
+        assert!(PlanError::UnsupportedMigration("dmag".into())
+            .to_string()
+            .contains("dmag"));
+    }
+}

@@ -1,0 +1,214 @@
+//! OPEX cost model (§7.2, "OPEX savings").
+//!
+//! "Physical migration requires sending workforce to the site to perform
+//! manual work. Different sequences of steps could have different costs in
+//! terms of human efficiency. Indeed, we are adding a cost model to Klotski
+//! which can optimize for OPEX spending." — this module is that extension.
+//!
+//! The model prices a plan in dollars: every serial phase pays a fixed
+//! mobilization cost (crews travel to the site, circuits are staged and
+//! audited), and the work inside a phase is executed by a bounded crew pool,
+//! so a phase of `x` switch-level operations takes `ceil(x / crews)`
+//! crew-days. The abstract cost function `f_cost(x) = 1 + α(x−1)` of §5 is
+//! the linearization of exactly this shape, and
+//! [`OpexModel::recommended_alpha`] derives the α that makes the planner's
+//! objective a faithful proxy for dollars.
+
+use crate::action::BlockClass;
+use crate::migration::MigrationSpec;
+use crate::plan::MigrationPlan;
+use serde::{Deserialize, Serialize};
+
+/// Workforce cost model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpexModel {
+    /// Fixed mobilization cost per serial phase (travel, staging, audits).
+    pub phase_setup_cost: f64,
+    /// Cost of one crew working one day.
+    pub crew_day_cost: f64,
+    /// Crews available in parallel within one phase.
+    pub crews: usize,
+    /// Crew-days of manual work per switch-level operation of each class.
+    pub fa_grid_days_per_op: f64,
+    pub ssw_days_per_op: f64,
+    pub ma_days_per_op: f64,
+    pub circuit_bundle_days_per_op: f64,
+}
+
+impl Default for OpexModel {
+    fn default() -> Self {
+        Self {
+            phase_setup_cost: 25_000.0,
+            crew_day_cost: 4_000.0,
+            crews: 4,
+            fa_grid_days_per_op: 1.0,
+            ssw_days_per_op: 1.0,
+            ma_days_per_op: 0.6,
+            circuit_bundle_days_per_op: 0.1,
+        }
+    }
+}
+
+/// Priced breakdown of one plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpexReport {
+    /// Serial phases in the plan.
+    pub phases: usize,
+    /// Total crew-days of manual work.
+    pub crew_days: f64,
+    /// Wall-clock working days (phases execute serially, crews in parallel).
+    pub duration_days: f64,
+    /// Mobilization spend.
+    pub setup_cost: f64,
+    /// Labor spend.
+    pub labor_cost: f64,
+    /// Total dollars.
+    pub total_cost: f64,
+}
+
+impl OpexModel {
+    fn days_per_op(&self, class: BlockClass) -> f64 {
+        match class {
+            BlockClass::FaGrid => self.fa_grid_days_per_op,
+            BlockClass::Ssw => self.ssw_days_per_op,
+            BlockClass::Ma => self.ma_days_per_op,
+            BlockClass::DirectCircuit => self.circuit_bundle_days_per_op,
+        }
+    }
+
+    /// Prices a plan.
+    pub fn price(&self, spec: &MigrationSpec, plan: &MigrationPlan) -> OpexReport {
+        assert!(self.crews > 0, "need at least one crew");
+        let phases = plan.phases();
+        let mut crew_days = 0.0;
+        let mut duration_days = 0.0;
+        for phase in &phases {
+            let work: f64 = phase
+                .blocks
+                .iter()
+                .map(|&b| {
+                    let block = &spec.blocks[b.index()];
+                    let class = spec.actions.kind(block.kind).class;
+                    block.action_weight() as f64 * self.days_per_op(class)
+                })
+                .sum();
+            crew_days += work;
+            // Crews parallelize within a phase; phases are serial.
+            duration_days += (work / self.crews as f64).ceil().max(1.0);
+        }
+        let setup_cost = phases.len() as f64 * self.phase_setup_cost;
+        let labor_cost = crew_days * self.crew_day_cost;
+        OpexReport {
+            phases: phases.len(),
+            crew_days,
+            duration_days,
+            setup_cost,
+            labor_cost,
+            total_cost: setup_cost + labor_cost,
+        }
+    }
+
+    /// The α that makes the §5 cost function a faithful proxy for this
+    /// model: the marginal cost of keeping an extra action inside a phase,
+    /// relative to the cost of opening a new phase.
+    ///
+    /// Opening a phase costs `phase_setup_cost` (+ one crew-day batch);
+    /// extending it costs about one op's labor share,
+    /// `days_per_op · crew_day_cost / crews`. Total labor is
+    /// plan-invariant, so the α-weighted objective orders plans by exactly
+    /// the spend the planner can influence.
+    pub fn recommended_alpha(&self, dominant_class: BlockClass) -> f64 {
+        let extend = self.days_per_op(dominant_class) * self.crew_day_cost / self.crews as f64;
+        let open = self.phase_setup_cost + extend;
+        (extend / open).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::migration::{MigrationBuilder, MigrationOptions};
+    use crate::planner::{AStarPlanner, Planner};
+    use klotski_topology::presets::{self, PresetId};
+
+    fn spec() -> MigrationSpec {
+        MigrationBuilder::hgrid_v1_to_v2(
+            &presets::build(PresetId::A),
+            &MigrationOptions::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn price_decomposes_into_setup_plus_labor() {
+        let spec = spec();
+        let plan = AStarPlanner::default().plan(&spec).unwrap().plan;
+        let model = OpexModel::default();
+        let report = model.price(&spec, &plan);
+        assert_eq!(report.phases, plan.num_phases());
+        assert!((report.total_cost - report.setup_cost - report.labor_cost).abs() < 1e-9);
+        // Labor is plan-invariant: 45 switch ops x 1 crew-day x $4k.
+        assert!((report.crew_days - spec.num_switch_actions() as f64).abs() < 1e-9);
+        assert!(report.duration_days >= report.crew_days / model.crews as f64);
+    }
+
+    #[test]
+    fn fewer_phases_cost_less_at_equal_work() {
+        let spec = spec();
+        let optimal = AStarPlanner::default().plan(&spec).unwrap().plan;
+        // A maximally fragmented plan: same blocks, alternating as much as
+        // the constraints allow is not needed — compare against any plan
+        // with more phases by re-pricing a hypothetical split: simulate by
+        // pricing the same plan with double setup cost instead.
+        let model = OpexModel::default();
+        let base = model.price(&spec, &optimal);
+        let alpha1 = AStarPlanner::with_alpha(1.0).plan(&spec).unwrap().plan;
+        let alt = model.price(&spec, &alpha1);
+        // Labor identical; total ordering decided purely by phase counts.
+        assert!((base.labor_cost - alt.labor_cost).abs() < 1e-9);
+        if alt.phases > base.phases {
+            assert!(alt.total_cost > base.total_cost);
+        }
+    }
+
+    #[test]
+    fn recommended_alpha_is_marginal_ratio() {
+        let model = OpexModel {
+            phase_setup_cost: 9_000.0,
+            crew_day_cost: 4_000.0,
+            crews: 4,
+            ..OpexModel::default()
+        };
+        // extend = 1.0 * 4000 / 4 = 1000; open = 9000 + 1000; alpha = 0.1.
+        let alpha = model.recommended_alpha(BlockClass::FaGrid);
+        assert!((alpha - 0.1).abs() < 1e-9);
+        assert!(model.recommended_alpha(BlockClass::DirectCircuit) < alpha);
+    }
+
+    #[test]
+    fn planning_with_recommended_alpha_never_costs_more_dollars() {
+        let spec = spec();
+        let model = OpexModel::default();
+        let alpha = model.recommended_alpha(BlockClass::FaGrid);
+        let tuned = AStarPlanner::with_alpha(alpha).plan(&spec).unwrap().plan;
+        let naive = AStarPlanner::with_alpha(1.0).plan(&spec).unwrap().plan;
+        let tuned_cost = model.price(&spec, &tuned).total_cost;
+        let naive_cost = model.price(&spec, &naive).total_cost;
+        assert!(
+            tuned_cost <= naive_cost + 1e-9,
+            "tuned ${tuned_cost} vs naive ${naive_cost}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one crew")]
+    fn zero_crews_rejected() {
+        let spec = spec();
+        let plan = AStarPlanner::default().plan(&spec).unwrap().plan;
+        OpexModel {
+            crews: 0,
+            ..OpexModel::default()
+        }
+        .price(&spec, &plan);
+    }
+}

@@ -1,0 +1,291 @@
+//! The DP-based planner (§4.3, Algorithm 1).
+//!
+//! The DP state is `f(V, a)` — the minimal cost of reaching compact state
+//! `V` with a last action of type `a`. States are swept in ascending order
+//! of total finished actions `Σ v_i` (every predecessor of `V` has a
+//! strictly smaller total, Eq. 8), each state pulling from its `|A|`
+//! predecessors per Eq. 7. The optimal sequence is rebuilt from an auxiliary
+//! predecessor table, exactly as `GetAnswer` does in the paper's pseudocode.
+//!
+//! Complexity is Θ(|A|·Π(v*_i + 1)·(|A| + |S| + |C|)) (Theorem 1): unlike
+//! A\*, the sweep touches every state of the box whether or not it can be on
+//! an optimal path.
+
+use crate::action::ActionTypeId;
+use crate::compact::CompactState;
+use crate::cost::CostModel;
+use crate::error::PlanError;
+use crate::migration::MigrationSpec;
+use crate::plan::{MigrationPlan, PlanStep};
+use crate::planner::{PlanOutcome, PlanStats, Planner, SearchBudget};
+use crate::satcheck::{EscMode, SatChecker};
+use std::time::Instant;
+
+const NO_LAST: u8 = u8::MAX;
+
+/// The Klotski DP planner.
+#[derive(Debug, Clone)]
+pub struct DpPlanner {
+    /// Cost model (α).
+    pub cost: CostModel,
+    /// ESC cache mode.
+    pub esc: EscMode,
+    /// State/time budget; `max_states` bounds the box size `Π(v*_i + 1)`.
+    pub budget: SearchBudget,
+}
+
+impl Default for DpPlanner {
+    fn default() -> Self {
+        Self {
+            cost: CostModel::default(),
+            esc: EscMode::Compact,
+            budget: SearchBudget::default(),
+        }
+    }
+}
+
+impl DpPlanner {
+    /// Planner with a given α, defaults elsewhere.
+    pub fn with_alpha(alpha: f64) -> Self {
+        Self {
+            cost: CostModel::new(alpha),
+            ..Self::default()
+        }
+    }
+}
+
+impl Planner for DpPlanner {
+    fn name(&self) -> &'static str {
+        "klotski-dp"
+    }
+
+    fn plan(&self, spec: &MigrationSpec) -> Result<PlanOutcome, PlanError> {
+        let start = Instant::now();
+        let target = &spec.target_counts;
+        let num_types = spec.num_types();
+        let box_size = CompactState::box_size(target);
+        if box_size as u64 > self.budget.max_states {
+            return Err(PlanError::BudgetExceeded {
+                states_visited: 0,
+                elapsed: start.elapsed(),
+            });
+        }
+
+        let mut checker = SatChecker::new(spec, self.esc);
+        let mut stats = PlanStats::default();
+
+        // Dense tables over (V, last): f costs and predecessor action types.
+        let mut f = vec![f64::INFINITY; box_size * num_types];
+        let mut pred = vec![NO_LAST; box_size * num_types];
+        let slot = |dense: usize, a: usize| dense * num_types + a;
+
+        // Enumerate the box grouped by ascending total (Algorithm 1 line 6).
+        let mut by_total: Vec<Vec<CompactState>> =
+            vec![Vec::new(); target.total() + 1];
+        enumerate_box(target, |v| by_total[v.total()].push(v));
+
+        // The origin is implicit: f(origin, none) = 0. First-layer states
+        // (one action done) pay the initial phase cost of 1.
+        for states in by_total.iter().skip(1) {
+            for v in states {
+                if start.elapsed() > self.budget.time_limit {
+                    stats.absorb_sat(checker.stats());
+                    stats.planning_time = start.elapsed();
+                    return Err(PlanError::BudgetExceeded {
+                        states_visited: stats.states_visited,
+                        elapsed: start.elapsed(),
+                    });
+                }
+                stats.states_visited += 1;
+                // Algorithm 1 line 9: states that violate the constraints
+                // can never appear in a sequence; skip their updates.
+                let state = spec.state_for(v);
+                let dense = v.dense_index(target);
+                for a in spec.actions.ids() {
+                    let Some(prev) = v.receded(a) else { continue };
+                    // IsAvailable is checked on the *reached* state V with
+                    // last action a (funneling keys on the arriving drain).
+                    if !checker.check(spec, v, &state, Some(a)) {
+                        continue;
+                    }
+                    stats.states_generated += 1;
+                    let prev_dense = prev.dense_index(target);
+                    let mut best = f64::INFINITY;
+                    let mut best_prev = NO_LAST;
+                    if prev.total() == 0 {
+                        best = 1.0; // first action opens the first phase
+                    } else {
+                        for a_star in 0..num_types {
+                            let base = f[slot(prev_dense, a_star)];
+                            if !base.is_finite() {
+                                continue;
+                            }
+                            let step = self
+                                .cost
+                                .step_cost(Some(ActionTypeId(a_star as u8)), a);
+                            if base + step < best {
+                                best = base + step;
+                                best_prev = a_star as u8;
+                            }
+                        }
+                    }
+                    let s = slot(dense, a.index());
+                    if best < f[s] {
+                        f[s] = best;
+                        pred[s] = best_prev;
+                    }
+                }
+            }
+        }
+
+        // Answer: best f over last actions at the target state.
+        let target_dense = target.dense_index(target);
+        let mut best_cost = f64::INFINITY;
+        let mut best_last = NO_LAST;
+        for a in 0..num_types {
+            let c = f[slot(target_dense, a)];
+            if c < best_cost {
+                best_cost = c;
+                best_last = a as u8;
+            }
+        }
+        stats.absorb_sat(checker.stats());
+        stats.planning_time = start.elapsed();
+        if !best_cost.is_finite() {
+            return Err(PlanError::NoFeasiblePlan);
+        }
+
+        // GetAnswer: walk predecessors back from the target.
+        let mut rev_steps = Vec::with_capacity(target.total());
+        let mut v = target.clone();
+        let mut last = best_last;
+        while v.total() > 0 {
+            let kind = ActionTypeId(last);
+            let idx = v.count(kind) - 1;
+            rev_steps.push(PlanStep {
+                kind,
+                block: spec.blocks_by_type[kind.index()][idx as usize],
+            });
+            let s = slot(v.dense_index(target), kind.index());
+            let prev_last = pred[s];
+            v = v.receded(kind).expect("count was positive");
+            last = if v.total() == 0 { NO_LAST } else { prev_last };
+        }
+        rev_steps.reverse();
+        let plan = MigrationPlan::new(rev_steps);
+        Ok(PlanOutcome {
+            plan,
+            cost: best_cost,
+            stats,
+        })
+    }
+}
+
+/// Calls `visit` for every state in the box `[0, target]` (any order).
+fn enumerate_box(target: &CompactState, mut visit: impl FnMut(CompactState)) {
+    let n = target.num_types();
+    let mut counts = vec![0u16; n];
+    loop {
+        visit(CompactState::from_counts(counts.clone()));
+        // Odometer increment.
+        let mut i = n;
+        loop {
+            if i == 0 {
+                return;
+            }
+            i -= 1;
+            if counts[i] < target.counts()[i] {
+                counts[i] += 1;
+                for c in &mut counts[i + 1..] {
+                    *c = 0;
+                }
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::migration::{MigrationBuilder, MigrationOptions};
+    use crate::plan::validate_plan;
+    use crate::planner::AStarPlanner;
+    use klotski_topology::presets::{self, PresetId};
+    use std::time::Duration;
+
+    fn spec() -> MigrationSpec {
+        MigrationBuilder::hgrid_v1_to_v2(
+            &presets::build(PresetId::A),
+            &MigrationOptions::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn enumerate_box_covers_everything_once() {
+        let target = CompactState::from_counts(vec![2, 3]);
+        let mut seen = std::collections::HashSet::new();
+        enumerate_box(&target, |v| {
+            assert!(seen.insert(v.counts().to_vec()), "duplicate {v}");
+        });
+        assert_eq!(seen.len(), CompactState::box_size(&target));
+    }
+
+    #[test]
+    fn dp_finds_valid_plan() {
+        let spec = spec();
+        let outcome = DpPlanner::default().plan(&spec).unwrap();
+        validate_plan(&spec, &outcome.plan).unwrap();
+        assert!((outcome.plan.cost(&CostModel::default()) - outcome.cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dp_and_astar_agree_on_optimal_cost() {
+        let spec = spec();
+        let dp = DpPlanner::default().plan(&spec).unwrap();
+        let astar = AStarPlanner::default().plan(&spec).unwrap();
+        assert!(
+            (dp.cost - astar.cost).abs() < 1e-9,
+            "dp {} vs a* {}",
+            dp.cost,
+            astar.cost
+        );
+    }
+
+    #[test]
+    fn dp_and_astar_agree_under_alpha() {
+        let spec = spec();
+        for alpha in [0.25, 0.5, 1.0] {
+            let dp = DpPlanner::with_alpha(alpha).plan(&spec).unwrap();
+            let astar = AStarPlanner::with_alpha(alpha).plan(&spec).unwrap();
+            assert!(
+                (dp.cost - astar.cost).abs() < 1e-9,
+                "alpha {alpha}: dp {} vs a* {}",
+                dp.cost,
+                astar.cost
+            );
+        }
+    }
+
+    #[test]
+    fn dp_sweeps_no_fewer_states_than_astar_visits() {
+        let spec = spec();
+        let dp = DpPlanner::default().plan(&spec).unwrap();
+        let astar = AStarPlanner::default().plan(&spec).unwrap();
+        assert!(dp.stats.states_visited >= astar.stats.states_visited);
+    }
+
+    #[test]
+    fn oversized_box_is_rejected() {
+        let spec = spec();
+        let planner = DpPlanner {
+            budget: SearchBudget::tight(3, Duration::from_secs(3600)),
+            ..DpPlanner::default()
+        };
+        assert!(matches!(
+            planner.plan(&spec),
+            Err(PlanError::BudgetExceeded { .. })
+        ));
+    }
+}

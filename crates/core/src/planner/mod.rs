@@ -1,0 +1,126 @@
+//! The Klotski planners (§4.3–§4.4).
+//!
+//! Both planners search the pruned, compacted state space: states are
+//! compact count vectors `V` over operation-block action types, and the
+//! search graph's edges are "perform the next canonical block of type `a`".
+//!
+//! - [`DpPlanner`] (Algorithm 1) sweeps the whole box `[0, V*]` in ascending
+//!   total-action order and computes the exact optimum by recurrence —
+//!   polynomial in `|L|`, but it must visit every state.
+//! - [`AStarPlanner`] (Algorithm 2) expands states best-first under the
+//!   domain-specific priority `f = g + h` with the remaining-action-type
+//!   lower bound as `h` and the finished-action count as secondary priority,
+//!   returning as soon as the target is popped.
+
+mod astar;
+mod dp;
+
+pub use astar::AStarPlanner;
+pub use dp::DpPlanner;
+
+use crate::error::PlanError;
+use crate::migration::MigrationSpec;
+use crate::plan::MigrationPlan;
+use crate::satcheck::SatStats;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Search counters reported by every planner.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PlanStats {
+    /// States processed (popped / swept).
+    pub states_visited: u64,
+    /// Successor states generated.
+    pub states_generated: u64,
+    /// Satisfiability queries issued.
+    pub sat_checks: u64,
+    /// Queries served from the ESC cache.
+    pub cache_hits: u64,
+    /// Queries that ran the full evaluation.
+    pub full_evaluations: u64,
+    /// Wall-clock planning time.
+    pub planning_time: Duration,
+}
+
+impl PlanStats {
+    /// Folds a checker's counters in.
+    pub fn absorb_sat(&mut self, s: SatStats) {
+        self.sat_checks = s.checks;
+        self.cache_hits = s.cache_hits;
+        self.full_evaluations = s.full_evaluations;
+    }
+}
+
+/// A successful planning result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanOutcome {
+    /// The optimal plan found.
+    pub plan: MigrationPlan,
+    /// Its cost under the planner's cost model.
+    pub cost: f64,
+    /// Search counters.
+    pub stats: PlanStats,
+}
+
+/// Common planner interface (Klotski planners and baselines alike).
+pub trait Planner {
+    /// Short name for reports ("klotski-a*", "klotski-dp", "mrc", "janus").
+    fn name(&self) -> &'static str;
+
+    /// Computes a migration plan for `spec`.
+    fn plan(&self, spec: &MigrationSpec) -> Result<PlanOutcome, PlanError>;
+}
+
+/// Shared resource budget. The paper caps planners at 24 hours; benches use
+/// much tighter limits so ablation failures ("cross" marks in Figures 9–11)
+/// surface quickly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchBudget {
+    /// Maximum states to process before giving up.
+    pub max_states: u64,
+    /// Wall-clock limit.
+    pub time_limit: Duration,
+}
+
+impl Default for SearchBudget {
+    fn default() -> Self {
+        Self {
+            max_states: 50_000_000,
+            time_limit: Duration::from_secs(24 * 3600),
+        }
+    }
+}
+
+impl SearchBudget {
+    /// A tight budget for tests and benches.
+    pub fn tight(max_states: u64, time_limit: Duration) -> Self {
+        Self {
+            max_states,
+            time_limit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_absorb_sat_counters() {
+        let mut stats = PlanStats::default();
+        stats.absorb_sat(SatStats {
+            checks: 10,
+            cache_hits: 4,
+            full_evaluations: 6,
+        });
+        assert_eq!(stats.sat_checks, 10);
+        assert_eq!(stats.cache_hits, 4);
+        assert_eq!(stats.full_evaluations, 6);
+    }
+
+    #[test]
+    fn default_budget_matches_paper_cap() {
+        let b = SearchBudget::default();
+        assert_eq!(b.time_limit, Duration::from_secs(86400));
+    }
+}

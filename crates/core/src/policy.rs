@@ -1,0 +1,127 @@
+//! Organization policy: deriving operation blocks from symmetry + locality
+//! (§4.1, §5).
+//!
+//! The migration builders in [`crate::migration`] group by the topology's
+//! structural units directly (grids, plane groups, EB homes). This module
+//! implements the derivation the paper actually describes — compute Janus
+//! symmetry blocks, then merge blocks that share a *locality key* into one
+//! operation block — and verifies that on grid-structured layers the
+//! derivation reproduces the structural grouping. It is also the extension
+//! point for topologies whose natural units are not known a priori.
+
+use crate::blocks::symmetry_blocks;
+use klotski_topology::{SwitchId, Topology};
+use std::collections::BTreeMap;
+
+/// A locality key: switches whose keys match may be operated together with
+/// little extra cost and little safety impact (§4.1).
+pub type LocalityKey = (u16, u16, u16);
+
+/// Locality by HGRID grid: FA sub-switches of one grid sit in one room row.
+pub fn grid_locality(topo: &Topology, s: SwitchId) -> LocalityKey {
+    let sw = topo.switch(s);
+    (sw.dc.0, sw.grid.map(|g| g.0).unwrap_or(u16::MAX), 0)
+}
+
+/// Locality by (datacenter, plane): SSWs of one plane share rows.
+pub fn plane_locality(topo: &Topology, s: SwitchId) -> LocalityKey {
+    let sw = topo.switch(s);
+    (sw.dc.0, sw.plane.map(|p| p.0).unwrap_or(u16::MAX), 0)
+}
+
+/// Derives operation-block switch groups for `candidates`:
+/// 1. partition into symmetry blocks (equivalent switches, after Janus);
+/// 2. merge symmetry blocks whose members share one locality key.
+///
+/// Returns groups ordered by locality key; each group's switches keep
+/// symmetry-block order. Blocks whose members straddle locality keys are
+/// assigned by their first member (generators never produce such blocks).
+pub fn derive_groups(
+    topo: &Topology,
+    candidates: &[SwitchId],
+    locality: impl Fn(&Topology, SwitchId) -> LocalityKey,
+) -> Vec<Vec<SwitchId>> {
+    let blocks = symmetry_blocks(topo, candidates);
+    let mut merged: BTreeMap<LocalityKey, Vec<SwitchId>> = BTreeMap::new();
+    for block in blocks {
+        let key = locality(topo, block[0]);
+        merged.entry(key).or_default().extend(block);
+    }
+    merged.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use klotski_topology::presets::{self, PresetId};
+
+    #[test]
+    fn derivation_reproduces_grid_grouping() {
+        // The §5 policy: "one grid contains multiple near symmetry blocks
+        // and is set as one operation block."
+        let preset = presets::build(PresetId::A);
+        let topo = &preset.topology;
+        let candidates = preset.handles.hgrid_v1_switches();
+        let derived = derive_groups(topo, &candidates, grid_locality);
+        let expected: Vec<Vec<SwitchId>> = (0..preset.handles.hgrid_v1.num_grids())
+            .map(|g| preset.handles.hgrid_v1.grid_switches(g))
+            .collect();
+        assert_eq!(derived.len(), expected.len());
+        for (d, e) in derived.iter().zip(&expected) {
+            let mut ds = d.clone();
+            let mut es = e.clone();
+            ds.sort_unstable();
+            es.sort_unstable();
+            assert_eq!(ds, es);
+        }
+    }
+
+    #[test]
+    fn symmetry_blocks_alone_are_tiny() {
+        // The paper's observation driving the whole design: "each symmetry
+        // block consists of at most two switches for our three real-world
+        // migration types" — merging by locality is what prunes the space.
+        let preset = presets::build(PresetId::B);
+        let topo = &preset.topology;
+        let candidates = preset.handles.hgrid_v1_switches();
+        let blocks = symmetry_blocks(topo, &candidates);
+        let largest = blocks.iter().map(|b| b.len()).max().unwrap();
+        assert!(
+            largest <= 2,
+            "symmetry blocks should hold at most 2 switches, got {largest}"
+        );
+        let merged = derive_groups(topo, &candidates, grid_locality);
+        assert!(
+            merged.len() < blocks.len(),
+            "locality merge must actually prune"
+        );
+    }
+
+    #[test]
+    fn plane_locality_groups_ssws_by_plane() {
+        let preset = presets::build_for_bench(PresetId::ESsw);
+        let topo = &preset.topology;
+        let v1 = &preset.handles.fabrics[0].ssws;
+        let flat: Vec<SwitchId> = v1.iter().flatten().copied().collect();
+        let derived = derive_groups(topo, &flat, plane_locality);
+        assert_eq!(derived.len(), v1.len(), "one group per plane");
+        for group in &derived {
+            let planes: std::collections::HashSet<_> =
+                group.iter().map(|&s| topo.switch(s).plane).collect();
+            assert_eq!(planes.len(), 1);
+        }
+    }
+
+    #[test]
+    fn derivation_covers_every_candidate_exactly_once() {
+        let preset = presets::build(PresetId::A);
+        let topo = &preset.topology;
+        let candidates = preset.handles.hgrid_v2_switches();
+        let derived = derive_groups(topo, &candidates, grid_locality);
+        let mut all: Vec<SwitchId> = derived.into_iter().flatten().collect();
+        all.sort_unstable();
+        let mut expected = candidates.clone();
+        expected.sort_unstable();
+        assert_eq!(all, expected);
+    }
+}

@@ -1,0 +1,378 @@
+//! Conversion between NPD documents and buildable region topologies.
+//!
+//! The EDP-Lite pipeline "takes NPD-format original/target topologies and
+//! demand information as inputs ... converts them into topologies and
+//! passes the topologies to Klotski" (§5). [`npd_to_topology`] is that
+//! conversion; [`region_to_npd`] is the reverse export, and
+//! [`attach_plan`] writes a computed plan back into the document as ordered
+//! migration phases.
+
+use crate::error::NpdError;
+use crate::schema::{
+    BbPart, DrPart, EbPart, FabricBuilding, FabricPart, HardwareSpec, HgridLayer, HgridPart,
+    MaPart, MigrationPhase, Npd,
+};
+use klotski_core::{MigrationPlan, MigrationSpec};
+use klotski_topology::{
+    fabric::FabricConfig,
+    hgrid::{HgridConfig, MeshPattern},
+    ma::{BackboneConfig, MaConfig},
+    region::{build_region, RegionConfig, RegionHandles},
+    Generation, Topology,
+};
+
+/// Default hardware catalog used by exports.
+fn default_catalog() -> Vec<HardwareSpec> {
+    [
+        ("rsw-std", "Wedge-100S", 64u16),
+        ("fsw-std", "Minipack-F", 128),
+        ("ssw-std", "Minipack-S", 256),
+        ("fa-unit", "Grid-Unit", 512),
+        ("ma-unit", "DMAG-Unit", 512),
+        ("eb-std", "Border-8", 512),
+        ("dr-std", "DR-Core", 512),
+        ("ebb-std", "EBB-Core", 512),
+    ]
+    .into_iter()
+    .map(|(key, model, ports)| HardwareSpec {
+        key: key.into(),
+        model: model.into(),
+        ports,
+    })
+    .collect()
+}
+
+fn mesh_label(mesh: MeshPattern) -> &'static str {
+    match mesh {
+        MeshPattern::PlaneAligned => "plane-aligned",
+        MeshPattern::Spread => "spread",
+    }
+}
+
+fn parse_mesh(label: &str) -> Result<MeshPattern, NpdError> {
+    match label {
+        "plane-aligned" => Ok(MeshPattern::PlaneAligned),
+        "spread" => Ok(MeshPattern::Spread),
+        other => Err(NpdError::UnknownMesh(other.to_string())),
+    }
+}
+
+/// Exports a region configuration as an NPD document.
+pub fn region_to_npd(cfg: &RegionConfig) -> Npd {
+    let buildings = cfg
+        .dcs
+        .iter()
+        .enumerate()
+        .map(|(i, fc)| FabricBuilding {
+            building: i as u16,
+            pods: fc.pods,
+            rsws_per_pod: fc.rsws_per_pod,
+            planes: fc.planes,
+            ssws_per_plane: fc.ssws_per_plane,
+            rsw_fsw_gbps: fc.rsw_fsw_gbps,
+            fsw_ssw_gbps: fc.fsw_ssw_gbps,
+            rsw_hardware: "rsw-std".into(),
+            fsw_hardware: "fsw-std".into(),
+            ssw_hardware: "ssw-std".into(),
+        })
+        .collect();
+
+    let layer = |hc: &HgridConfig| HgridLayer {
+        generation: hc.generation.0,
+        grids: hc.grids,
+        fadus_per_grid: hc.fadus_per_grid,
+        fauus_per_grid: hc.fauus_per_grid,
+        mesh: mesh_label(hc.mesh).to_string(),
+        ssw_fadu_gbps: hc.ssw_fadu_gbps,
+        fadu_fauu_gbps: hc.fadu_fauu_gbps,
+        uplinks_per_ssw: hc.uplinks_per_ssw,
+        hardware: "fa-unit".into(),
+    };
+    let mut layers = vec![layer(&cfg.hgrid_v1)];
+    if let Some(v2) = &cfg.hgrid_v2 {
+        layers.push(layer(v2));
+    }
+
+    let ma = match &cfg.dmag {
+        Some(mc) => MaPart {
+            mas: mc.mas,
+            ebs_per_ma: mc.ebs_per_ma,
+            fauu_ma_gbps: mc.fauu_ma_gbps,
+            ma_eb_gbps: mc.ma_eb_gbps,
+            hardware: "ma-unit".into(),
+        },
+        None => MaPart::default(),
+    };
+
+    Npd {
+        version: Npd::VERSION,
+        name: cfg.name.clone(),
+        fabric: FabricPart { buildings },
+        hgrid: HgridPart { layers },
+        ma,
+        eb: EbPart {
+            ebs: cfg.backbone.ebs,
+            fauu_eb_gbps: cfg.backbone.fauu_eb_gbps,
+            hardware: "eb-std".into(),
+        },
+        dr: DrPart {
+            drs: cfg.backbone.drs,
+            eb_dr_gbps: cfg.backbone.eb_dr_gbps,
+            hardware: "dr-std".into(),
+        },
+        bb: BbPart {
+            ebbs: cfg.backbone.ebbs,
+            dr_ebb_gbps: cfg.backbone.dr_ebb_gbps,
+            hardware: "ebb-std".into(),
+        },
+        hardware: default_catalog(),
+        phases: Vec::new(),
+    }
+}
+
+/// Converts an NPD document back into a region configuration.
+pub fn npd_to_region(npd: &Npd) -> Result<RegionConfig, NpdError> {
+    if npd.version != Npd::VERSION {
+        return Err(NpdError::Version {
+            found: npd.version,
+            supported: Npd::VERSION,
+        });
+    }
+    if npd.fabric.buildings.is_empty() {
+        return Err(NpdError::NoBuildings);
+    }
+    if npd.hgrid.layers.is_empty() {
+        return Err(NpdError::NoHgridLayers);
+    }
+    // Hardware references must resolve.
+    let catalog: std::collections::HashSet<&str> =
+        npd.hardware.iter().map(|h| h.key.as_str()).collect();
+    let check_hw = |key: &str| -> Result<(), NpdError> {
+        if catalog.contains(key) {
+            Ok(())
+        } else {
+            Err(NpdError::UnknownHardware(key.to_string()))
+        }
+    };
+    for b in &npd.fabric.buildings {
+        check_hw(&b.rsw_hardware)?;
+        check_hw(&b.fsw_hardware)?;
+        check_hw(&b.ssw_hardware)?;
+    }
+
+    let hw_ports = |key: &str, fallback: u16| -> u16 {
+        npd.hardware
+            .iter()
+            .find(|h| h.key == key)
+            .map(|h| h.ports)
+            .unwrap_or(fallback)
+    };
+
+    let dcs = npd
+        .fabric
+        .buildings
+        .iter()
+        .map(|b| FabricConfig {
+            pods: b.pods,
+            rsws_per_pod: b.rsws_per_pod,
+            planes: b.planes,
+            ssws_per_plane: b.ssws_per_plane,
+            rsw_fsw_gbps: b.rsw_fsw_gbps,
+            fsw_ssw_gbps: b.fsw_ssw_gbps,
+            rsw_ports: hw_ports(&b.rsw_hardware, 64),
+            fsw_ports: hw_ports(&b.fsw_hardware, 128),
+            ssw_ports: hw_ports(&b.ssw_hardware, 256),
+            ssw_generation: Generation::V1,
+        })
+        .collect();
+
+    let mut hgrid_v1 = None;
+    let mut hgrid_v2 = None;
+    for layer in &npd.hgrid.layers {
+        let cfg = HgridConfig {
+            grids: layer.grids,
+            fadus_per_grid: layer.fadus_per_grid,
+            fauus_per_grid: layer.fauus_per_grid,
+            generation: Generation(layer.generation),
+            mesh: parse_mesh(&layer.mesh)?,
+            ssw_fadu_gbps: layer.ssw_fadu_gbps,
+            fadu_fauu_gbps: layer.fadu_fauu_gbps,
+            uplinks_per_ssw: layer.uplinks_per_ssw,
+            fadu_ports: hw_ports(&layer.hardware, 512),
+            fauu_ports: hw_ports(&layer.hardware, 512),
+        };
+        let slot = if layer.generation == 1 {
+            &mut hgrid_v1
+        } else {
+            &mut hgrid_v2
+        };
+        if slot.is_some() {
+            return Err(NpdError::DuplicateGeneration(layer.generation));
+        }
+        *slot = Some(cfg);
+    }
+    let hgrid_v1 = hgrid_v1.ok_or(NpdError::NoHgridLayers)?;
+
+    let dmag = (npd.ma.mas > 0).then(|| MaConfig {
+        mas: npd.ma.mas,
+        ebs_per_ma: npd.ma.ebs_per_ma,
+        fauu_ma_gbps: npd.ma.fauu_ma_gbps,
+        ma_eb_gbps: npd.ma.ma_eb_gbps,
+        ma_ports: hw_ports(&npd.ma.hardware, 512),
+    });
+
+    Ok(RegionConfig {
+        name: npd.name.clone(),
+        dcs,
+        hgrid_v1,
+        hgrid_v2,
+        backbone: BackboneConfig {
+            ebs: npd.eb.ebs,
+            drs: npd.dr.drs,
+            ebbs: npd.bb.ebbs,
+            fauu_eb_gbps: npd.eb.fauu_eb_gbps,
+            eb_dr_gbps: npd.dr.eb_dr_gbps,
+            dr_ebb_gbps: npd.bb.dr_ebb_gbps,
+            eb_ports: hw_ports(&npd.eb.hardware, 512),
+            dr_ports: hw_ports(&npd.dr.hardware, 512),
+            ebb_ports: hw_ports(&npd.bb.hardware, 512),
+        },
+        dmag,
+        ssw_forklift_dcs: vec![],
+    })
+}
+
+/// Builds a topology from an NPD document.
+pub fn npd_to_topology(npd: &Npd) -> Result<(Topology, RegionHandles), NpdError> {
+    let cfg = npd_to_region(npd)?;
+    Ok(build_region(&cfg))
+}
+
+/// Writes a computed migration plan into the document as ordered phases
+/// ("Klotski returns an ordered list of topology phases", §5).
+pub fn attach_plan(npd: &mut Npd, spec: &MigrationSpec, plan: &MigrationPlan) {
+    npd.phases = plan
+        .phases()
+        .iter()
+        .enumerate()
+        .map(|(i, phase)| MigrationPhase {
+            index: i + 1,
+            action: spec.actions.kind(phase.kind).to_string(),
+            blocks: phase
+                .blocks
+                .iter()
+                .map(|&b| spec.blocks[b.index()].label.clone())
+                .collect(),
+            switch_ops: phase
+                .blocks
+                .iter()
+                .map(|&b| spec.blocks[b.index()].action_weight())
+                .sum(),
+        })
+        .collect();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use klotski_core::migration::{MigrationBuilder, MigrationOptions};
+    use klotski_core::planner::{AStarPlanner, Planner};
+    use klotski_topology::presets::{self, PresetId};
+
+    #[test]
+    fn region_roundtrips_through_npd() {
+        for id in [PresetId::A, PresetId::B] {
+            let cfg = presets::config(id);
+            let npd = region_to_npd(&cfg);
+            let back = npd_to_region(&npd).unwrap();
+            assert_eq!(back.dcs, cfg.dcs, "{id}");
+            assert_eq!(back.hgrid_v1.grids, cfg.hgrid_v1.grids);
+            assert_eq!(
+                back.hgrid_v2.as_ref().map(|h| h.fadus_per_grid),
+                cfg.hgrid_v2.as_ref().map(|h| h.fadus_per_grid)
+            );
+            assert_eq!(back.backbone.ebs, cfg.backbone.ebs);
+        }
+    }
+
+    #[test]
+    fn rebuilt_topology_matches_preset_size() {
+        let preset = presets::build(PresetId::A);
+        let npd = region_to_npd(&preset.config);
+        let (topo, handles) = npd_to_topology(&npd).unwrap();
+        assert_eq!(topo.num_switches(), preset.topology.num_switches());
+        assert_eq!(topo.num_circuits(), preset.topology.num_circuits());
+        assert_eq!(
+            handles.hgrid_v2_switches().len(),
+            preset.handles.hgrid_v2_switches().len()
+        );
+    }
+
+    #[test]
+    fn dmag_region_roundtrips() {
+        let cfg = presets::config(PresetId::EDmag);
+        let npd = region_to_npd(&cfg);
+        assert!(npd.ma.mas > 0);
+        let back = npd_to_region(&npd).unwrap();
+        assert_eq!(
+            back.dmag.as_ref().map(|m| m.mas),
+            cfg.dmag.as_ref().map(|m| m.mas)
+        );
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut npd = region_to_npd(&presets::config(PresetId::A));
+        npd.version = 99;
+        assert!(matches!(
+            npd_to_region(&npd),
+            Err(NpdError::Version { found: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_mesh_rejected() {
+        let mut npd = region_to_npd(&presets::config(PresetId::A));
+        npd.hgrid.layers[0].mesh = "star".into();
+        assert!(matches!(npd_to_region(&npd), Err(NpdError::UnknownMesh(_))));
+    }
+
+    #[test]
+    fn unknown_hardware_rejected() {
+        let mut npd = region_to_npd(&presets::config(PresetId::A));
+        npd.fabric.buildings[0].rsw_hardware = "ghost".into();
+        assert!(matches!(
+            npd_to_region(&npd),
+            Err(NpdError::UnknownHardware(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_generation_rejected() {
+        let mut npd = region_to_npd(&presets::config(PresetId::A));
+        let dup = npd.hgrid.layers[0].clone();
+        npd.hgrid.layers.push(dup);
+        assert!(matches!(
+            npd_to_region(&npd),
+            Err(NpdError::DuplicateGeneration(1))
+        ));
+    }
+
+    #[test]
+    fn attach_plan_writes_phases() {
+        let preset = presets::build(PresetId::A);
+        let spec =
+            MigrationBuilder::hgrid_v1_to_v2(&preset, &MigrationOptions::default()).unwrap();
+        let plan = AStarPlanner::default().plan(&spec).unwrap().plan;
+        let mut npd = region_to_npd(&preset.config);
+        attach_plan(&mut npd, &spec, &plan);
+        assert_eq!(npd.phases.len(), plan.num_phases());
+        assert_eq!(npd.phases[0].index, 1);
+        assert!(npd.phases.iter().all(|p| !p.blocks.is_empty()));
+        let total_ops: usize = npd.phases.iter().map(|p| p.switch_ops).sum();
+        assert_eq!(total_ops, spec.num_switch_actions());
+        // Survives JSON.
+        let back = Npd::from_json(&npd.to_json_pretty().unwrap()).unwrap();
+        assert_eq!(back.phases, npd.phases);
+    }
+}

@@ -1,0 +1,57 @@
+//! NPD conversion errors.
+
+use std::fmt;
+
+/// Errors converting an NPD document into a buildable topology.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NpdError {
+    /// Unsupported format version.
+    Version { found: u32, supported: u32 },
+    /// The document has no fabric buildings.
+    NoBuildings,
+    /// The HGRID part has no layers.
+    NoHgridLayers,
+    /// An unknown meshing-pattern label.
+    UnknownMesh(String),
+    /// More than one layer claims the same generation.
+    DuplicateGeneration(u8),
+    /// A part references a hardware key missing from the catalog.
+    UnknownHardware(String),
+}
+
+impl fmt::Display for NpdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NpdError::Version { found, supported } => {
+                write!(f, "unsupported NPD version {found} (supported: {supported})")
+            }
+            NpdError::NoBuildings => write!(f, "NPD fabric part has no buildings"),
+            NpdError::NoHgridLayers => write!(f, "NPD hgrid part has no layers"),
+            NpdError::UnknownMesh(m) => write!(f, "unknown mesh pattern {m:?}"),
+            NpdError::DuplicateGeneration(g) => {
+                write!(f, "duplicate HGRID generation v{g}")
+            }
+            NpdError::UnknownHardware(k) => write!(f, "unknown hardware key {k:?}"),
+        }
+    }
+}
+
+impl std::error::Error for NpdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(NpdError::UnknownMesh("star".into())
+            .to_string()
+            .contains("star"));
+        assert!(NpdError::Version {
+            found: 9,
+            supported: 1
+        }
+        .to_string()
+        .contains('9'));
+    }
+}

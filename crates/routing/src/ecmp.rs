@@ -1,0 +1,439 @@
+//! Hop-count ECMP routing with fractional flow splitting.
+//!
+//! Klotski uses the equal-cost multi-path routing policy (§5): a demand's
+//! flow splits equally at each hop across all shortest-path next hops. This
+//! module evaluates ECMP loads exactly (as real-valued flow fractions)
+//! rather than by path enumeration: demands sharing a destination are routed
+//! in one pass —
+//!
+//! 1. run a BFS from the destination over *usable* circuits to label every
+//!    switch with its hop distance;
+//! 2. inject each demand's rate at its source;
+//! 3. sweep switches in decreasing-distance order, splitting each switch's
+//!    accumulated inflow equally over its downhill circuits.
+//!
+//! This is Θ(|S|+|C|) per distinct destination, which is what makes a full
+//! satisfiability check affordable on an O(100,000)-circuit topology.
+
+use crate::loads::LoadMap;
+use klotski_topology::{NetState, SwitchId, Topology};
+use klotski_traffic::{Demand, DemandMatrix};
+
+/// Distance label for unreachable switches.
+const UNREACHED: u32 = u32::MAX;
+
+/// How flow splits across a switch's shortest-path next hops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitPolicy {
+    /// Equal-cost multi-path: equal share per downhill circuit (§5).
+    #[default]
+    Ecmp,
+    /// Weighted-cost multi-path: share proportional to circuit capacity.
+    /// Models the "temporary routing configurations [created] to balance
+    /// the traffic" between coexisting generations (§7.1) — without it, a
+    /// sparsely-deployed new layer attracts traffic by path count rather
+    /// than by installed capacity.
+    Wcmp,
+}
+
+/// Result of routing one demand matrix over one network state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteOutcome {
+    /// Demands with no live path from source to destination
+    /// (violations of Eq. 4), as (src, dst) pairs.
+    pub unreachable: Vec<(SwitchId, SwitchId)>,
+    /// Total rate successfully routed, Gbps.
+    pub routed_gbps: f64,
+}
+
+impl RouteOutcome {
+    /// True if every demand found a path.
+    pub fn all_reachable(&self) -> bool {
+        self.unreachable.is_empty()
+    }
+}
+
+/// Reusable ECMP routing engine. Holds scratch buffers sized to one
+/// topology so repeated satisfiability checks do not allocate.
+#[derive(Debug, Clone)]
+pub struct EcmpRouter {
+    dist: Vec<u32>,
+    /// BFS visit order (ascending distance); swept in reverse to propagate.
+    order: Vec<u32>,
+    inflow: Vec<f64>,
+    /// Switches whose inflow was touched this pass (sparse reset).
+    touched: Vec<u32>,
+    /// Flow-split policy.
+    pub policy: SplitPolicy,
+}
+
+impl EcmpRouter {
+    /// Creates a router sized for `topo`.
+    pub fn new(topo: &Topology) -> Self {
+        let n = topo.num_switches();
+        Self {
+            dist: vec![UNREACHED; n],
+            order: Vec::with_capacity(n),
+            inflow: vec![0.0; n],
+            touched: Vec::new(),
+            policy: SplitPolicy::Ecmp,
+        }
+    }
+
+    /// Creates a router with an explicit split policy.
+    pub fn with_policy(topo: &Topology, policy: SplitPolicy) -> Self {
+        let mut r = Self::new(topo);
+        r.policy = policy;
+        r
+    }
+
+    /// Routes every demand of `matrix` over the usable subgraph of
+    /// (`topo`, `state`), accumulating directional loads into `loads`.
+    ///
+    /// `loads` is NOT cleared first, so callers can accumulate several
+    /// matrices; clear it explicitly for a fresh evaluation.
+    pub fn route(
+        &mut self,
+        topo: &Topology,
+        state: &NetState,
+        matrix: &DemandMatrix,
+        loads: &mut LoadMap,
+    ) -> RouteOutcome {
+        let mut outcome = RouteOutcome {
+            unreachable: Vec::new(),
+            routed_gbps: 0.0,
+        };
+        for (dst, group) in matrix.by_destination() {
+            self.route_group(topo, state, dst, &group, loads, &mut outcome);
+        }
+        outcome
+    }
+
+    /// Routes the demands of one destination group.
+    fn route_group(
+        &mut self,
+        topo: &Topology,
+        state: &NetState,
+        dst: SwitchId,
+        group: &[&Demand],
+        loads: &mut LoadMap,
+        outcome: &mut RouteOutcome,
+    ) {
+        self.bfs_from(topo, state, dst);
+
+        // Inject demand rates at their sources; remember touched switches so
+        // the inflow reset stays sparse.
+        for d in group {
+            let src = d.src.index();
+            if self.dist[src] == UNREACHED || !state.switch_up(d.src) {
+                outcome.unreachable.push((d.src, d.dst));
+                continue;
+            }
+            if self.inflow[src] == 0.0 {
+                self.touched.push(src as u32);
+            }
+            self.inflow[src] += d.gbps;
+            outcome.routed_gbps += d.gbps;
+        }
+
+        // Sweep in decreasing-distance order: every switch forwards its
+        // accumulated inflow equally over its downhill usable circuits.
+        // BFS order is ascending in distance, so iterate it reversed.
+        for i in (0..self.order.len()).rev() {
+            let u = self.order[i] as usize;
+            let flow = self.inflow[u];
+            if flow == 0.0 {
+                continue;
+            }
+            let du = self.dist[u];
+            if du == 0 {
+                continue; // the destination absorbs its inflow
+            }
+            let uid = SwitchId::from_index(u);
+            // Total split weight over downhill circuits (shortest-path DAG
+            // edges): circuit count for ECMP, capacity sum for WCMP.
+            let mut total_weight = 0.0_f64;
+            for &(c, far) in topo.neighbors(uid) {
+                if state.circuit_usable(topo, c)
+                    && self.dist[far.index()].saturating_add(topo.circuit(c).hop_weight as u32)
+                        == du
+                {
+                    total_weight += match self.policy {
+                        SplitPolicy::Ecmp => 1.0,
+                        SplitPolicy::Wcmp => {
+                            let ck = topo.circuit(c);
+                            ck.routing_weight.unwrap_or(ck.capacity_gbps)
+                        }
+                    };
+                }
+            }
+            debug_assert!(
+                total_weight > 0.0,
+                "a reachable non-destination switch must have a downhill circuit"
+            );
+            for &(c, far) in topo.neighbors(uid) {
+                let fi = far.index();
+                if state.circuit_usable(topo, c)
+                    && self.dist[fi].saturating_add(topo.circuit(c).hop_weight as u32) == du
+                {
+                    let weight = match self.policy {
+                        SplitPolicy::Ecmp => 1.0,
+                        SplitPolicy::Wcmp => {
+                            let ck = topo.circuit(c);
+                            ck.routing_weight.unwrap_or(ck.capacity_gbps)
+                        }
+                    };
+                    let share = flow * weight / total_weight;
+                    loads.add_directed(topo, c, uid, share);
+                    if self.inflow[fi] == 0.0 {
+                        self.touched.push(fi as u32);
+                    }
+                    self.inflow[fi] += share;
+                }
+            }
+        }
+
+        // Sparse reset for the next group.
+        for &u in &self.touched {
+            self.inflow[u as usize] = 0.0;
+        }
+        self.touched.clear();
+    }
+
+    /// Weighted shortest-path labeling over usable circuits from `root`,
+    /// filling `dist` and `order` (ascending distance).
+    ///
+    /// Circuits carry small integer hop weights (ordinary hop = 2,
+    /// transparent relay = 1, see `Circuit::hop_weight`), so this is Dial's
+    /// algorithm with a tiny circular bucket array — still Θ(|S|+|C|).
+    fn bfs_from(&mut self, topo: &Topology, state: &NetState, root: SwitchId) {
+        const MAX_W: usize = 2;
+        for d in &mut self.dist {
+            *d = UNREACHED;
+        }
+        self.order.clear();
+        if !state.switch_up(root) {
+            return;
+        }
+        // Circular buckets indexed by distance mod (MAX_W + 1).
+        let mut buckets: [Vec<u32>; MAX_W + 1] = [Vec::new(), Vec::new(), Vec::new()];
+        self.dist[root.index()] = 0;
+        buckets[0].push(root.0);
+        let mut current = 0u32;
+        let mut remaining = 1usize;
+        while remaining > 0 {
+            let slot = (current as usize) % (MAX_W + 1);
+            while let Some(u) = buckets[slot].pop() {
+                remaining -= 1;
+                let ui = u as usize;
+                if self.dist[ui] != current {
+                    continue; // stale entry, settled at a smaller distance
+                }
+                self.order.push(u);
+                for &(c, far) in topo.neighbors(SwitchId(u)) {
+                    if !state.circuit_usable(topo, c) {
+                        continue;
+                    }
+                    let nd = current + topo.circuit(c).hop_weight as u32;
+                    let fi = far.index();
+                    if nd < self.dist[fi] {
+                        self.dist[fi] = nd;
+                        buckets[(nd as usize) % (MAX_W + 1)].push(far.0);
+                        remaining += 1;
+                    }
+                }
+            }
+            current += 1;
+        }
+    }
+
+    /// Hop distance from `s` to the destination of the most recent
+    /// `route_group` BFS (test/diagnostic hook).
+    #[cfg(test)]
+    fn last_dist(&self, s: SwitchId) -> Option<u32> {
+        let d = self.dist[s.index()];
+        (d != UNREACHED).then_some(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use klotski_topology::{
+        graph::{SwitchSpec, TopologyBuilder},
+        CircuitId, DcId, Generation, SwitchRole,
+    };
+    use klotski_traffic::DemandClass;
+
+    fn spec(role: SwitchRole) -> SwitchSpec {
+        SwitchSpec::new(role, Generation::V1, DcId(0), 64)
+    }
+
+    /// Diamond: src -> {m1, m2} -> dst, all capacities 100.
+    fn diamond() -> (Topology, [SwitchId; 4], [CircuitId; 4]) {
+        let mut b = TopologyBuilder::new("diamond");
+        let s = b.add_switch(spec(SwitchRole::Rsw));
+        let m1 = b.add_switch(spec(SwitchRole::Fsw));
+        let m2 = b.add_switch(spec(SwitchRole::Fsw));
+        let d = b.add_switch(spec(SwitchRole::Ebb));
+        let c0 = b.add_circuit(s, m1, 100.0).unwrap();
+        let c1 = b.add_circuit(s, m2, 100.0).unwrap();
+        let c2 = b.add_circuit(m1, d, 100.0).unwrap();
+        let c3 = b.add_circuit(m2, d, 100.0).unwrap();
+        (b.build(), [s, m1, m2, d], [c0, c1, c2, c3])
+    }
+
+    fn one_demand(src: SwitchId, dst: SwitchId, gbps: f64) -> DemandMatrix {
+        [Demand {
+            src,
+            dst,
+            gbps,
+            class: DemandClass::RswToEbb,
+        }]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn ecmp_splits_equally_across_diamond() {
+        let (t, sw, ck) = diamond();
+        let state = NetState::all_up(&t);
+        let mut router = EcmpRouter::new(&t);
+        let mut loads = LoadMap::new(&t);
+        let out = router.route(&t, &state, &one_demand(sw[0], sw[3], 80.0), &mut loads);
+        assert!(out.all_reachable());
+        assert!((out.routed_gbps - 80.0).abs() < 1e-9);
+        for c in ck {
+            assert!((loads.max_direction(c) - 40.0).abs() < 1e-9, "{c}");
+        }
+    }
+
+    #[test]
+    fn flow_funnels_onto_surviving_path() {
+        let (t, sw, ck) = diamond();
+        let mut state = NetState::all_up(&t);
+        state.set_circuit(ck[1], false); // drop src->m2
+        let mut router = EcmpRouter::new(&t);
+        let mut loads = LoadMap::new(&t);
+        let out = router.route(&t, &state, &one_demand(sw[0], sw[3], 80.0), &mut loads);
+        assert!(out.all_reachable());
+        assert!((loads.max_direction(ck[0]) - 80.0).abs() < 1e-9);
+        assert!((loads.max_direction(ck[2]) - 80.0).abs() < 1e-9);
+        assert_eq!(loads.max_direction(ck[3]), 0.0);
+    }
+
+    #[test]
+    fn unreachable_demand_is_reported() {
+        let (t, sw, _) = diamond();
+        let mut state = NetState::all_up(&t);
+        state.drain_switch(&t, sw[1]);
+        state.drain_switch(&t, sw[2]);
+        let mut router = EcmpRouter::new(&t);
+        let mut loads = LoadMap::new(&t);
+        let out = router.route(&t, &state, &one_demand(sw[0], sw[3], 80.0), &mut loads);
+        assert_eq!(out.unreachable, vec![(sw[0], sw[3])]);
+        assert_eq!(out.routed_gbps, 0.0);
+        assert_eq!(loads.total_flow(), 0.0);
+    }
+
+    #[test]
+    fn down_source_is_unreachable() {
+        let (t, sw, _) = diamond();
+        let mut state = NetState::all_up(&t);
+        state.set_switch(sw[0], false);
+        let mut router = EcmpRouter::new(&t);
+        let mut loads = LoadMap::new(&t);
+        let out = router.route(&t, &state, &one_demand(sw[0], sw[3], 10.0), &mut loads);
+        assert!(!out.all_reachable());
+    }
+
+    #[test]
+    fn flow_is_conserved_per_hop() {
+        // Flow crosses exactly dist(src) hops; with a 2-hop path, total
+        // per-direction flow = 2 x rate.
+        let (t, sw, _) = diamond();
+        let state = NetState::all_up(&t);
+        let mut router = EcmpRouter::new(&t);
+        let mut loads = LoadMap::new(&t);
+        router.route(&t, &state, &one_demand(sw[0], sw[3], 60.0), &mut loads);
+        assert!((loads.total_flow() - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiple_demands_same_destination_accumulate() {
+        let (t, sw, ck) = diamond();
+        let state = NetState::all_up(&t);
+        let m: DemandMatrix = [
+            Demand {
+                src: sw[0],
+                dst: sw[3],
+                gbps: 40.0,
+                class: DemandClass::RswToEbb,
+            },
+            Demand {
+                src: sw[1],
+                dst: sw[3],
+                gbps: 10.0,
+                class: DemandClass::RswToEbb,
+            },
+        ]
+        .into_iter()
+        .collect();
+        let mut router = EcmpRouter::new(&t);
+        let mut loads = LoadMap::new(&t);
+        let out = router.route(&t, &state, &m, &mut loads);
+        assert!(out.all_reachable());
+        // sw0's 40 splits 20/20; sw1 sends its own 10 directly: c2 = 20+10.
+        assert!((loads.max_direction(ck[2]) - 30.0).abs() < 1e-9);
+        assert!((loads.max_direction(ck[3]) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scratch_state_resets_between_routes() {
+        let (t, sw, ck) = diamond();
+        let state = NetState::all_up(&t);
+        let mut router = EcmpRouter::new(&t);
+        let mut loads = LoadMap::new(&t);
+        router.route(&t, &state, &one_demand(sw[0], sw[3], 80.0), &mut loads);
+        loads.clear();
+        router.route(&t, &state, &one_demand(sw[0], sw[3], 80.0), &mut loads);
+        // Identical result the second time: no stale inflow.
+        for c in ck {
+            assert!((loads.max_direction(c) - 40.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bfs_distances_are_hop_counts() {
+        let (t, sw, _) = diamond();
+        let state = NetState::all_up(&t);
+        let mut router = EcmpRouter::new(&t);
+        router.bfs_from(&t, &state, sw[3]);
+        assert_eq!(router.last_dist(sw[3]), Some(0));
+        assert_eq!(router.last_dist(sw[1]), Some(2), "one ordinary hop weighs 2");
+        assert_eq!(router.last_dist(sw[0]), Some(4));
+    }
+
+    #[test]
+    fn preset_routing_sanity() {
+        use klotski_topology::presets::{self, PresetId};
+        use klotski_traffic::{generate, DemandGenConfig};
+        let p = presets::build(PresetId::A);
+        let t = &p.topology;
+        // Drain the not-yet-installed v2 generation to get the initial world.
+        let mut state = NetState::all_up(t);
+        for s in p.handles.hgrid_v2_switches() {
+            state.drain_switch(t, s);
+        }
+        let demands = generate(t, &DemandGenConfig::default());
+        let mut router = EcmpRouter::new(t);
+        let mut loads = LoadMap::new(t);
+        let out = router.route(t, &state, &demands, &mut loads);
+        assert!(
+            out.all_reachable(),
+            "initial world must route all demands: {:?}",
+            out.unreachable
+        );
+        assert!(out.routed_gbps > 0.0);
+    }
+}

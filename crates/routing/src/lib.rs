@@ -1,0 +1,39 @@
+//! # klotski-routing
+//!
+//! Routing and safety-evaluation substrate for the Klotski migration
+//! planner.
+//!
+//! Klotski checks the demand constraints of the problem formulation
+//! (Eq. 4–5) on every visited intermediate topology: each demand must have a
+//! live path, and the ECMP utilization of every circuit must stay below the
+//! bound θ. Following the paper (§5), routing models macro-scale behaviour —
+//! equal-cost multi-path splitting over shortest paths — not packet-level
+//! congestion.
+//!
+//! The cost model of the whole planner rests on this crate being fast:
+//! one satisfiability check is Θ(|S|+|C|) per distinct demand destination
+//! (one BFS + one linear flow-propagation pass), with all scratch memory
+//! reused across checks via [`EcmpRouter`].
+//!
+//! Modules:
+//! - [`ecmp`]: hop-count ECMP routing with fractional flow splitting;
+//! - [`loads`]: per-circuit directional load accounting;
+//! - [`evaluate`]: the Eq. 4–5 evaluation combining reachability and
+//!   utilization, plus demand calibration helpers;
+//! - [`funneling`]: the traffic-funneling stress factor (§2.2, §7.2);
+//! - [`reachability`]: standalone reachability queries.
+
+pub mod ecmp;
+pub mod evaluate;
+pub mod funneling;
+pub mod loads;
+pub mod reachability;
+
+pub use ecmp::{EcmpRouter, SplitPolicy};
+pub use evaluate::{
+    evaluate, evaluate_policy, evaluate_with, scale_to_target_utilization,
+    scale_to_target_utilization_on, SafetyOutcome, UtilizationReport,
+};
+pub use funneling::FunnelingModel;
+pub use loads::LoadMap;
+pub use reachability::{component_size, is_reachable};

@@ -1,0 +1,110 @@
+//! Standalone reachability queries over a network state.
+//!
+//! Used by plan validation (does every demand still have a path after each
+//! phase?) and by the multi-DC safety analysis: §2.2 warns that migrating
+//! datacenters independently can leave them *unconnected* in intermediate
+//! steps.
+
+use klotski_topology::{NetState, SwitchId, Topology};
+use std::collections::VecDeque;
+
+/// True if a usable path exists from `src` to `dst` in (`topo`, `state`).
+pub fn is_reachable(topo: &Topology, state: &NetState, src: SwitchId, dst: SwitchId) -> bool {
+    if !state.switch_up(src) || !state.switch_up(dst) {
+        return false;
+    }
+    if src == dst {
+        return true;
+    }
+    let mut seen = vec![false; topo.num_switches()];
+    let mut queue = VecDeque::from([src]);
+    seen[src.index()] = true;
+    while let Some(u) = queue.pop_front() {
+        for &(c, far) in topo.neighbors(u) {
+            if !seen[far.index()] && state.circuit_usable(topo, c) {
+                if far == dst {
+                    return true;
+                }
+                seen[far.index()] = true;
+                queue.push_back(far);
+            }
+        }
+    }
+    false
+}
+
+/// Size of the connected component containing `root` (0 if `root` is down).
+pub fn component_size(topo: &Topology, state: &NetState, root: SwitchId) -> usize {
+    if !state.switch_up(root) {
+        return 0;
+    }
+    let mut seen = vec![false; topo.num_switches()];
+    let mut queue = VecDeque::from([root]);
+    seen[root.index()] = true;
+    let mut count = 1;
+    while let Some(u) = queue.pop_front() {
+        for &(c, far) in topo.neighbors(u) {
+            if !seen[far.index()] && state.circuit_usable(topo, c) {
+                seen[far.index()] = true;
+                count += 1;
+                queue.push_back(far);
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use klotski_topology::{
+        graph::{SwitchSpec, TopologyBuilder},
+        DcId, Generation, SwitchRole,
+    };
+
+    fn line3() -> (Topology, [SwitchId; 3]) {
+        let mut b = TopologyBuilder::new("l");
+        let spec = |r| SwitchSpec::new(r, Generation::V1, DcId(0), 8);
+        let a = b.add_switch(spec(SwitchRole::Rsw));
+        let m = b.add_switch(spec(SwitchRole::Fsw));
+        let z = b.add_switch(spec(SwitchRole::Ssw));
+        b.add_circuit(a, m, 100.0).unwrap();
+        b.add_circuit(m, z, 100.0).unwrap();
+        (b.build(), [a, m, z])
+    }
+
+    #[test]
+    fn reachable_through_chain() {
+        let (t, sw) = line3();
+        let state = NetState::all_up(&t);
+        assert!(is_reachable(&t, &state, sw[0], sw[2]));
+        assert!(is_reachable(&t, &state, sw[2], sw[0]));
+        assert!(is_reachable(&t, &state, sw[1], sw[1]));
+    }
+
+    #[test]
+    fn cut_vertex_disconnects() {
+        let (t, sw) = line3();
+        let mut state = NetState::all_up(&t);
+        state.drain_switch(&t, sw[1]);
+        assert!(!is_reachable(&t, &state, sw[0], sw[2]));
+        assert_eq!(component_size(&t, &state, sw[0]), 1);
+    }
+
+    #[test]
+    fn down_endpoints_unreachable() {
+        let (t, sw) = line3();
+        let mut state = NetState::all_up(&t);
+        state.set_switch(sw[0], false);
+        assert!(!is_reachable(&t, &state, sw[0], sw[2]));
+        assert!(!is_reachable(&t, &state, sw[2], sw[0]));
+        assert_eq!(component_size(&t, &state, sw[0]), 0);
+    }
+
+    #[test]
+    fn component_counts_everything_when_up() {
+        let (t, sw) = line3();
+        let state = NetState::all_up(&t);
+        assert_eq!(component_size(&t, &state, sw[1]), 3);
+    }
+}

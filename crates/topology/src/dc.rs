@@ -1,0 +1,49 @@
+//! Per-datacenter composition: one building = one fabric.
+//!
+//! A *region* at Meta is a campus of six to seven buildings; each building
+//! hosts a fabric. This module is the thin per-building layer; cross-building
+//! aggregation lives in [`crate::region`].
+
+use crate::fabric::{build_fabric, FabricConfig, FabricHandles};
+use crate::graph::TopologyBuilder;
+use crate::ids::DcId;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one datacenter building.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatacenterConfig {
+    /// The building's fabric.
+    pub fabric: FabricConfig,
+}
+
+impl Default for DatacenterConfig {
+    fn default() -> Self {
+        Self {
+            fabric: FabricConfig::default(),
+        }
+    }
+}
+
+/// Builds one datacenter building into `b`.
+pub fn build_datacenter(
+    b: &mut TopologyBuilder,
+    dc: DcId,
+    cfg: &DatacenterConfig,
+) -> FabricHandles {
+    build_fabric(b, dc, &cfg.fabric)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datacenter_builds_its_fabric() {
+        let mut b = TopologyBuilder::new("dc");
+        let h = build_datacenter(&mut b, DcId(3), &DatacenterConfig::default());
+        assert_eq!(h.dc, DcId(3));
+        assert!(!h.rsws.is_empty());
+        let t = b.build();
+        assert!(t.switches().iter().all(|s| s.dc == DcId(3)));
+    }
+}

@@ -1,0 +1,171 @@
+//! Graphviz export for topologies and activation states.
+//!
+//! Produces `dot` source with one cluster per layer, switches colored by
+//! role and dimmed when drained, and circuits weighted by capacity — the
+//! kind of artifact operators attach to migration reviews.
+
+use crate::graph::Topology;
+use crate::netstate::NetState;
+use crate::switch::SwitchRole;
+use std::fmt::Write;
+
+/// Node fill color per role (Graphviz X11 names).
+fn role_color(role: SwitchRole) -> &'static str {
+    match role {
+        SwitchRole::Rsw => "lightgray",
+        SwitchRole::Fsw => "lightblue",
+        SwitchRole::Ssw => "steelblue",
+        SwitchRole::Fadu => "palegreen",
+        SwitchRole::Fauu => "seagreen",
+        SwitchRole::Ma => "gold",
+        SwitchRole::Eb => "orange",
+        SwitchRole::Dr => "salmon",
+        SwitchRole::Ebb => "indianred",
+    }
+}
+
+/// Options for [`to_dot`].
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Skip RSWs and their circuits (fabrics dwarf everything else).
+    pub skip_rsws: bool,
+    /// Draw drained elements dashed/dimmed instead of omitting them.
+    pub show_drained: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        Self {
+            skip_rsws: true,
+            show_drained: true,
+        }
+    }
+}
+
+/// Renders the topology (with activation overlay) as Graphviz dot source.
+pub fn to_dot(topo: &Topology, state: &NetState, opts: &DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {} {{", sanitize(topo.name()));
+    let _ = writeln!(out, "  graph [rankdir=BT, splines=line];");
+    let _ = writeln!(out, "  node [shape=box, style=filled, fontsize=9];");
+
+    let keep = |role: SwitchRole| !(opts.skip_rsws && role == SwitchRole::Rsw);
+
+    for s in topo.switches() {
+        if !keep(s.role) {
+            continue;
+        }
+        let up = state.switch_up(s.id);
+        if !up && !opts.show_drained {
+            continue;
+        }
+        let style = if up { "filled" } else { "filled,dashed" };
+        let color = if up { role_color(s.role) } else { "white" };
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\", fillcolor={}, style=\"{}\"];",
+            s.id.0, s.name, color, style
+        );
+    }
+
+    for c in topo.circuits() {
+        let (a, b) = (topo.switch(c.a), topo.switch(c.b));
+        if !keep(a.role) || !keep(b.role) {
+            continue;
+        }
+        let usable = state.circuit_usable(topo, c.id);
+        if !usable && !opts.show_drained {
+            continue;
+        }
+        if !usable && (!state.switch_up(c.a) || !state.switch_up(c.b)) && !opts.show_drained {
+            continue;
+        }
+        let style = if usable { "solid" } else { "dashed" };
+        let penwidth = 0.5 + (c.capacity_gbps / 800.0).min(3.0);
+        let _ = writeln!(
+            out,
+            "  n{} -- n{} [style={}, penwidth={:.1}];",
+            c.a.0, c.b.0, style, penwidth
+        );
+    }
+
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|ch| if ch.is_alphanumeric() { ch } else { '_' })
+        .collect();
+    if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        format!("g{cleaned}")
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{self, PresetId};
+
+    #[test]
+    fn dot_output_is_structurally_valid() {
+        let p = presets::build(PresetId::A);
+        let state = NetState::all_up(&p.topology);
+        let dot = to_dot(&p.topology, &state, &DotOptions::default());
+        assert!(dot.starts_with("graph topo_A {"));
+        assert!(dot.trim_end().ends_with('}'));
+        // Balanced braces, one edge line per non-RSW circuit.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+        assert!(dot.contains("SSW"));
+        assert!(!dot.contains("RSW"), "RSWs skipped by default");
+    }
+
+    #[test]
+    fn drained_elements_render_dashed() {
+        let p = presets::build(PresetId::A);
+        let topo = &p.topology;
+        let mut state = NetState::all_up(topo);
+        for s in p.handles.hgrid_v2_switches() {
+            state.drain_switch(topo, s);
+        }
+        let dot = to_dot(topo, &state, &DotOptions::default());
+        assert!(dot.contains("filled,dashed"), "drained v2 must be dashed");
+
+        let hidden = to_dot(
+            topo,
+            &state,
+            &DotOptions {
+                show_drained: false,
+                ..DotOptions::default()
+            },
+        );
+        assert!(!hidden.contains("dashed"));
+        assert!(hidden.len() < dot.len());
+    }
+
+    #[test]
+    fn including_rsws_grows_the_graph() {
+        let p = presets::build(PresetId::A);
+        let state = NetState::all_up(&p.topology);
+        let without = to_dot(&p.topology, &state, &DotOptions::default());
+        let with = to_dot(
+            &p.topology,
+            &state,
+            &DotOptions {
+                skip_rsws: false,
+                ..DotOptions::default()
+            },
+        );
+        assert!(with.len() > without.len());
+        assert!(with.contains("RSW"));
+    }
+
+    #[test]
+    fn sanitize_makes_valid_identifiers() {
+        assert_eq!(sanitize("topo-A"), "topo_A");
+        assert_eq!(sanitize("9lives"), "g9lives");
+    }
+}

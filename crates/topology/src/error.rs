@@ -1,0 +1,68 @@
+//! Error type for topology construction and validation.
+
+use crate::ids::{CircuitId, SwitchId};
+use std::fmt;
+
+/// Errors produced while building or validating a topology.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologyError {
+    /// A circuit referenced a switch id that does not exist.
+    UnknownSwitch(SwitchId),
+    /// A circuit referenced a circuit id that does not exist.
+    UnknownCircuit(CircuitId),
+    /// A circuit connected a switch to itself.
+    SelfLoop(SwitchId),
+    /// A circuit capacity was non-positive or non-finite.
+    BadCapacity { circuit: CircuitId, capacity: f64 },
+    /// A switch's union-graph degree exceeds its physical port budget.
+    PortOverflow {
+        switch: SwitchId,
+        degree: usize,
+        max_ports: u16,
+    },
+    /// A switch has no circuits at all (dangling element).
+    Isolated(SwitchId),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::UnknownSwitch(id) => write!(f, "unknown switch {id}"),
+            TopologyError::UnknownCircuit(id) => write!(f, "unknown circuit {id}"),
+            TopologyError::SelfLoop(id) => write!(f, "self-loop circuit on {id}"),
+            TopologyError::BadCapacity { circuit, capacity } => {
+                write!(f, "circuit {circuit} has invalid capacity {capacity} Gbps")
+            }
+            TopologyError::PortOverflow {
+                switch,
+                degree,
+                max_ports,
+            } => write!(
+                f,
+                "switch {switch} has degree {degree} exceeding its {max_ports} ports"
+            ),
+            TopologyError::Isolated(id) => write!(f, "switch {id} has no circuits"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_ids() {
+        let e = TopologyError::PortOverflow {
+            switch: SwitchId(4),
+            degree: 10,
+            max_ports: 8,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("sw4") && msg.contains("10") && msg.contains("8"));
+        assert!(TopologyError::SelfLoop(SwitchId(1))
+            .to_string()
+            .contains("sw1"));
+    }
+}

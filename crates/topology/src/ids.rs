@@ -1,0 +1,140 @@
+//! Strongly-typed identifiers for topology elements.
+//!
+//! All identifiers are dense indices into the owning [`Topology`]'s element
+//! vectors, so lookups are O(1) and id values are stable for the lifetime of
+//! the topology. Newtypes keep switch/circuit/DC indices from being mixed up
+//! at compile time.
+//!
+//! [`Topology`]: crate::graph::Topology
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $repr:ty, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub $repr);
+
+        impl $name {
+            /// Returns the raw index value.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a raw index.
+            ///
+            /// # Panics
+            /// Panics if `index` does not fit the underlying representation.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                assert!(
+                    index <= <$repr>::MAX as usize,
+                    concat!(stringify!($name), " index overflow: {}"),
+                    index
+                );
+                Self(index as $repr)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a switch within a [`Topology`](crate::graph::Topology).
+    SwitchId,
+    u32,
+    "sw"
+);
+define_id!(
+    /// Identifier of a circuit (bidirectional link) within a topology.
+    CircuitId,
+    u32,
+    "ckt"
+);
+define_id!(
+    /// Identifier of a datacenter building within a region.
+    DcId,
+    u16,
+    "dc"
+);
+define_id!(
+    /// Identifier of a spine plane within a datacenter fabric.
+    PlaneId,
+    u16,
+    "plane"
+);
+define_id!(
+    /// Identifier of a pod (deployment unit of RSWs + FSWs) within a fabric.
+    PodId,
+    u16,
+    "pod"
+);
+define_id!(
+    /// Identifier of an HGRID grid (group of FADU/FAUU sub-switches).
+    GridId,
+    u16,
+    "grid"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(SwitchId(3).to_string(), "sw3");
+        assert_eq!(CircuitId(12).to_string(), "ckt12");
+        assert_eq!(DcId(0).to_string(), "dc0");
+        assert_eq!(PlaneId(7).to_string(), "plane7");
+        assert_eq!(PodId(2).to_string(), "pod2");
+        assert_eq!(GridId(1).to_string(), "grid1");
+    }
+
+    #[test]
+    fn roundtrip_index() {
+        let id = SwitchId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(usize::from(id), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "index overflow")]
+    fn from_index_overflow_panics() {
+        let _ = DcId::from_index(usize::MAX);
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(SwitchId(1));
+        set.insert(SwitchId(1));
+        set.insert(SwitchId(2));
+        assert_eq!(set.len(), 2);
+        assert!(SwitchId(1) < SwitchId(2));
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let json = serde_json::to_string(&SwitchId(9)).unwrap();
+        assert_eq!(json, "9");
+        let back: SwitchId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, SwitchId(9));
+    }
+}

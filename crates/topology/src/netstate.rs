@@ -1,0 +1,225 @@
+//! Activation overlay over the immutable union topology.
+//!
+//! A [`NetState`] records which switches and circuits are currently *up*.
+//! Draining a switch clears its bit; its circuits keep their own bits but
+//! become unusable because a circuit is only usable when both endpoints and
+//! the circuit itself are up. Migration actions are pure bit-flips, so
+//! applying the same multiset of actions always yields the same state —
+//! the invariant behind the paper's ordering-agnostic compact representation
+//! (Definition 1, §4.2).
+
+use crate::bitset::BitSet;
+use crate::graph::Topology;
+use crate::ids::{CircuitId, SwitchId};
+use serde::{Deserialize, Serialize};
+
+/// Which switches/circuits of a union topology are currently active.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NetState {
+    switch_up: BitSet,
+    circuit_up: BitSet,
+}
+
+impl NetState {
+    /// All switches and circuits up.
+    pub fn all_up(topo: &Topology) -> Self {
+        Self {
+            switch_up: BitSet::new_all_set(topo.num_switches()),
+            circuit_up: BitSet::new_all_set(topo.num_circuits()),
+        }
+    }
+
+    /// All switches and circuits down.
+    pub fn all_down(topo: &Topology) -> Self {
+        Self {
+            switch_up: BitSet::new(topo.num_switches()),
+            circuit_up: BitSet::new(topo.num_circuits()),
+        }
+    }
+
+    /// True if the switch's own bit is up.
+    #[inline]
+    pub fn switch_up(&self, id: SwitchId) -> bool {
+        self.switch_up.get(id.index())
+    }
+
+    /// True if the circuit's own bit is up (endpoints not considered).
+    #[inline]
+    pub fn circuit_up(&self, id: CircuitId) -> bool {
+        self.circuit_up.get(id.index())
+    }
+
+    /// A circuit is *usable* iff its own bit and both endpoint switches are up.
+    #[inline]
+    pub fn circuit_usable(&self, topo: &Topology, id: CircuitId) -> bool {
+        if !self.circuit_up(id) {
+            return false;
+        }
+        let c = topo.circuit(id);
+        self.switch_up(c.a) && self.switch_up(c.b)
+    }
+
+    /// Sets a switch up or down.
+    #[inline]
+    pub fn set_switch(&mut self, id: SwitchId, up: bool) {
+        self.switch_up.set(id.index(), up);
+    }
+
+    /// Sets a circuit up or down.
+    #[inline]
+    pub fn set_circuit(&mut self, id: CircuitId, up: bool) {
+        self.circuit_up.set(id.index(), up);
+    }
+
+    /// Drains a switch and all its incident circuits.
+    pub fn drain_switch(&mut self, topo: &Topology, id: SwitchId) {
+        self.set_switch(id, false);
+        for &(c, _) in topo.neighbors(id) {
+            self.set_circuit(c, false);
+        }
+    }
+
+    /// Undrains a switch and all its incident circuits *whose far endpoint is
+    /// already up*. Circuits toward still-down peers stay down.
+    pub fn undrain_switch(&mut self, topo: &Topology, id: SwitchId) {
+        self.set_switch(id, true);
+        for &(c, far) in topo.neighbors(id) {
+            if self.switch_up(far) {
+                self.set_circuit(c, true);
+            }
+        }
+    }
+
+    /// Number of switches currently up.
+    pub fn num_switches_up(&self) -> usize {
+        self.switch_up.count_ones()
+    }
+
+    /// Number of circuits whose own bit is up.
+    pub fn num_circuits_up(&self) -> usize {
+        self.circuit_up.count_ones()
+    }
+
+    /// Count of *usable* incident circuits of a switch.
+    pub fn active_degree(&self, topo: &Topology, id: SwitchId) -> usize {
+        topo.neighbors(id)
+            .iter()
+            .filter(|&&(c, _)| self.circuit_usable(topo, c))
+            .count()
+    }
+
+    /// Sum of capacities of usable circuits, in Gbps.
+    pub fn usable_capacity_gbps(&self, topo: &Topology) -> f64 {
+        topo.circuits()
+            .iter()
+            .filter(|c| self.circuit_usable(topo, c.id))
+            .map(|c| c.capacity_gbps)
+            .sum()
+    }
+
+    /// Iterates over ids of switches currently up.
+    pub fn switches_up(&self) -> impl Iterator<Item = SwitchId> + '_ {
+        self.switch_up.iter_ones().map(SwitchId::from_index)
+    }
+
+    /// Iterates over ids of circuits whose own bit is up.
+    pub fn circuits_up(&self) -> impl Iterator<Item = CircuitId> + '_ {
+        self.circuit_up.iter_ones().map(CircuitId::from_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{SwitchSpec, TopologyBuilder};
+    use crate::ids::DcId;
+    use crate::switch::{Generation, SwitchRole};
+
+    /// rsw - fsw - ssw line.
+    fn line() -> (Topology, [SwitchId; 3], [CircuitId; 2]) {
+        let mut b = TopologyBuilder::new("line");
+        let spec = |r| SwitchSpec::new(r, Generation::V1, DcId(0), 32);
+        let rsw = b.add_switch(spec(SwitchRole::Rsw));
+        let fsw = b.add_switch(spec(SwitchRole::Fsw));
+        let ssw = b.add_switch(spec(SwitchRole::Ssw));
+        let c0 = b.add_circuit(rsw, fsw, 100.0).unwrap();
+        let c1 = b.add_circuit(fsw, ssw, 100.0).unwrap();
+        (b.build(), [rsw, fsw, ssw], [c0, c1])
+    }
+
+    #[test]
+    fn all_up_and_all_down() {
+        let (t, sw, ck) = line();
+        let up = NetState::all_up(&t);
+        assert_eq!(up.num_switches_up(), 3);
+        assert_eq!(up.num_circuits_up(), 2);
+        assert!(up.circuit_usable(&t, ck[0]));
+
+        let down = NetState::all_down(&t);
+        assert_eq!(down.num_switches_up(), 0);
+        assert!(!down.circuit_usable(&t, ck[0]));
+        assert!(!down.switch_up(sw[0]));
+    }
+
+    #[test]
+    fn drain_switch_kills_incident_circuits() {
+        let (t, sw, ck) = line();
+        let mut s = NetState::all_up(&t);
+        s.drain_switch(&t, sw[1]);
+        assert!(!s.switch_up(sw[1]));
+        assert!(!s.circuit_up(ck[0]));
+        assert!(!s.circuit_up(ck[1]));
+        assert_eq!(s.active_degree(&t, sw[0]), 0);
+    }
+
+    #[test]
+    fn circuit_unusable_when_endpoint_down_even_if_bit_up() {
+        let (t, sw, ck) = line();
+        let mut s = NetState::all_up(&t);
+        s.set_switch(sw[2], false);
+        assert!(s.circuit_up(ck[1]), "circuit bit itself untouched");
+        assert!(!s.circuit_usable(&t, ck[1]));
+        assert!(s.circuit_usable(&t, ck[0]));
+    }
+
+    #[test]
+    fn undrain_restores_only_circuits_to_live_peers() {
+        let (t, sw, ck) = line();
+        let mut s = NetState::all_up(&t);
+        s.drain_switch(&t, sw[1]);
+        s.set_switch(sw[2], false); // far peer also down
+        s.undrain_switch(&t, sw[1]);
+        assert!(s.switch_up(sw[1]));
+        assert!(s.circuit_up(ck[0]), "peer rsw is up, circuit restored");
+        assert!(!s.circuit_up(ck[1]), "peer ssw is down, circuit stays down");
+    }
+
+    #[test]
+    fn drain_undrain_roundtrip_is_identity_when_peers_up() {
+        let (t, sw, _) = line();
+        let orig = NetState::all_up(&t);
+        let mut s = orig.clone();
+        s.drain_switch(&t, sw[1]);
+        s.undrain_switch(&t, sw[1]);
+        assert_eq!(s, orig);
+    }
+
+    #[test]
+    fn usable_capacity_tracks_drains() {
+        let (t, sw, _) = line();
+        let mut s = NetState::all_up(&t);
+        assert!((s.usable_capacity_gbps(&t) - 200.0).abs() < 1e-9);
+        s.drain_switch(&t, sw[0]);
+        assert!((s.usable_capacity_gbps(&t) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iterators_report_up_elements() {
+        let (t, sw, _) = line();
+        let mut s = NetState::all_up(&t);
+        s.set_switch(sw[1], false);
+        let ups: Vec<SwitchId> = s.switches_up().collect();
+        assert_eq!(ups, vec![sw[0], sw[2]]);
+        assert_eq!(s.circuits_up().count(), 2);
+    }
+}

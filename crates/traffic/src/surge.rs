@@ -1,0 +1,153 @@
+//! Unexpected traffic surges (§7.2 deployment experience).
+//!
+//! "In one incident, warm storage decided to change its backup placement
+//! strategy during a network migration. That caused days of traffic spikes."
+//! Surge events multiply the rate of one demand class (or all classes) for a
+//! window of migration steps; the executor injects them to exercise the
+//! replanning path.
+
+use crate::demand::{DemandClass, DemandMatrix};
+use serde::{Deserialize, Serialize};
+
+/// A traffic surge active over a window of migration steps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurgeEvent {
+    /// First migration step (0-based) at which the surge is active.
+    pub from_step: usize,
+    /// First step at which the surge is no longer active (exclusive).
+    pub until_step: usize,
+    /// Multiplier applied to affected demands (e.g. 1.4 = +40%).
+    pub factor: f64,
+    /// Affected class; `None` = all classes.
+    pub class: Option<DemandClass>,
+}
+
+impl SurgeEvent {
+    /// A surge on one class.
+    pub fn on_class(
+        from_step: usize,
+        until_step: usize,
+        factor: f64,
+        class: DemandClass,
+    ) -> Self {
+        Self {
+            from_step,
+            until_step,
+            factor,
+            class: Some(class),
+        }
+    }
+
+    /// True if the surge is active at `step`.
+    pub fn active_at(&self, step: usize) -> bool {
+        (self.from_step..self.until_step).contains(&step)
+    }
+
+    /// Applies this surge to a copy of `matrix` if active at `step`.
+    pub fn apply(&self, matrix: &DemandMatrix, step: usize) -> DemandMatrix {
+        assert!(
+            self.factor.is_finite() && self.factor >= 0.0,
+            "surge factor must be finite and non-negative"
+        );
+        if !self.active_at(step) {
+            return matrix.clone();
+        }
+        match self.class {
+            None => matrix.scaled(self.factor),
+            Some(class) => matrix
+                .iter()
+                .cloned()
+                .map(|mut d| {
+                    if d.class == class {
+                        d.gbps *= self.factor;
+                    }
+                    d
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Applies every active surge in order.
+pub fn apply_surges(matrix: &DemandMatrix, surges: &[SurgeEvent], step: usize) -> DemandMatrix {
+    let mut out = matrix.clone();
+    for s in surges {
+        out = s.apply(&out, step);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::Demand;
+    use klotski_topology::SwitchId;
+
+    fn matrix() -> DemandMatrix {
+        [
+            Demand {
+                src: SwitchId(0),
+                dst: SwitchId(1),
+                gbps: 10.0,
+                class: DemandClass::RswToEbb,
+            },
+            Demand {
+                src: SwitchId(2),
+                dst: SwitchId(3),
+                gbps: 20.0,
+                class: DemandClass::RswToRsw,
+            },
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn surge_applies_only_in_window() {
+        let s = SurgeEvent::on_class(2, 5, 2.0, DemandClass::RswToRsw);
+        assert!(!s.active_at(1));
+        assert!(s.active_at(2));
+        assert!(s.active_at(4));
+        assert!(!s.active_at(5));
+        let m = matrix();
+        assert_eq!(s.apply(&m, 1), m);
+        let surged = s.apply(&m, 3);
+        assert!((surged.class_total_gbps(DemandClass::RswToRsw) - 40.0).abs() < 1e-9);
+        assert!((surged.class_total_gbps(DemandClass::RswToEbb) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classless_surge_scales_everything() {
+        let s = SurgeEvent {
+            from_step: 0,
+            until_step: 10,
+            factor: 1.5,
+            class: None,
+        };
+        let surged = s.apply(&matrix(), 0);
+        assert!((surged.total_gbps() - 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stacked_surges_compose_multiplicatively() {
+        let surges = vec![
+            SurgeEvent {
+                from_step: 0,
+                until_step: 10,
+                factor: 2.0,
+                class: None,
+            },
+            SurgeEvent::on_class(0, 10, 3.0, DemandClass::RswToEbb),
+        ];
+        let out = apply_surges(&matrix(), &surges, 0);
+        assert!((out.class_total_gbps(DemandClass::RswToEbb) - 60.0).abs() < 1e-9);
+        assert!((out.class_total_gbps(DemandClass::RswToRsw) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_window_never_fires() {
+        let s = SurgeEvent::on_class(3, 3, 9.0, DemandClass::RswToEbb);
+        assert!(!s.active_at(3));
+        assert_eq!(s.apply(&matrix(), 3), matrix());
+    }
+}

@@ -1,0 +1,65 @@
+//! DMAG migration: inserting the MA layer between FAUUs and EBs (Figure 3c)
+//! — the migration type that changes the topology's structure and therefore
+//! defeats the symmetry-based and greedy baselines (§6.3).
+//!
+//! ```text
+//! cargo run --release --example dmag_migration
+//! ```
+
+use klotski::baselines::{JanusPlanner, MrcPlanner};
+use klotski::core::migration::{MigrationBuilder, MigrationOptions};
+use klotski::core::plan::validate_plan;
+use klotski::core::planner::{AStarPlanner, Planner};
+use klotski::topology::presets::{self, PresetId};
+use klotski::topology::SwitchRole;
+
+fn main() {
+    let preset = presets::build_for_bench(PresetId::EDmag);
+    let mas = preset
+        .topology
+        .switches_by_role(SwitchRole::Ma)
+        .count();
+    println!(
+        "region {}: inserting {} MA switches between {} FAUUs and {} EBs",
+        preset.topology.name(),
+        mas,
+        preset.topology.switches_by_role(SwitchRole::Fauu).count(),
+        preset.topology.switches_by_role(SwitchRole::Eb).count()
+    );
+
+    let spec = MigrationBuilder::dmag(&preset, &MigrationOptions::default()).expect("spec");
+    println!(
+        "blocks: {} direct-circuit bundles to drain + {} MA groups to undrain (split policy: {:?})",
+        spec.blocks_by_type[0].len(),
+        spec.blocks_by_type[1].len(),
+        spec.split
+    );
+
+    // The baselines cannot plan a topology-changing migration.
+    for (name, result) in [
+        ("MRC", MrcPlanner::default().plan(&spec).map(|o| o.cost)),
+        ("Janus", JanusPlanner::default().plan(&spec).map(|o| o.cost)),
+    ] {
+        match result {
+            Ok(c) => println!("{name}: unexpectedly planned at cost {c}"),
+            Err(e) => println!("{name}: ✗ {e}"),
+        }
+    }
+
+    // Klotski plans it.
+    let outcome = AStarPlanner::default().plan(&spec).expect("Klotski plans DMAG");
+    validate_plan(&spec, &outcome.plan).expect("safe plan");
+    println!(
+        "\nKlotski-A*: cost {} in {:?} ({} states visited)",
+        outcome.cost, outcome.stats.planning_time, outcome.stats.states_visited
+    );
+    for (i, phase) in outcome.plan.phases().iter().enumerate() {
+        let kind = spec.actions.kind(phase.kind);
+        println!("  phase {}: {kind} x{}", i + 1, phase.blocks.len());
+    }
+    println!(
+        "\nevery drain of a grid's direct circuits is covered by already-deployed MA capacity — \
+         the port budgets at the EBs force the '{}' interleaving the paper describes in §5",
+        outcome.plan.num_phases()
+    );
+}

@@ -1,0 +1,75 @@
+//! HGRID v1→v2 migration on a mid-size region (topology C), comparing all
+//! four planners and exporting the winning plan as NPD phases.
+//!
+//! ```text
+//! cargo run --release --example hgrid_migration
+//! ```
+
+use klotski::baselines::{JanusPlanner, MrcPlanner};
+use klotski::core::migration::{MigrationBuilder, MigrationOptions};
+use klotski::core::plan::validate_plan;
+use klotski::core::planner::{AStarPlanner, DpPlanner, Planner};
+use klotski::npd::convert::{attach_plan, region_to_npd};
+use klotski::topology::presets::{self, PresetId};
+
+fn main() {
+    let preset = presets::build(PresetId::C);
+    let spec = MigrationBuilder::hgrid_v1_to_v2(&preset, &MigrationOptions::default())
+        .expect("well-posed migration");
+    println!(
+        "{}: {} blocks ({} switch-level actions), theta = {}",
+        spec.name,
+        spec.num_blocks(),
+        spec.num_switch_actions(),
+        spec.theta
+    );
+
+    let planners: Vec<(&str, Box<dyn Planner>)> = vec![
+        ("MRC", Box::new(MrcPlanner::default())),
+        ("Janus", Box::new(JanusPlanner::default())),
+        ("Klotski-DP", Box::new(DpPlanner::default())),
+        ("Klotski-A*", Box::new(AStarPlanner::default())),
+    ];
+
+    let mut best = None;
+    println!("\nplanner      cost  phases  states  checks  time");
+    for (name, planner) in planners {
+        match planner.plan(&spec) {
+            Ok(o) => {
+                println!(
+                    "{name:<12} {:<5} {:<7} {:<7} {:<7} {:?}",
+                    o.cost,
+                    o.plan.num_phases(),
+                    o.stats.states_visited,
+                    o.stats.sat_checks,
+                    o.stats.planning_time
+                );
+                validate_plan(&spec, &o.plan).expect("every produced plan must be safe");
+                let better = best
+                    .as_ref()
+                    .map(|(c, _)| o.cost < *c)
+                    .unwrap_or(true);
+                if better {
+                    best = Some((o.cost, o.plan));
+                }
+            }
+            Err(e) => println!("{name:<12} failed: {e}"),
+        }
+    }
+
+    // Ship the optimal plan downstream the way EDP-Lite would: attached to
+    // the NPD document as an ordered phase list.
+    let (cost, plan) = best.expect("at least one planner succeeds");
+    let mut npd = region_to_npd(&preset.config);
+    attach_plan(&mut npd, &spec, &plan);
+    println!("\noptimal cost {cost}; NPD phases:");
+    for phase in &npd.phases {
+        println!(
+            "  {}. {} ({} switch ops): {}",
+            phase.index,
+            phase.action,
+            phase.switch_ops,
+            phase.blocks.join(", ")
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! NPD pipeline round trip: export a region to the Network Product
+//! Definition format, re-import it, plan the migration, and attach the
+//! resulting phase list to the document — the §5 EDP-Lite interface.
+//!
+//! ```text
+//! cargo run --release --example npd_roundtrip
+//! ```
+
+use klotski::core::migration::{MigrationBuilder, MigrationOptions};
+use klotski::core::planner::{AStarPlanner, Planner};
+use klotski::npd::convert::{attach_plan, npd_to_topology, region_to_npd};
+use klotski::npd::Npd;
+use klotski::topology::presets::{self, PresetId};
+
+fn main() {
+    // Export an existing region design to NPD and serialize it.
+    let preset = presets::build(PresetId::B);
+    let npd = region_to_npd(&preset.config);
+    let json = npd.to_json_pretty().expect("serialize");
+    println!(
+        "exported {} as NPD v{}: {} bytes of JSON, {} fabric building(s), {} HGRID layer(s)",
+        npd.name,
+        npd.version,
+        json.len(),
+        npd.fabric.buildings.len(),
+        npd.hgrid.layers.len()
+    );
+
+    // A consumer parses the document and rebuilds the identical topology.
+    let parsed = Npd::from_json(&json).expect("parse");
+    let (topology, _) = npd_to_topology(&parsed).expect("convert");
+    assert_eq!(topology.num_switches(), preset.topology.num_switches());
+    assert_eq!(topology.num_circuits(), preset.topology.num_circuits());
+    println!(
+        "re-imported topology matches: {} switches / {} circuits",
+        topology.num_switches(),
+        topology.num_circuits()
+    );
+
+    // Plan and write the phases back into the document.
+    let spec =
+        MigrationBuilder::hgrid_v1_to_v2(&preset, &MigrationOptions::default()).expect("spec");
+    let plan = AStarPlanner::default().plan(&spec).expect("plan").plan;
+    let mut shipped = parsed;
+    attach_plan(&mut shipped, &spec, &plan);
+    println!("\nNPD migration phases (what operators receive):");
+    for phase in &shipped.phases {
+        println!(
+            "  {}. {} — {} switch ops across {} block(s)",
+            phase.index,
+            phase.action,
+            phase.switch_ops,
+            phase.blocks.len()
+        );
+    }
+    let final_json = shipped.to_json_pretty().expect("serialize with phases");
+    println!("\nfinal document: {} bytes", final_json.len());
+}

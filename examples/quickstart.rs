@@ -1,0 +1,59 @@
+//! Quickstart: plan an HGRID v1→v2 migration on the smallest evaluation
+//! topology and print the resulting phases.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use klotski::core::migration::{MigrationBuilder, MigrationOptions};
+use klotski::core::plan::validate_plan;
+use klotski::core::planner::{AStarPlanner, Planner};
+use klotski::topology::presets::{self, PresetId};
+
+fn main() {
+    // 1. Build the union topology: both HGRID generations, v2 not yet live.
+    let preset = presets::build(PresetId::A);
+    println!(
+        "topology {}: {} switches, {} circuits",
+        preset.topology.name(),
+        preset.topology.num_switches(),
+        preset.topology.num_circuits()
+    );
+
+    // 2. Turn it into a migration instance: operation blocks, calibrated
+    //    demands, port budgets, space model.
+    let spec = MigrationBuilder::hgrid_v1_to_v2(&preset, &MigrationOptions::default())
+        .expect("well-posed migration");
+    println!(
+        "migration {}: {} operation blocks over {} action types, {} switch-level actions",
+        spec.name,
+        spec.num_blocks(),
+        spec.num_types(),
+        spec.num_switch_actions()
+    );
+
+    // 3. Plan with the A* search planner.
+    let outcome = AStarPlanner::default().plan(&spec).expect("plan");
+    println!(
+        "\noptimal plan: cost {} ({} serial phases), {} states visited, {} satisfiability checks ({} cache hits) in {:?}\n",
+        outcome.cost,
+        outcome.plan.num_phases(),
+        outcome.stats.states_visited,
+        outcome.stats.sat_checks,
+        outcome.stats.cache_hits,
+        outcome.stats.planning_time
+    );
+    for (i, phase) in outcome.plan.phases().iter().enumerate() {
+        let kind = spec.actions.kind(phase.kind);
+        let labels: Vec<&str> = phase
+            .blocks
+            .iter()
+            .map(|&b| spec.blocks[b.index()].label.as_str())
+            .collect();
+        println!("  phase {}: {kind}  [{}]", i + 1, labels.join(", "));
+    }
+
+    // 4. Independently verify the plan against Eq. 2-6.
+    validate_plan(&spec, &outcome.plan).expect("plan must replay safely");
+    println!("\nplan validated: every intermediate topology is safe");
+}

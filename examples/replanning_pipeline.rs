@@ -1,0 +1,92 @@
+//! The §7 operational pipeline: forecast demand, plan, execute with fault
+//! injection, and replan when the realized world drifts.
+//!
+//! Reproduces the deployment-experience loop: traffic grows organically
+//! while a migration runs for months (§7.1), surges hit mid-migration
+//! (§7.2), pushes fail and are retried, and routine maintenance takes
+//! uninvolved switches down — so the executor re-runs the planner on the
+//! residual migration with the re-forecast demand.
+//!
+//! ```text
+//! cargo run --release --example replanning_pipeline
+//! ```
+
+use klotski::core::executor::{execute, ExecutorConfig};
+use klotski::core::migration::{MigrationBuilder, MigrationOptions};
+use klotski::core::planner::{AStarPlanner, Planner};
+use klotski::topology::presets::{self, PresetId};
+use klotski::traffic::{
+    DemandClass, EwmaForecaster, Forecaster, HistoryConfig, LinearTrendForecaster, SurgeEvent,
+    TrafficHistory,
+};
+
+fn main() {
+    // --- Forecast: synthesize a traffic history and predict the level over
+    // the next migration step (§7.1).
+    let history = TrafficHistory::synthesize(&HistoryConfig::default());
+    let horizon = 14;
+    let linear = LinearTrendForecaster::default();
+    let ewma = EwmaForecaster::default();
+    println!(
+        "traffic history: {} days, latest level {:.3}",
+        history.len(),
+        history.latest()
+    );
+    println!(
+        "forecast +{horizon}d: {} = {:.3}, {} = {:.3}",
+        linear.name(),
+        linear.forecast(&history, horizon),
+        ewma.name(),
+        ewma.forecast(&history, horizon)
+    );
+    let growth = (linear.forecast(&history, horizon) / history.latest() - 1.0).max(0.0);
+
+    // --- Plan against the forecast demand.
+    let preset = presets::build(PresetId::B);
+    let spec =
+        MigrationBuilder::hgrid_v1_to_v2(&preset, &MigrationOptions::default()).expect("spec");
+    let planner = AStarPlanner::default();
+    let plan = planner.plan(&spec).expect("plan").plan;
+    println!(
+        "\ninitial plan: {} phases over {} blocks",
+        plan.num_phases(),
+        plan.num_steps()
+    );
+
+    // --- Execute in a world that misbehaves.
+    let cfg = ExecutorConfig {
+        seed: 42,
+        failure_prob: 0.25,
+        max_retries: 10,
+        demand_growth_per_phase: growth,
+        surges: vec![SurgeEvent::on_class(1, 3, 1.25, DemandClass::RswToRsw)],
+        external_maintenance_prob: 0.5,
+        replan_on_violation: true,
+    };
+    println!(
+        "executing with +{:.1}%/phase organic growth, a +25% east/west surge over phases 1-2, \
+         25% push-failure rate, and random concurrent maintenance\n",
+        growth * 100.0
+    );
+    let report = execute(&spec, &plan, &planner, &cfg);
+
+    for p in &report.phases {
+        println!(
+            "phase {:>2}: {} block(s), {} attempt(s), peak util {:.1}%{}{}",
+            p.index + 1,
+            p.blocks_operated,
+            p.attempts,
+            p.realized_max_utilization * 100.0,
+            if p.external_maintenance { ", concurrent maintenance" } else { "" },
+            if p.safe { "" } else { "  << UNSAFE under realized demand" },
+        );
+    }
+    println!(
+        "\ncompleted: {} | replans: {} | {}",
+        report.completed,
+        report.replans,
+        report
+            .abort_reason
+            .unwrap_or_else(|| "no aborts".to_string())
+    );
+}

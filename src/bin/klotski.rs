@@ -1,0 +1,202 @@
+//! `klotski` — command-line migration planner.
+//!
+//! ```text
+//! klotski export <preset> <out.json>        # write a region as NPD
+//! klotski plan <npd.json> [-o out.json]     # plan the migration an NPD implies
+//! klotski audit <preset>                    # plan + per-phase safety audit
+//! klotski presets                           # list the built-in topologies
+//! ```
+//!
+//! The `plan` subcommand mirrors the §5 EDP-Lite pipeline: NPD in, ordered
+//! phase list out (attached to the NPD document when `-o` is given).
+
+use klotski::core::migration::{MigrationBuilder, MigrationOptions};
+use klotski::core::opex::OpexModel;
+use klotski::core::plan::validate_plan;
+use klotski::core::planner::{AStarPlanner, Planner};
+use klotski::core::report::audit_plan;
+use klotski::core::BlockClass;
+use klotski::npd::convert::{attach_plan, npd_to_region, region_to_npd};
+use klotski::npd::Npd;
+use klotski::topology::presets::{self, PresetId};
+use klotski::topology::region::build_region;
+use std::process::ExitCode;
+
+fn parse_preset(name: &str) -> Option<PresetId> {
+    PresetId::ALL
+        .into_iter()
+        .find(|id| id.to_string().eq_ignore_ascii_case(name))
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  klotski presets\n  klotski export <preset> <out.json>\n  \
+         klotski plan <npd.json> [-o out.json]\n  klotski audit <preset>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("presets") => {
+            println!("built-in evaluation topologies (Table 3):");
+            for id in PresetId::ALL {
+                let p = presets::build_for_bench(id);
+                println!(
+                    "  {:<7} {:>6} switches {:>7} circuits",
+                    id.to_string(),
+                    p.topology.num_switches(),
+                    p.topology.num_circuits()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Some("export") if args.len() == 3 => {
+            let Some(id) = parse_preset(&args[1]) else {
+                eprintln!("unknown preset {:?}", args[1]);
+                return ExitCode::from(2);
+            };
+            let cfg = presets::config(id);
+            let npd = region_to_npd(&cfg);
+            match npd.to_json_pretty() {
+                Ok(json) => {
+                    if let Err(e) = std::fs::write(&args[2], json) {
+                        eprintln!("cannot write {}: {e}", args[2]);
+                        return ExitCode::FAILURE;
+                    }
+                    println!("wrote {} ({})", args[2], npd.name);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("serialization failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("plan") if args.len() >= 2 => {
+            let json = match std::fs::read_to_string(&args[1]) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("cannot read {}: {e}", args[1]);
+                    return ExitCode::FAILURE;
+                }
+            };
+            let npd = match Npd::from_json(&json) {
+                Ok(n) => n,
+                Err(e) => {
+                    eprintln!("invalid NPD: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let cfg = match npd_to_region(&npd) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("NPD conversion failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let (topology, handles) = build_region(&cfg);
+            let preset_like = klotski::topology::presets::Preset {
+                id: PresetId::A, // placeholder tag; planning reads topology + handles
+                config: cfg,
+                topology,
+                handles,
+            };
+            let spec =
+                match MigrationBuilder::for_preset(&preset_like, &MigrationOptions::default()) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("cannot build migration: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            let outcome = match AStarPlanner::default().plan(&spec) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("planning failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = validate_plan(&spec, &outcome.plan) {
+                eprintln!("internal error: produced plan failed validation: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "{}: cost {} ({} phases), {} states visited in {:?}",
+                spec.name,
+                outcome.cost,
+                outcome.plan.num_phases(),
+                outcome.stats.states_visited,
+                outcome.stats.planning_time
+            );
+            for (i, phase) in outcome.plan.phases().iter().enumerate() {
+                println!(
+                    "  phase {}: {} x{}",
+                    i + 1,
+                    spec.actions.kind(phase.kind),
+                    phase.blocks.len()
+                );
+            }
+            if let Some(pos) = args.iter().position(|a| a == "-o") {
+                let Some(out) = args.get(pos + 1) else {
+                    return usage();
+                };
+                let mut shipped = npd;
+                attach_plan(&mut shipped, &spec, &outcome.plan);
+                match shipped.to_json_pretty() {
+                    Ok(json) => {
+                        if let Err(e) = std::fs::write(out, json) {
+                            eprintln!("cannot write {out}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        println!("phases attached to {out}");
+                    }
+                    Err(e) => {
+                        eprintln!("serialization failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Some("audit") if args.len() == 2 => {
+            let Some(id) = parse_preset(&args[1]) else {
+                eprintln!("unknown preset {:?}", args[1]);
+                return ExitCode::from(2);
+            };
+            let preset = presets::build_for_bench(id);
+            let spec = match MigrationBuilder::for_preset(&preset, &MigrationOptions::default()) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot build migration: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let outcome = match AStarPlanner::default().plan(&spec) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("planning failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            print!("{}", audit_plan(&spec, &outcome.plan));
+            let opex = OpexModel::default();
+            let priced = opex.price(&spec, &outcome.plan);
+            println!(
+                "opex: {} phases x ${:.0}k setup + {:.0} crew-days = ${:.0}k total (~{:.0} working days)",
+                priced.phases,
+                opex.phase_setup_cost / 1000.0,
+                priced.crew_days,
+                priced.total_cost / 1000.0,
+                priced.duration_days
+            );
+            println!(
+                "recommended alpha for this workload: {:.3}",
+                opex.recommended_alpha(BlockClass::FaGrid)
+            );
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,7 @@
+//! Umbrella crate re-exporting the full Klotski workspace API.
+pub use klotski_baselines as baselines;
+pub use klotski_core as core;
+pub use klotski_npd as npd;
+pub use klotski_routing as routing;
+pub use klotski_topology as topology;
+pub use klotski_traffic as traffic;

@@ -1,0 +1,42 @@
+//! Paper-scale smoke test: topology E at its full Table 3 size
+//! (~10,600 switches, ~154,000 circuits).
+//!
+//! Ignored by default because it builds the O(100k)-circuit union graph and
+//! runs a complete A\* plan (minutes in debug). Run with:
+//!
+//! ```text
+//! KLOTSKI_FULL_SCALE=1 cargo test --release --test full_scale -- --ignored
+//! ```
+
+use klotski::core::migration::{MigrationBuilder, MigrationOptions};
+use klotski::core::plan::validate_plan;
+use klotski::core::planner::{AStarPlanner, Planner};
+use klotski::topology::presets::{self, PresetId};
+
+#[test]
+#[ignore = "paper-scale; run with KLOTSKI_FULL_SCALE=1 --release -- --ignored"]
+fn full_scale_e_plans_in_minutes() {
+    assert!(
+        presets::full_scale_requested(),
+        "set KLOTSKI_FULL_SCALE=1 for this test"
+    );
+    let preset = presets::build(PresetId::E);
+    assert!(preset.topology.num_switches() > 10_000);
+    assert!(preset.topology.num_circuits() > 100_000);
+
+    let spec =
+        MigrationBuilder::hgrid_v1_to_v2(&preset, &MigrationOptions::default()).unwrap();
+    assert!(spec.num_switch_actions() > 600, "Table 3: ~700 actions");
+
+    let start = std::time::Instant::now();
+    let outcome = AStarPlanner::default().plan(&spec).unwrap();
+    let elapsed = start.elapsed();
+    validate_plan(&spec, &outcome.plan).unwrap();
+
+    // The paper's headline: "Klotski-A* uses less than 4 minutes to
+    // generate a plan for the largest topology" (§6.1).
+    assert!(
+        elapsed < std::time::Duration::from_secs(240),
+        "planning took {elapsed:?}"
+    );
+}

@@ -1,0 +1,126 @@
+//! Cross-crate invariant properties: drain/undrain algebra, symmetry of
+//! the feasibility structure, and heuristic-bound relationships.
+
+use klotski::core::cost::HeuristicMode;
+use klotski::core::migration::{MigrationBuilder, MigrationOptions};
+use klotski::core::satcheck::{EscMode, SatChecker};
+use klotski::core::{CompactState, CostModel};
+use klotski::topology::presets::{self, PresetId};
+use klotski::topology::{NetState, SwitchId};
+use proptest::prelude::*;
+
+fn spec() -> klotski::core::migration::MigrationSpec {
+    MigrationBuilder::hgrid_v1_to_v2(
+        &presets::build(PresetId::A),
+        &MigrationOptions::default(),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Draining a random switch set and undraining it in any order restores
+    /// the original activation state (when the peers stayed up).
+    #[test]
+    fn prop_drain_undrain_is_involutive(
+        picks in proptest::collection::vec(0usize..73, 1..8),
+        reverse in prop::bool::ANY,
+    ) {
+        let preset = presets::build(PresetId::A);
+        let topo = &preset.topology;
+        let orig = NetState::all_up(topo);
+        let mut state = orig.clone();
+        let mut set: Vec<usize> = picks.clone();
+        set.sort_unstable();
+        set.dedup();
+        for &i in &set {
+            state.drain_switch(topo, SwitchId::from_index(i));
+        }
+        let restore: Vec<usize> = if reverse {
+            set.iter().rev().copied().collect()
+        } else {
+            set.clone()
+        };
+        for &i in &restore {
+            state.undrain_switch(topo, SwitchId::from_index(i));
+        }
+        // Circuits between two drained switches come back when the second
+        // endpoint is undrained, so full restoration holds regardless of
+        // order.
+        prop_assert_eq!(state, orig);
+    }
+
+    /// Satisfiability is a pure function of the compact state: the checker
+    /// gives the same verdict however the state was reached, across all
+    /// cache modes.
+    #[test]
+    fn prop_satcheck_is_state_pure(
+        d in 0u16..=3,
+        u in 0u16..=6,
+    ) {
+        let spec = spec();
+        let v = CompactState::from_counts(vec![d, u]);
+        let state = spec.state_for(&v);
+        let mut verdicts = Vec::new();
+        for mode in [EscMode::Compact, EscMode::FullTopology, EscMode::Off] {
+            let mut checker = SatChecker::new(&spec, mode);
+            // Ask twice: cached answers must agree with fresh ones.
+            let first = checker.check(&spec, &v, &state, None);
+            let second = checker.check(&spec, &v, &state, None);
+            prop_assert_eq!(first, second);
+            verdicts.push(first);
+        }
+        prop_assert!(verdicts.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    /// The admissible heuristic never exceeds the literal Eq. 9 heuristic,
+    /// and both are zero exactly at the target.
+    #[test]
+    fn prop_heuristic_ordering(
+        remaining in proptest::collection::vec(0u16..6, 1..5),
+        alpha in 0.0f64..=1.0,
+        last in 0u8..5,
+    ) {
+        let model = CostModel::new(alpha);
+        let last = (usize::from(last) < remaining.len())
+            .then(|| klotski::core::ActionTypeId(last));
+        let adm = model.heuristic(HeuristicMode::Admissible, &remaining, last);
+        let paper = model.heuristic(HeuristicMode::PaperEq9, &remaining, last);
+        prop_assert!(adm <= paper + 1e-12);
+        if remaining.iter().all(|&n| n == 0) {
+            prop_assert_eq!(adm, 0.0);
+            prop_assert_eq!(paper, 0.0);
+        }
+    }
+
+    /// Residual specs compose: planning the residual after k canonical
+    /// actions reaches the same final activation state as the original.
+    #[test]
+    fn prop_residual_reaches_same_target(k in 0usize..4) {
+        let spec = spec();
+        let mut v = CompactState::origin(spec.num_types());
+        let mut state = spec.initial.clone();
+        // Advance k drain actions (always available first in this spec).
+        let a = klotski::core::ActionTypeId(0);
+        for _ in 0..k.min(spec.target_counts.count(a) as usize) {
+            spec.apply_next(&mut state, &v, a);
+            v = v.advanced(a);
+        }
+        let residual = spec.residual(&v, state, spec.demands.clone());
+        prop_assert_eq!(residual.target_state(), spec.target_state());
+    }
+}
+
+#[test]
+fn funneling_cache_distinguishes_last_action_only_when_enabled() {
+    let plain = spec();
+    assert!(!plain.funneling.is_enabled());
+    let mut checker = SatChecker::new(&plain, EscMode::Compact);
+    let v = CompactState::from_counts(vec![1, 0]);
+    let state = plain.state_for(&v);
+    checker.check(&plain, &v, &state, Some(klotski::core::ActionTypeId(0)));
+    checker.check(&plain, &v, &state, None);
+    // Without funneling the last action must NOT split the cache.
+    assert_eq!(checker.cache_len(), 1);
+}

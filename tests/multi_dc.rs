@@ -1,0 +1,125 @@
+//! Multi-datacenter and mixed-generation scenarios (§2.2: "Consider
+//! multiple DCs" and "Consider different generations").
+
+use klotski::core::migration::{MigrationBuilder, MigrationOptions};
+use klotski::core::plan::validate_plan;
+use klotski::core::planner::{AStarPlanner, Planner};
+use klotski::topology::fabric::FabricConfig;
+use klotski::topology::hgrid::HgridConfig;
+use klotski::topology::ma::BackboneConfig;
+use klotski::topology::presets::{Preset, PresetId};
+use klotski::topology::region::{build_region, RegionConfig};
+
+fn fabric(pods: usize, rsws: usize, planes: usize, ssws: usize) -> FabricConfig {
+    FabricConfig {
+        pods,
+        rsws_per_pod: rsws,
+        planes,
+        ssws_per_plane: ssws,
+        rsw_fsw_gbps: 3200.0 / planes as f64,
+        fsw_ssw_gbps: 6400.0 / planes as f64,
+        ..FabricConfig::default()
+    }
+}
+
+fn preset_from(config: RegionConfig) -> Preset {
+    let (topology, handles) = build_region(&config);
+    Preset {
+        id: PresetId::A, // tag only; planning reads topology + handles
+        config,
+        topology,
+        handles,
+    }
+}
+
+/// §2.2: migrating two DCs at once — a coordinated forklift of both
+/// buildings' spines in one planning instance, so the planner accounts for
+/// the coupled capacity loss that independent per-DC plans would miss.
+#[test]
+fn coordinated_two_dc_forklift_plans() {
+    let preset = preset_from(RegionConfig {
+        name: "two-dc-forklift".into(),
+        dcs: vec![fabric(4, 4, 4, 6); 2],
+        hgrid_v1: HgridConfig::v1(4, 4, 2),
+        hgrid_v2: None,
+        backbone: BackboneConfig {
+            ebs: 4,
+            drs: 2,
+            ebbs: 2,
+            ..BackboneConfig::default()
+        },
+        dmag: None,
+        ssw_forklift_dcs: vec![0, 1],
+    });
+    let spec = MigrationBuilder::ssw_forklift(&preset, &MigrationOptions::default()).unwrap();
+    // Both DCs' planes are in the block set: 2 DCs x 4 planes x 3 groups.
+    assert_eq!(spec.target_counts.counts(), &[24, 24]);
+    let outcome = AStarPlanner::default().plan(&spec).unwrap();
+    validate_plan(&spec, &outcome.plan).unwrap();
+    // Draining spine in both DCs at once must still leave every
+    // intermediate state safe — the coupled constraint the paper warns
+    // about ("DC1's circuits 2 and 4 are effectively lost as well").
+    assert!(outcome.cost >= 2.0);
+}
+
+/// §2.2 / Figure 2(d): one building on 4 planes, another on 8 — multiple
+/// fabric generations coexisting in one region, migrated together.
+#[test]
+fn mixed_plane_generations_migrate_together() {
+    let preset = preset_from(RegionConfig {
+        name: "mixed-generations".into(),
+        dcs: vec![fabric(4, 4, 4, 4), fabric(4, 4, 8, 4)],
+        hgrid_v1: HgridConfig::v1(4, 8, 4),
+        hgrid_v2: Some(HgridConfig {
+            uplinks_per_ssw: 2,
+            ..HgridConfig::v2(8, 8, 4)
+        }),
+        backbone: BackboneConfig {
+            ebs: 4,
+            drs: 2,
+            ebbs: 2,
+            ..BackboneConfig::default()
+        },
+        dmag: None,
+        ssw_forklift_dcs: vec![],
+    });
+    // The union graph spans both plane counts.
+    let planes = preset.topology.stats().planes;
+    assert_eq!(planes, 8, "plane ids 0..8 present across buildings");
+
+    // Mixed plane counts concentrate the 4-plane building's FA share, so
+    // the layer starts a little cooler than the single-generation presets.
+    let opts = MigrationOptions {
+        initial_layer_utilization: 0.35,
+        ..MigrationOptions::default()
+    };
+    let spec = MigrationBuilder::hgrid_v1_to_v2(&preset, &opts).unwrap();
+    let outcome = AStarPlanner::default().plan(&spec).unwrap();
+    validate_plan(&spec, &outcome.plan).unwrap();
+}
+
+/// Draining one DC's spine makes the *other* DC's east/west traffic lose
+/// its inter-building paths through the drained fabric — the coupled
+/// capacity effect of §2.2. Joint planning must still find a safe order.
+#[test]
+fn one_dc_forklift_in_a_three_building_region() {
+    let preset = preset_from(RegionConfig {
+        name: "three-dc-one-forklift".into(),
+        dcs: vec![fabric(3, 4, 4, 4); 3],
+        hgrid_v1: HgridConfig::v1(4, 4, 2),
+        hgrid_v2: None,
+        backbone: BackboneConfig {
+            ebs: 4,
+            drs: 2,
+            ebbs: 2,
+            ..BackboneConfig::default()
+        },
+        dmag: None,
+        ssw_forklift_dcs: vec![1],
+    });
+    let spec = MigrationBuilder::ssw_forklift(&preset, &MigrationOptions::default()).unwrap();
+    // Only the middle building's spine is in scope.
+    assert_eq!(spec.target_counts.counts(), &[12, 12]);
+    let outcome = AStarPlanner::default().plan(&spec).unwrap();
+    validate_plan(&spec, &outcome.plan).unwrap();
+}

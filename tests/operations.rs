@@ -1,0 +1,149 @@
+//! Operational-pipeline integration: executor fault injection, replanning,
+//! forecasting, and the NPD interface.
+
+use klotski::core::executor::{execute, ExecutorConfig};
+use klotski::core::migration::{MigrationBuilder, MigrationOptions};
+use klotski::core::planner::{AStarPlanner, Planner};
+use klotski::npd::convert::{attach_plan, npd_to_topology, region_to_npd};
+use klotski::npd::Npd;
+use klotski::routing::FunnelingModel;
+use klotski::topology::presets::{self, PresetId};
+use klotski::traffic::{DemandClass, SurgeEvent};
+
+fn plan_and_spec(
+    id: PresetId,
+) -> (
+    klotski::core::migration::MigrationSpec,
+    klotski::core::MigrationPlan,
+) {
+    let spec =
+        MigrationBuilder::for_preset(&presets::build_for_bench(id), &MigrationOptions::default())
+            .unwrap();
+    let plan = AStarPlanner::default().plan(&spec).unwrap().plan;
+    (spec, plan)
+}
+
+#[test]
+fn executor_survives_compound_failures() {
+    let (spec, plan) = plan_and_spec(PresetId::B);
+    let cfg = ExecutorConfig {
+        seed: 9,
+        failure_prob: 0.3,
+        max_retries: 20,
+        demand_growth_per_phase: 0.01,
+        surges: vec![SurgeEvent::on_class(0, 2, 1.1, DemandClass::RswToEbb)],
+        external_maintenance_prob: 0.5,
+        replan_on_violation: true,
+    };
+    let report = execute(&spec, &plan, &AStarPlanner::default(), &cfg);
+    assert!(
+        report.completed || report.abort_reason.is_some(),
+        "executor must terminate decisively"
+    );
+    if report.completed {
+        assert!(!report.phases.is_empty());
+    }
+}
+
+#[test]
+fn heavy_growth_forces_replanning_or_explicit_abort() {
+    let (spec, plan) = plan_and_spec(PresetId::A);
+    let cfg = ExecutorConfig {
+        demand_growth_per_phase: 0.25,
+        ..ExecutorConfig::default()
+    };
+    let report = execute(&spec, &plan, &AStarPlanner::default(), &cfg);
+    // Under +25%/phase something must give: either the plan is revised or
+    // execution stops with an infeasibility reason.
+    assert!(report.replans > 0 || report.abort_reason.is_some() || report.completed);
+}
+
+#[test]
+fn replanning_disabled_aborts_instead() {
+    let (spec, plan) = plan_and_spec(PresetId::A);
+    let with = execute(
+        &spec,
+        &plan,
+        &AStarPlanner::default(),
+        &ExecutorConfig {
+            demand_growth_per_phase: 0.25,
+            replan_on_violation: true,
+            ..ExecutorConfig::default()
+        },
+    );
+    let without = execute(
+        &spec,
+        &plan,
+        &AStarPlanner::default(),
+        &ExecutorConfig {
+            demand_growth_per_phase: 0.25,
+            replan_on_violation: false,
+            ..ExecutorConfig::default()
+        },
+    );
+    // If the growth invalidated the plan, disabling replanning must turn
+    // the revision into an abort.
+    if with.replans > 0 {
+        assert!(!without.completed);
+        assert!(without.abort_reason.unwrap().contains("replanning disabled"));
+    }
+}
+
+#[test]
+fn funneling_enabled_specs_still_plan() {
+    // §7.2: production planning inflates related circuits for drain
+    // asynchrony. Plans must exist (possibly longer) with the model on.
+    let preset = presets::build(PresetId::A);
+    let plain =
+        MigrationBuilder::hgrid_v1_to_v2(&preset, &MigrationOptions::default()).unwrap();
+    let opts = MigrationOptions {
+        funneling: FunnelingModel {
+            headroom_factor: 1.15,
+        },
+        ..MigrationOptions::default()
+    };
+    let stressed = MigrationBuilder::hgrid_v1_to_v2(&preset, &opts).unwrap();
+    let base = AStarPlanner::default().plan(&plain).unwrap().cost;
+    let hard = AStarPlanner::default().plan(&stressed).unwrap().cost;
+    assert!(hard >= base, "funneling headroom can only constrain further");
+}
+
+#[test]
+fn npd_pipeline_end_to_end() {
+    // NPD in -> topology -> plan -> phases in NPD out, all through JSON.
+    let preset = presets::build(PresetId::A);
+    let doc = region_to_npd(&preset.config);
+    let json = doc.to_json_pretty().unwrap();
+    let parsed = Npd::from_json(&json).unwrap();
+    let (topo, _) = npd_to_topology(&parsed).unwrap();
+    assert_eq!(topo.num_switches(), preset.topology.num_switches());
+
+    let spec =
+        MigrationBuilder::hgrid_v1_to_v2(&preset, &MigrationOptions::default()).unwrap();
+    let plan = AStarPlanner::default().plan(&spec).unwrap().plan;
+    let mut shipped = parsed;
+    attach_plan(&mut shipped, &spec, &plan);
+    assert_eq!(shipped.phases.len(), plan.num_phases());
+    let final_doc = Npd::from_json(&shipped.to_json_pretty().unwrap()).unwrap();
+    assert_eq!(final_doc.phases, shipped.phases);
+}
+
+#[test]
+fn residual_specs_are_well_formed_mid_migration() {
+    let (spec, plan) = plan_and_spec(PresetId::A);
+    // Execute the first phase by hand, then replan the rest.
+    let phases = plan.phases();
+    let mut state = spec.initial.clone();
+    let mut v = klotski::core::CompactState::origin(spec.num_types());
+    for _ in &phases[0].blocks {
+        spec.apply_next(&mut state, &v, phases[0].kind);
+        v = v.advanced(phases[0].kind);
+    }
+    let residual = spec.residual(&v, state, spec.demands.clone());
+    assert_eq!(
+        residual.num_blocks(),
+        spec.num_blocks() - phases[0].blocks.len()
+    );
+    let rest = AStarPlanner::default().plan(&residual).unwrap();
+    klotski::core::plan::validate_plan(&residual, &rest.plan).unwrap();
+}

@@ -1,0 +1,136 @@
+//! Property-based integration tests over the planning stack.
+
+use klotski::core::migration::{MigrationBuilder, MigrationOptions};
+use klotski::core::plan::validate_plan;
+use klotski::core::planner::{AStarPlanner, DpPlanner, Planner};
+use klotski::core::{CompactState, CostModel};
+use klotski::routing::{evaluate, EcmpRouter, LoadMap};
+use klotski::topology::presets::{self, PresetId};
+use klotski::topology::NetState;
+use klotski::traffic::{generate, DemandGenConfig};
+use proptest::prelude::*;
+
+fn preset_a_spec(theta: f64, seed: u64) -> Option<klotski::core::migration::MigrationSpec> {
+    MigrationBuilder::hgrid_v1_to_v2(
+        &presets::build(PresetId::A),
+        &MigrationOptions {
+            theta,
+            demand_cfg: DemandGenConfig {
+                seed,
+                ..DemandGenConfig::default()
+            },
+            ..MigrationOptions::default()
+        },
+    )
+    .ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Whatever the θ/seed combination, if a spec builds then A* and DP
+    /// agree and both plans validate.
+    #[test]
+    fn prop_planners_agree_and_validate(
+        theta in 0.70f64..0.95,
+        seed in 0u64..500,
+    ) {
+        if let Some(spec) = preset_a_spec(theta, seed) {
+            let astar = AStarPlanner::default().plan(&spec);
+            let dp = DpPlanner::default().plan(&spec);
+            match (astar, dp) {
+                (Ok(a), Ok(d)) => {
+                    prop_assert!((a.cost - d.cost).abs() < 1e-9);
+                    prop_assert!(validate_plan(&spec, &a.plan).is_ok());
+                    prop_assert!(validate_plan(&spec, &d.plan).is_ok());
+                }
+                (Err(_), Err(_)) => {} // both infeasible is consistent
+                (a, d) => prop_assert!(
+                    false,
+                    "planners disagree on feasibility: A*={:?} DP={:?}",
+                    a.map(|o| o.cost),
+                    d.map(|o| o.cost)
+                ),
+            }
+        }
+    }
+
+    /// ECMP routing conserves flow: total per-circuit flow equals the sum
+    /// over demands of rate x path length, and never goes negative.
+    #[test]
+    fn prop_routing_flow_is_sane(seed in 0u64..1000) {
+        let preset = presets::build(PresetId::A);
+        let topo = &preset.topology;
+        let mut state = NetState::all_up(topo);
+        for s in preset.handles.hgrid_v2_switches() {
+            state.drain_switch(topo, s);
+        }
+        let demands = generate(topo, &DemandGenConfig { seed, ..DemandGenConfig::default() });
+        let mut router = EcmpRouter::new(topo);
+        let mut loads = LoadMap::new(topo);
+        let out = router.route(topo, &state, &demands, &mut loads);
+        prop_assert!(out.all_reachable());
+        prop_assert!(out.routed_gbps > 0.0);
+        prop_assert!(loads.total_flow() >= out.routed_gbps - 1e-6,
+            "every routed demand crosses at least one circuit");
+        for c in topo.circuits() {
+            prop_assert!(loads.max_direction(c.id) >= 0.0);
+            if !state.circuit_usable(topo, c.id) {
+                prop_assert!(loads.max_direction(c.id) == 0.0,
+                    "unusable circuits must carry nothing");
+            }
+        }
+    }
+
+    /// Scaling the demand matrix scales utilization linearly.
+    #[test]
+    fn prop_utilization_is_linear_in_demand(factor in 0.1f64..3.0) {
+        let preset = presets::build(PresetId::A);
+        let topo = &preset.topology;
+        let state = NetState::all_up(topo);
+        let demands = generate(topo, &DemandGenConfig::default());
+        let base = evaluate(topo, &state, &demands, 10.0).report.max_utilization;
+        let scaled = evaluate(topo, &state, &demands.scaled(factor), 10.0)
+            .report
+            .max_utilization;
+        prop_assert!((scaled - base * factor).abs() < 1e-6 * factor.max(1.0));
+    }
+
+    /// Plan cost under the sequence model always lies between the phase
+    /// count (alpha = 0) and the step count (alpha = 1).
+    #[test]
+    fn prop_cost_bounds(alpha in 0.0f64..=1.0) {
+        let spec = preset_a_spec(0.75, 7).unwrap();
+        let outcome = AStarPlanner::with_alpha(alpha).plan(&spec).unwrap();
+        let phases = outcome.plan.num_phases() as f64;
+        let steps = outcome.plan.num_steps() as f64;
+        let model = CostModel::new(alpha);
+        let cost = outcome.plan.cost(&model);
+        prop_assert!(cost >= phases - 1e-9);
+        prop_assert!(cost <= steps + 1e-9);
+        prop_assert!((cost - outcome.cost).abs() < 1e-9);
+    }
+
+    /// The compact representation is a faithful quotient: replaying any
+    /// prefix multiset of actions lands on the same activation state
+    /// regardless of interleaving.
+    #[test]
+    fn prop_states_depend_only_on_counts(
+        interleaving in proptest::collection::vec(prop::bool::ANY, 9),
+    ) {
+        let spec = preset_a_spec(0.75, 7).unwrap();
+        // Derive an action order from the interleaving bits, bounded by the
+        // per-type supply.
+        let target = spec.target_counts.clone();
+        let mut v = CompactState::origin(spec.num_types());
+        let mut state = spec.initial.clone();
+        for &bit in &interleaving {
+            let a = klotski::core::ActionTypeId(u8::from(bit));
+            if v.count(a) < target.count(a) {
+                spec.apply_next(&mut state, &v, a);
+                v = v.advanced(a);
+            }
+        }
+        prop_assert_eq!(spec.state_for(&v), state);
+    }
+}
