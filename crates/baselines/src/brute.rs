@@ -18,21 +18,12 @@ use klotski_topology::NetState;
 use std::time::Instant;
 
 /// Exhaustive DFS planner (test oracle).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct BruteForcePlanner {
     /// Cost model.
     pub cost: CostModel,
     /// Budget; DFS aborts when exceeded.
     pub budget: SearchBudget,
-}
-
-impl Default for BruteForcePlanner {
-    fn default() -> Self {
-        Self {
-            cost: CostModel::default(),
-            budget: SearchBudget::default(),
-        }
-    }
 }
 
 struct Dfs<'a> {

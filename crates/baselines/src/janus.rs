@@ -26,21 +26,12 @@ use klotski_routing::{EcmpRouter, LoadMap};
 use std::time::Instant;
 
 /// Janus-style exhaustive symmetry planner.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct JanusPlanner {
     /// Cost model.
     pub cost: CostModel,
     /// Budget (shared with the embedded exhaustive sweep).
     pub budget: SearchBudget,
-}
-
-impl Default for JanusPlanner {
-    fn default() -> Self {
-        Self {
-            cost: CostModel::default(),
-            budget: SearchBudget::default(),
-        }
-    }
 }
 
 impl Planner for JanusPlanner {
@@ -77,7 +68,13 @@ impl Planner for JanusPlanner {
                     let mut pair = first.clone();
                     let vb = CompactState::from_counts(
                         (0..spec.num_types() as u8)
-                            .map(|t| if t == b.0 { idx } else { va.count(klotski_core::ActionTypeId(t)) })
+                            .map(|t| {
+                                if t == b.0 {
+                                    idx
+                                } else {
+                                    va.count(klotski_core::ActionTypeId(t))
+                                }
+                            })
                             .collect(),
                     );
                     // Apply block `idx` of type b directly.
@@ -100,10 +97,7 @@ impl Planner for JanusPlanner {
         // --- Exhaustive sweep of the pruned space with full-topology
         // hashing (the DP recurrence visits every state, which is exactly
         // Janus's traversal behaviour).
-        let remaining_budget = self
-            .budget
-            .time_limit
-            .saturating_sub(start.elapsed());
+        let remaining_budget = self.budget.time_limit.saturating_sub(start.elapsed());
         let sweep = DpPlanner {
             cost: self.cost,
             esc: EscMode::FullTopology,

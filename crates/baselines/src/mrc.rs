@@ -19,21 +19,12 @@ use klotski_routing::{evaluate_policy, EcmpRouter, LoadMap};
 use std::time::Instant;
 
 /// Greedy maximize-minimum-residual-capacity planner.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct MrcPlanner {
     /// Cost model used only to *price* the resulting plan.
     pub cost: CostModel,
     /// Step/time budget.
     pub budget: SearchBudget,
-}
-
-impl Default for MrcPlanner {
-    fn default() -> Self {
-        Self {
-            cost: CostModel::default(),
-            budget: SearchBudget::default(),
-        }
-    }
 }
 
 impl Planner for MrcPlanner {

@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig08_scalability");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     for id in [PresetId::A, PresetId::B, PresetId::C] {
         let spec = spec_for(id, &MigrationOptions::default());
         for kind in PlannerKind::COMPARISON {

@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig09_generality");
-    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
     for id in [PresetId::E, PresetId::EDmag, PresetId::ESsw] {
         let spec = spec_for(id, &MigrationOptions::default());
         for kind in [PlannerKind::KlotskiAStar, PlannerKind::KlotskiDp] {

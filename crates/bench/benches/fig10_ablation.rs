@@ -8,13 +8,19 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10_ablation");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     let id = PresetId::B;
     let opts = MigrationOptions::default();
     let spec = spec_for(id, &opts);
     let fine = spec_without_ob(id, &opts).expect("w/o OB spec");
     for kind in PlannerKind::ABLATION {
-        let target = if kind == PlannerKind::WithoutOb { &fine } else { &spec };
+        let target = if kind == PlannerKind::WithoutOb {
+            &fine
+        } else {
+            &spec
+        };
         group.bench_function(format!("{}/{}", kind.label(), id), |b| {
             b.iter(|| run_planner(kind, target, 0.0).cost)
         });

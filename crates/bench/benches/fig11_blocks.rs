@@ -8,7 +8,9 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig11_blocks");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     for scale in [0.5, 1.0, 2.0] {
         let opts = MigrationOptions {
             block_scale: scale,

@@ -8,7 +8,9 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig13_alpha");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     let spec = spec_for(PresetId::B, &MigrationOptions::default());
     for alpha in [0.0, 0.5, 1.0] {
         for kind in [PlannerKind::KlotskiAStar, PlannerKind::KlotskiDp] {

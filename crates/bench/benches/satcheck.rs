@@ -2,29 +2,32 @@
 //! avoids (§4.2), across cache modes.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use klotski_bench::parallel::sample_batch;
 use klotski_bench::runner::spec_for;
 use klotski_core::migration::MigrationOptions;
 use klotski_core::satcheck::{EscMode, SatChecker};
 use klotski_core::CompactState;
+use klotski_parallel::default_lanes;
 use klotski_topology::presets::PresetId;
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("satcheck");
-    group.sample_size(20).measurement_time(Duration::from_secs(6));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(6));
     for id in [PresetId::B, PresetId::C, PresetId::E] {
         let spec = spec_for(id, &MigrationOptions::default());
-        let v = CompactState::from_counts(
-            spec.target_counts
-                .counts()
-                .iter()
-                .map(|&c| c / 2)
-                .collect(),
-        );
+        let v =
+            CompactState::from_counts(spec.target_counts.counts().iter().map(|&c| c / 2).collect());
         let state = spec.state_for(&v);
 
         group.bench_function(format!("full-evaluation/{id}"), |b| {
-            let mut checker = SatChecker::new(&spec, EscMode::Off);
+            let mut checker = SatChecker::with_threads(&spec, EscMode::Off, 1);
+            b.iter(|| checker.check(&spec, &v, &state, None))
+        });
+        group.bench_function(format!("full-evaluation-parallel/{id}"), |b| {
+            let mut checker = SatChecker::with_threads(&spec, EscMode::Off, default_lanes());
             b.iter(|| checker.check(&spec, &v, &state, None))
         });
         group.bench_function(format!("compact-cache-hit/{id}"), |b| {
@@ -37,6 +40,17 @@ fn bench(c: &mut Criterion) {
             checker.check(&spec, &v, &state, None); // warm
             b.iter(|| checker.check(&spec, &v, &state, None))
         });
+
+        // Batched checking (the planner-expansion shape): sequential lanes
+        // vs the machine's available parallelism.
+        let states = sample_batch(&spec, 16);
+        let items: Vec<_> = states.iter().map(|(v, s)| (v, s, None)).collect();
+        for threads in [1, default_lanes()] {
+            group.bench_function(format!("batch16-{threads}t/{id}"), |b| {
+                let mut checker = SatChecker::with_threads(&spec, EscMode::Off, threads);
+                b.iter(|| checker.check_batch(&spec, &items))
+            });
+        }
     }
     group.finish();
 }

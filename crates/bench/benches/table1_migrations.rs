@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_migrations");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     for id in [PresetId::C, PresetId::EDmag, PresetId::ESsw] {
         let preset = presets::build_for_bench(id);
         group.bench_function(format!("spec/{id}"), |b| {

@@ -10,9 +10,12 @@
 //! - `KLOTSKI_FULL_SCALE=1` — build D/E at full paper scale (slow);
 //! - `KLOTSKI_BENCH_TIMEOUT_SECS` — per-planner cap (default 120).
 
-use klotski_bench::experiments;
+use klotski_bench::{experiments, parallel};
 
-const EXPERIMENTS: [(&str, fn() -> String); 8] = [
+/// A named experiment: label plus the function rendering its output.
+type Experiment = (&'static str, fn() -> String);
+
+const EXPERIMENTS: [Experiment; 9] = [
     ("table1", experiments::table1),
     ("table3", experiments::table3),
     ("fig8", experiments::fig8),
@@ -21,11 +24,12 @@ const EXPERIMENTS: [(&str, fn() -> String); 8] = [
     ("fig11", experiments::fig11),
     ("fig12", experiments::fig12),
     ("fig13", experiments::fig13),
+    ("parallel", parallel::parallel),
 ];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let selected: Vec<&(&str, fn() -> String)> = if args.is_empty() || args[0] == "all" {
+    let selected: Vec<&Experiment> = if args.is_empty() || args[0] == "all" {
         EXPERIMENTS.iter().collect()
     } else {
         let mut picked = Vec::new();
@@ -52,6 +56,9 @@ fn main() {
         let start = std::time::Instant::now();
         let output = run();
         println!("{output}");
-        println!("[{name} completed in {:.1}s]\n", start.elapsed().as_secs_f64());
+        println!(
+            "[{name} completed in {:.1}s]\n",
+            start.elapsed().as_secs_f64()
+        );
     }
 }

@@ -61,7 +61,11 @@ fn comparison_table(rows: &[(String, Vec<RunResult>)]) -> String {
                 (Some(c), _) => format!("{c:.1}"),
                 (None, _) => "✗".into(),
             });
-            time_row.push(if r.ok() { ratio(r.time, base) } else { "✗".into() });
+            time_row.push(if r.ok() {
+                ratio(r.time, base)
+            } else {
+                "✗".into()
+            });
         }
         cost.row(cost_row);
         time.row(time_row);
@@ -81,7 +85,10 @@ pub fn fig8() -> String {
         let spec = spec_for(id, &MigrationOptions::default());
         rows.push((id.to_string(), run_matrix(&spec, &PlannerKind::COMPARISON)));
     }
-    format!("== Figure 8: scalability over topologies A-E ==\n{}", comparison_table(&rows))
+    format!(
+        "== Figure 8: scalability over topologies A-E ==\n{}",
+        comparison_table(&rows)
+    )
 }
 
 /// Figure 9: generality — the four planners across migration types
@@ -92,7 +99,10 @@ pub fn fig9() -> String {
         let spec = spec_for(id, &MigrationOptions::default());
         rows.push((id.to_string(), run_matrix(&spec, &PlannerKind::COMPARISON)));
     }
-    format!("== Figure 9: generality over migration types ==\n{}", comparison_table(&rows))
+    format!(
+        "== Figure 9: generality over migration types ==\n{}",
+        comparison_table(&rows)
+    )
 }
 
 /// Figure 10: design ablations — Klotski-A\* against w/o OB, w/o A\*, and
@@ -143,11 +153,13 @@ pub fn fig10() -> String {
             })),
         );
         time.row(
-            std::iter::once(id.to_string()).chain(
-                results
-                    .iter()
-                    .map(|r| if r.ok() { ratio(r.time, base) } else { "✗".into() }),
-            ),
+            std::iter::once(id.to_string()).chain(results.iter().map(|r| {
+                if r.ok() {
+                    ratio(r.time, base)
+                } else {
+                    "✗".into()
+                }
+            })),
         );
     }
     format!(
@@ -160,7 +172,9 @@ pub fn fig10() -> String {
 /// Figure 11: operation-block granularity sweep (0.25×–4× the default
 /// policy) on topology E.
 pub fn fig11() -> String {
-    let mut t = Table::new(["# blocks", "blocks", "min cost", "A* time", "DP time", "DP/A*"]);
+    let mut t = Table::new([
+        "# blocks", "blocks", "min cost", "A* time", "DP time", "DP/A*",
+    ]);
     for scale in [0.25, 0.5, 1.0, 2.0, 4.0] {
         let opts = MigrationOptions {
             block_scale: scale,
@@ -186,7 +200,10 @@ pub fn fig11() -> String {
             },
         ]);
     }
-    format!("== Figure 11: impact of operation blocks (topology E) ==\n{}", t.render())
+    format!(
+        "== Figure 11: impact of operation blocks (topology E) ==\n{}",
+        t.render()
+    )
 }
 
 /// Figure 12: utilization-rate-bound sweep θ ∈ {55..95}% on topology E,
@@ -209,7 +226,10 @@ pub fn fig12() -> String {
             ratio(dp.time, astar.time),
         ]);
     }
-    format!("== Figure 12: impact of utilization rate bound (topology E) ==\n{}", t.render())
+    format!(
+        "== Figure 12: impact of utilization rate bound (topology E) ==\n{}",
+        t.render()
+    )
 }
 
 /// Figure 13: cost-function sweep α ∈ [0, 1] on topology E.
@@ -227,7 +247,10 @@ pub fn fig13() -> String {
             ratio(dp.time, astar.time),
         ]);
     }
-    format!("== Figure 13: impact of the cost function (topology E) ==\n{}", t.render())
+    format!(
+        "== Figure 13: impact of the cost function (topology E) ==\n{}",
+        t.render()
+    )
 }
 
 /// Physical-duration model for Table 1: days per switch-level operation by
@@ -261,9 +284,21 @@ pub fn table1() -> String {
         "paper",
     ]);
     let cases = [
-        (PresetId::E, "HGRID", "320-352 sw, 13.7k-26.8k ckt, 1.3-6.3T, 4-9 months"),
-        (PresetId::ESsw, "SSW Forklift", "144-288 sw, 14.1k-40.3k ckt, 14-16T, 3-4 months"),
-        (PresetId::EDmag, "DMAG", "48-64 sw, 1.6k-5.6k ckt, 0.2-0.5T, 1-2 weeks"),
+        (
+            PresetId::E,
+            "HGRID",
+            "320-352 sw, 13.7k-26.8k ckt, 1.3-6.3T, 4-9 months",
+        ),
+        (
+            PresetId::ESsw,
+            "SSW Forklift",
+            "144-288 sw, 14.1k-40.3k ckt, 14-16T, 3-4 months",
+        ),
+        (
+            PresetId::EDmag,
+            "DMAG",
+            "48-64 sw, 1.6k-5.6k ckt, 0.2-0.5T, 1-2 weeks",
+        ),
     ];
     for (id, label, paper) in cases {
         let spec = spec_for(id, &MigrationOptions::default());
@@ -291,10 +326,7 @@ pub fn table1() -> String {
             }
         }
         let astar = run_planner(PlannerKind::KlotskiAStar, &spec, 0.0);
-        let phases = astar
-            .cost
-            .map(|c| c as usize)
-            .unwrap_or(spec.num_blocks());
+        let phases = astar.cost.map(|c| c as usize).unwrap_or(spec.num_blocks());
         let days = duration_days(&spec, phases);
         t.row([
             label.to_string(),
@@ -314,7 +346,9 @@ pub fn table1() -> String {
 
 /// Table 3: configurations of the evaluation topologies.
 pub fn table3() -> String {
-    let mut t = Table::new(["topology", "switches", "circuits", "actions", "blocks", "types"]);
+    let mut t = Table::new([
+        "topology", "switches", "circuits", "actions", "blocks", "types",
+    ]);
     for id in PresetId::ALL {
         let preset = presets::build_for_bench(id);
         let spec = spec_for(id, &MigrationOptions::default());
@@ -322,7 +356,12 @@ pub fn table3() -> String {
         // network: exclude not-yet-installed hardware.
         let absent = preset.handles.hgrid_v2_switches().len()
             + preset.handles.ssw_v2_switches().len()
-            + preset.handles.ma.as_ref().map(|m| m.all_mas().len()).unwrap_or(0);
+            + preset
+                .handles
+                .ma
+                .as_ref()
+                .map(|m| m.all_mas().len())
+                .unwrap_or(0);
         t.row([
             id.to_string(),
             (preset.topology.num_switches() - absent).to_string(),
@@ -337,7 +376,10 @@ pub fn table3() -> String {
     } else {
         "bench scale for D/E (set KLOTSKI_FULL_SCALE=1 for paper scale)"
     };
-    format!("== Table 3: topology configurations ({scale_note}) ==\n{}", t.render())
+    format!(
+        "== Table 3: topology configurations ({scale_note}) ==\n{}",
+        t.render()
+    )
 }
 
 #[cfg(test)]

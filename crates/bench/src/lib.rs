@@ -17,6 +17,7 @@
 //! identical at both scales.
 
 pub mod experiments;
+pub mod parallel;
 pub mod runner;
 pub mod table;
 

@@ -1,0 +1,182 @@
+//! Parallel-satcheck throughput measurement: sequential (1 thread) vs the
+//! machine's available parallelism, per preset, on uncached full
+//! evaluations. The `report` binary's `parallel` experiment renders a
+//! table and writes the raw numbers to `BENCH_parallel.json`.
+
+use crate::table::Table;
+use klotski_core::migration::{MigrationOptions, MigrationSpec};
+use klotski_core::satcheck::{EscMode, SatChecker};
+use klotski_core::{ActionTypeId, CompactState};
+use klotski_parallel::default_lanes;
+use klotski_topology::presets::PresetId;
+use klotski_topology::NetState;
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+/// One preset's measurement in `BENCH_parallel.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ParallelRow {
+    /// Preset id (B/C/E).
+    pub preset: String,
+    /// States per batch (the planner-expansion shape).
+    pub batch: usize,
+    /// Lanes used by the parallel run.
+    pub threads: usize,
+    /// Full evaluations per second, single-threaded.
+    pub seq_checks_per_sec: f64,
+    /// Full evaluations per second at `threads` lanes.
+    pub par_checks_per_sec: f64,
+    /// `par / seq`.
+    pub speedup: f64,
+}
+
+/// The JSON document written to `BENCH_parallel.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ParallelReport {
+    /// `available_parallelism()` on the measuring machine.
+    pub available_parallelism: usize,
+    pub rows: Vec<ParallelRow>,
+}
+
+/// Distinct progress states spread along a deterministic walk through the
+/// target box — the batch shape planner expansions produce.
+pub fn sample_batch(spec: &MigrationSpec, n: usize) -> Vec<(CompactState, NetState)> {
+    let target = &spec.target_counts;
+    let num_types = spec.num_types();
+    let mut out = Vec::with_capacity(n);
+    let mut v = CompactState::origin(num_types);
+    let mut seen = std::collections::HashSet::new();
+    let total = target.total().max(1);
+    let mut step = 0usize;
+    while out.len() < n && v.total() < total {
+        // Round-robin over types, skipping exhausted ones.
+        let mut advanced = false;
+        for k in 0..num_types {
+            let a = ActionTypeId(((step + k) % num_types) as u8);
+            if v.count(a) < target.count(a) {
+                v = v.advanced(a);
+                advanced = true;
+                break;
+            }
+        }
+        step += 1;
+        if !advanced {
+            break;
+        }
+        if seen.insert(v.counts().to_vec()) {
+            let state = spec.state_for(&v);
+            out.push((v.clone(), state));
+        }
+    }
+    out
+}
+
+/// Measures `check_batch` throughput (full evaluations per second, cache
+/// off) at a given lane count, iterating until `min_time` has elapsed.
+fn throughput(
+    spec: &MigrationSpec,
+    states: &[(CompactState, NetState)],
+    threads: usize,
+    min_time: Duration,
+) -> f64 {
+    let items: Vec<(&CompactState, &NetState, Option<ActionTypeId>)> =
+        states.iter().map(|(v, s)| (v, s, None)).collect();
+    let mut checker = SatChecker::with_threads(spec, EscMode::Off, threads);
+    checker.check_batch(spec, &items); // warm-up: allocate lane scratch
+    let start = Instant::now();
+    let mut checks = 0usize;
+    while start.elapsed() < min_time {
+        checker.check_batch(spec, &items);
+        checks += items.len();
+    }
+    checks as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Runs the seq-vs-parallel sweep and builds the JSON report.
+pub fn measure(min_time: Duration) -> ParallelReport {
+    let threads = default_lanes();
+    let batch = 16;
+    let mut rows = Vec::new();
+    for id in [PresetId::B, PresetId::C, PresetId::E] {
+        let spec = crate::runner::spec_for(id, &MigrationOptions::default());
+        let states = sample_batch(&spec, batch);
+        let seq = throughput(&spec, &states, 1, min_time);
+        let par = throughput(&spec, &states, threads, min_time);
+        rows.push(ParallelRow {
+            preset: id.to_string(),
+            batch: states.len(),
+            threads,
+            seq_checks_per_sec: seq,
+            par_checks_per_sec: par,
+            speedup: par / seq,
+        });
+    }
+    ParallelReport {
+        available_parallelism: threads,
+        rows,
+    }
+}
+
+/// The `parallel` experiment: renders the sweep as a table and writes
+/// `BENCH_parallel.json` next to the working directory.
+pub fn parallel() -> String {
+    let report = measure(Duration::from_secs(2));
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    let path = "BENCH_parallel.json";
+    let note = match std::fs::write(path, &json) {
+        Ok(()) => format!("wrote {path}"),
+        Err(e) => format!("could not write {path}: {e}"),
+    };
+    let mut t = Table::new([
+        "preset",
+        "batch",
+        "threads",
+        "seq checks/s",
+        "par checks/s",
+        "speedup",
+    ]);
+    for r in &report.rows {
+        t.row([
+            r.preset.clone(),
+            r.batch.to_string(),
+            r.threads.to_string(),
+            format!("{:.1}", r.seq_checks_per_sec),
+            format!("{:.1}", r.par_checks_per_sec),
+            format!("{:.2}x", r.speedup),
+        ]);
+    }
+    format!(
+        "== Parallel satcheck throughput ({} lanes available) ==\n{}\n[{note}]",
+        report.available_parallelism,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_batch_yields_distinct_in_box_states() {
+        let spec = crate::runner::spec_for(PresetId::A, &MigrationOptions::default());
+        let states = sample_batch(&spec, 8);
+        assert!(!states.is_empty());
+        let mut seen = std::collections::HashSet::new();
+        for (v, _) in &states {
+            assert!(v.within(&spec.target_counts));
+            assert!(seen.insert(v.counts().to_vec()), "duplicate {v}");
+        }
+    }
+
+    #[test]
+    fn measure_produces_finite_rates() {
+        // Millisecond budget: correctness of the plumbing, not the numbers.
+        let report = measure(Duration::from_millis(10));
+        assert_eq!(report.rows.len(), 3);
+        for r in &report.rows {
+            assert!(r.seq_checks_per_sec.is_finite() && r.seq_checks_per_sec > 0.0);
+            assert!(r.par_checks_per_sec.is_finite() && r.par_checks_per_sec > 0.0);
+            assert!(r.speedup.is_finite() && r.speedup > 0.0);
+        }
+    }
+}

@@ -189,7 +189,11 @@ mod tests {
         assert_eq!(t.kind(id), k);
         assert_eq!(t.id_of(k), Some(id));
         assert_eq!(
-            t.id_of(ActionKind::new(BlockClass::Ma, Generation::V1, OpType::Undrain)),
+            t.id_of(ActionKind::new(
+                BlockClass::Ma,
+                Generation::V1,
+                OpType::Undrain
+            )),
             None
         );
     }
@@ -206,8 +210,16 @@ mod tests {
     #[test]
     fn kinds_with_different_generation_are_distinct() {
         let mut t = ActionTable::new();
-        let v1 = t.intern(ActionKind::new(BlockClass::Ssw, Generation::V1, OpType::Drain));
-        let v2 = t.intern(ActionKind::new(BlockClass::Ssw, Generation::V2, OpType::Drain));
+        let v1 = t.intern(ActionKind::new(
+            BlockClass::Ssw,
+            Generation::V1,
+            OpType::Drain,
+        ));
+        let v2 = t.intern(ActionKind::new(
+            BlockClass::Ssw,
+            Generation::V2,
+            OpType::Drain,
+        ));
         assert_ne!(v1, v2);
     }
 

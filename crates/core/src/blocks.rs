@@ -107,7 +107,10 @@ pub fn symmetry_blocks(topo: &Topology, candidates: &[SwitchId]) -> Vec<Vec<Swit
         }
         groups.entry(key).or_default().push(s);
     }
-    order.into_iter().map(|k| groups.remove(&k).unwrap()).collect()
+    order
+        .into_iter()
+        .map(|k| groups.remove(&k).unwrap())
+        .collect()
 }
 
 /// Splits `items` into `parts` contiguous chunks as evenly as possible

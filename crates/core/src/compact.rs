@@ -82,10 +82,7 @@ impl CompactState {
     /// Componentwise `<=` against the target (sanity invariant: the search
     /// never overshoots a type's block supply).
     pub fn within(&self, target: &CompactState) -> bool {
-        self.counts
-            .iter()
-            .zip(&target.counts)
-            .all(|(a, b)| a <= b)
+        self.counts.iter().zip(&target.counts).all(|(a, b)| a <= b)
     }
 
     /// Per-type remaining counts against a target.

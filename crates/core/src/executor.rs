@@ -124,8 +124,9 @@ pub fn execute(
         while rng.random_range(0.0..1.0) < cfg.failure_prob {
             attempts += 1;
             if attempts > cfg.max_retries {
-                report.abort_reason =
-                    Some(format!("phase {phase_counter}: push failed after {attempts} attempts"));
+                report.abort_reason = Some(format!(
+                    "phase {phase_counter}: push failed after {attempts} attempts"
+                ));
                 return report;
             }
         }
@@ -172,7 +173,8 @@ pub fn execute(
         // --- Replanning loop (§7.1): if the remaining plan's next state
         // would be unsafe under realized demand, re-run the planner on the
         // residual migration.
-        if !pending.is_empty() && !plan_still_safe(&active_spec, &state, &progress, &pending, &realized)
+        if !pending.is_empty()
+            && !plan_still_safe(&active_spec, &state, &progress, &pending, &realized)
         {
             if !cfg.replan_on_violation {
                 report.abort_reason = Some(format!(
@@ -280,7 +282,12 @@ mod tests {
     #[test]
     fn clean_execution_completes() {
         let (spec, plan) = plan_and_spec();
-        let report = execute(&spec, &plan, &AStarPlanner::default(), &ExecutorConfig::default());
+        let report = execute(
+            &spec,
+            &plan,
+            &AStarPlanner::default(),
+            &ExecutorConfig::default(),
+        );
         assert!(report.completed, "{:?}", report.abort_reason);
         assert_eq!(report.replans, 0);
         assert!(report.phases.iter().all(|p| p.safe));
@@ -355,7 +362,12 @@ mod tests {
     #[test]
     fn report_serializes() {
         let (spec, plan) = plan_and_spec();
-        let report = execute(&spec, &plan, &AStarPlanner::default(), &ExecutorConfig::default());
+        let report = execute(
+            &spec,
+            &plan,
+            &AStarPlanner::default(),
+            &ExecutorConfig::default(),
+        );
         let json = serde_json::to_string(&report).unwrap();
         let back: ExecutionReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.completed, report.completed);

@@ -22,7 +22,9 @@ use crate::blocks::{merge_groups, split_even, BlockId, OperationBlock};
 use crate::compact::CompactState;
 use crate::error::PlanError;
 use crate::space::SpaceModel;
-use klotski_routing::{evaluate_policy, scale_to_target_utilization_on, FunnelingModel, SplitPolicy};
+use klotski_routing::{
+    evaluate_policy, scale_to_target_utilization_on, FunnelingModel, SplitPolicy,
+};
 use klotski_topology::{
     presets::Preset, CircuitId, Generation, NetState, SwitchId, SwitchRole, Topology,
 };
@@ -107,6 +109,11 @@ pub struct MigrationOptions {
     /// Applies to in-place swaps (HGRID, SSW forklift); layer insertions
     /// (DMAG) get their own racks and carry no space model.
     pub space_headroom: f64,
+    /// Execution lanes for parallel satisfiability evaluation. Defaults to
+    /// the machine's available parallelism; `1` reproduces the sequential
+    /// checker exactly (results are bit-identical at every thread count —
+    /// only wall-clock differs).
+    pub threads: usize,
 }
 
 impl Default for MigrationOptions {
@@ -124,6 +131,7 @@ impl Default for MigrationOptions {
             split: None,
             normalize_capacity: true,
             space_headroom: 0.2,
+            threads: klotski_parallel::default_lanes(),
         }
     }
 }
@@ -160,6 +168,8 @@ pub struct MigrationSpec {
     pub space: Option<SpaceModel>,
     /// Flow-split policy the constraints are evaluated under.
     pub split: SplitPolicy,
+    /// Execution lanes for parallel satisfiability evaluation (≥ 1).
+    pub threads: usize,
 }
 
 impl MigrationSpec {
@@ -249,9 +259,8 @@ impl MigrationSpec {
         for b in &blocks {
             blocks_by_type[b.kind.index()].push(b.id);
         }
-        let target_counts = CompactState::from_counts(
-            blocks_by_type.iter().map(|v| v.len() as u16).collect(),
-        );
+        let target_counts =
+            CompactState::from_counts(blocks_by_type.iter().map(|v| v.len() as u16).collect());
         MigrationSpec {
             name: format!("{}/residual@{}", self.name, progress),
             migration_type: self.migration_type,
@@ -267,14 +276,20 @@ impl MigrationSpec {
             check_ports: self.check_ports,
             space: self.space.as_ref().map(|m| m.residual(progress)),
             split: self.split,
+            threads: self.threads,
         }
     }
 
     /// Validates that the instance is well-posed: the initial and target
     /// worlds must satisfy the constraints.
     pub fn validate(&self) -> Result<(), PlanError> {
-        let initial =
-            evaluate_policy(&self.topology, &self.initial, &self.demands, self.theta, self.split);
+        let initial = evaluate_policy(
+            &self.topology,
+            &self.initial,
+            &self.demands,
+            self.theta,
+            self.split,
+        );
         if !initial.satisfied() {
             return Err(PlanError::InitialInfeasible(format!(
                 "{} unreachable, max util {:.3}",
@@ -311,7 +326,10 @@ pub struct MigrationBuilder;
 impl MigrationBuilder {
     /// Dispatches on the preset's union contents: DMAG if an MA layer is
     /// embedded, SSW forklift if v2 SSWs are embedded, HGRID otherwise.
-    pub fn for_preset(preset: &Preset, opts: &MigrationOptions) -> Result<MigrationSpec, PlanError> {
+    pub fn for_preset(
+        preset: &Preset,
+        opts: &MigrationOptions,
+    ) -> Result<MigrationSpec, PlanError> {
         if preset.handles.ma.is_some() {
             Self::dmag(preset, opts)
         } else if !preset.handles.ssw_v2_switches().is_empty() {
@@ -339,30 +357,34 @@ impl MigrationBuilder {
         // strided slice of the grid's FADUs and FAUUs. A horizontal split
         // (all FADUs in one sub-block, all FAUUs in another) would create
         // capacity-dead intermediate blocks and deadlock the search.
-        let grid_slices = |fadus: &[Vec<SwitchId>], fauus: &[Vec<SwitchId>]| -> Vec<Vec<SwitchId>> {
-            let parts = if opts.block_scale > 1.0 {
-                opts.block_scale.round() as usize
-            } else {
-                1
-            };
-            let mut groups = Vec::new();
-            for (gf, gu) in fadus.iter().zip(fauus) {
-                for part in 0..parts {
-                    let mut slice: Vec<SwitchId> =
-                        gf.iter().skip(part).step_by(parts).copied().collect();
-                    slice.extend(gu.iter().skip(part).step_by(parts).copied());
-                    if !slice.is_empty() {
-                        groups.push(slice);
+        let grid_slices =
+            |fadus: &[Vec<SwitchId>], fauus: &[Vec<SwitchId>]| -> Vec<Vec<SwitchId>> {
+                let parts = if opts.block_scale > 1.0 {
+                    opts.block_scale.round() as usize
+                } else {
+                    1
+                };
+                let mut groups = Vec::new();
+                for (gf, gu) in fadus.iter().zip(fauus) {
+                    for part in 0..parts {
+                        let mut slice: Vec<SwitchId> =
+                            gf.iter().skip(part).step_by(parts).copied().collect();
+                        slice.extend(gu.iter().skip(part).step_by(parts).copied());
+                        if !slice.is_empty() {
+                            groups.push(slice);
+                        }
                     }
                 }
-            }
-            if opts.block_scale < 1.0 {
-                merge_groups(&groups, (1.0 / opts.block_scale).round() as usize)
-            } else {
-                groups
-            }
-        };
-        let v1_groups = grid_slices(&preset.handles.hgrid_v1.fadus, &preset.handles.hgrid_v1.fauus);
+                if opts.block_scale < 1.0 {
+                    merge_groups(&groups, (1.0 / opts.block_scale).round() as usize)
+                } else {
+                    groups
+                }
+            };
+        let v1_groups = grid_slices(
+            &preset.handles.hgrid_v1.fadus,
+            &preset.handles.hgrid_v1.fauus,
+        );
         let v2_groups = grid_slices(&h2.fadus, &h2.fauus);
 
         let mut actions = ActionTable::new();
@@ -626,6 +648,7 @@ fn in_place_space_model(
 
 /// Shared tail of every builder: initial state, demand calibration, canonical
 /// per-type ordering, and well-posedness validation.
+#[allow(clippy::too_many_arguments)]
 fn finish_spec(
     preset: &Preset,
     migration_type: MigrationType,
@@ -741,7 +764,7 @@ fn finish_spec(
             .filter(|b| actions.kind(b.kind).op == OpType::Undrain)
             .count()
             .max(1);
-        for idx in 0..owned_topology.num_circuits() {
+        for (idx, &affected) in affected_circuit.iter().enumerate() {
             let c = CircuitId::from_index(idx);
             // The old generation's circuits (affected and live from the
             // start) keep their generator capacity: their mid-migration
@@ -749,7 +772,7 @@ fn finish_spec(
             // normalized to their worst endpoint-state load; new-hardware
             // circuits (affected but initially absent) are design-sized for
             // the target load they were installed to carry.
-            if affected_circuit[idx] && initial.circuit_usable(&owned_topology, c) {
+            if affected && initial.circuit_usable(&owned_topology, c) {
                 // Old-generation circuits keep their capacity (their
                 // mid-migration stress is the object of study), but under
                 // WCMP they get a routing weight equal to their designed
@@ -762,8 +785,13 @@ fn finish_spec(
                 continue;
             }
             let load = factor * init_loads.max_direction(c).max(tgt_loads.max_direction(c));
-            let new_hardware = affected_circuit[idx];
-            let needed = load / if new_hardware { ceiling_new } else { ceiling_unaffected };
+            let new_hardware = affected;
+            let needed = load
+                / if new_hardware {
+                    ceiling_new
+                } else {
+                    ceiling_unaffected
+                };
             if new_hardware && split == SplitPolicy::Wcmp {
                 // Under WCMP the capacity IS the routing weight, so the new
                 // layer is sized to its designed (target-state) share, or it
@@ -844,6 +872,7 @@ fn finish_spec(
         check_ports: opts.check_ports,
         space,
         split,
+        threads: opts.threads.max(1),
     };
     spec.validate()?;
     Ok(spec)
@@ -1011,8 +1040,10 @@ mod tests {
         // otherwise the planning problem is trivial.
         let p = preset_a();
         let spec = MigrationBuilder::hgrid_v1_to_v2(&p, &MigrationOptions::default()).unwrap();
-        let drained_all_v1 =
-            spec.state_for(&CompactState::from_counts(vec![spec.target_counts.counts()[0], 0]));
+        let drained_all_v1 = spec.state_for(&CompactState::from_counts(vec![
+            spec.target_counts.counts()[0],
+            0,
+        ]));
         let out = evaluate_policy(
             &spec.topology,
             &drained_all_v1,

@@ -132,11 +132,8 @@ mod tests {
     use klotski_topology::presets::{self, PresetId};
 
     fn spec() -> MigrationSpec {
-        MigrationBuilder::hgrid_v1_to_v2(
-            &presets::build(PresetId::A),
-            &MigrationOptions::default(),
-        )
-        .unwrap()
+        MigrationBuilder::hgrid_v1_to_v2(&presets::build(PresetId::A), &MigrationOptions::default())
+            .unwrap()
     }
 
     #[test]

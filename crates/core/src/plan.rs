@@ -198,11 +198,8 @@ mod tests {
     use klotski_topology::presets::{self, PresetId};
 
     fn spec() -> MigrationSpec {
-        MigrationBuilder::hgrid_v1_to_v2(
-            &presets::build(PresetId::A),
-            &MigrationOptions::default(),
-        )
-        .unwrap()
+        MigrationBuilder::hgrid_v1_to_v2(&presets::build(PresetId::A), &MigrationOptions::default())
+            .unwrap()
     }
 
     /// Hand-built alternating plan: drain g0, undrain g0', drain g1, ...
@@ -230,10 +227,22 @@ mod tests {
     #[test]
     fn phases_group_consecutive_types() {
         let plan = MigrationPlan::new(vec![
-            PlanStep { kind: ActionTypeId(0), block: BlockId(0) },
-            PlanStep { kind: ActionTypeId(0), block: BlockId(1) },
-            PlanStep { kind: ActionTypeId(1), block: BlockId(2) },
-            PlanStep { kind: ActionTypeId(0), block: BlockId(3) },
+            PlanStep {
+                kind: ActionTypeId(0),
+                block: BlockId(0),
+            },
+            PlanStep {
+                kind: ActionTypeId(0),
+                block: BlockId(1),
+            },
+            PlanStep {
+                kind: ActionTypeId(1),
+                block: BlockId(2),
+            },
+            PlanStep {
+                kind: ActionTypeId(0),
+                block: BlockId(3),
+            },
         ]);
         let phases = plan.phases();
         assert_eq!(plan.num_phases(), 3);
@@ -284,10 +293,16 @@ mod tests {
         // Drain every v1 grid before any v2 undrain: violates theta.
         let mut steps = Vec::new();
         for &b in &spec.blocks_by_type[0] {
-            steps.push(PlanStep { kind: ActionTypeId(0), block: b });
+            steps.push(PlanStep {
+                kind: ActionTypeId(0),
+                block: b,
+            });
         }
         for &b in &spec.blocks_by_type[1] {
-            steps.push(PlanStep { kind: ActionTypeId(1), block: b });
+            steps.push(PlanStep {
+                kind: ActionTypeId(1),
+                block: b,
+            });
         }
         let plan = MigrationPlan::new(steps);
         assert!(matches!(

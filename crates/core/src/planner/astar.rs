@@ -18,6 +18,7 @@ use crate::migration::MigrationSpec;
 use crate::plan::{MigrationPlan, PlanStep};
 use crate::planner::{PlanOutcome, PlanStats, Planner, SearchBudget};
 use crate::satcheck::{EscMode, SatChecker};
+use klotski_topology::NetState;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 use std::time::Instant;
@@ -159,19 +160,29 @@ impl Planner for AStarPlanner {
                 });
             }
 
-            let last = (last_raw != NO_LAST).then(|| ActionTypeId(last_raw));
-            // Reconstruct this state's activation overlay once, then try
-            // every applicable action type.
+            let last = (last_raw != NO_LAST).then_some(ActionTypeId(last_raw));
+            // Reconstruct this state's activation overlay once, generate
+            // every applicable successor, then batch their satisfiability
+            // checks through the checker's worker pool. Verdicts come back
+            // in generation order, so the push sequence (and the plan) is
+            // identical to checking one by one.
             let state = spec.state_for(&v);
+            let mut cand: Vec<(ActionTypeId, CompactState, NetState)> = Vec::new();
             for a in spec.actions.ids() {
                 if v.count(a) >= target.count(a) {
                     continue;
                 }
                 let mut next_state = state.clone();
                 spec.apply_next(&mut next_state, &v, a);
-                let nv = v.advanced(a);
                 stats.states_generated += 1;
-                if !checker.check(spec, &nv, &next_state, Some(a)) {
+                cand.push((a, v.advanced(a), next_state));
+            }
+            let verdicts = {
+                let refs: Vec<_> = cand.iter().map(|(a, nv, ns)| (nv, ns, Some(*a))).collect();
+                checker.check_batch(spec, &refs)
+            };
+            for ((a, nv, _), ok) in cand.into_iter().zip(verdicts) {
+                if !ok {
                     continue;
                 }
                 let g = entry.g + self.cost.step_cost(last, a);
@@ -254,11 +265,8 @@ mod tests {
     use std::time::Duration;
 
     fn spec() -> MigrationSpec {
-        MigrationBuilder::hgrid_v1_to_v2(
-            &presets::build(PresetId::A),
-            &MigrationOptions::default(),
-        )
-        .unwrap()
+        MigrationBuilder::hgrid_v1_to_v2(&presets::build(PresetId::A), &MigrationOptions::default())
+            .unwrap()
     }
 
     #[test]
@@ -267,7 +275,10 @@ mod tests {
         let outcome = AStarPlanner::default().plan(&spec).unwrap();
         validate_plan(&spec, &outcome.plan).unwrap();
         assert_eq!(outcome.plan.num_steps(), spec.num_blocks());
-        assert!(outcome.cost >= 2.0, "at least one drain + one undrain phase");
+        assert!(
+            outcome.cost >= 2.0,
+            "at least one drain + one undrain phase"
+        );
         assert!((outcome.plan.cost(&CostModel::default()) - outcome.cost).abs() < 1e-9);
     }
 

@@ -80,8 +80,7 @@ impl Planner for DpPlanner {
         let slot = |dense: usize, a: usize| dense * num_types + a;
 
         // Enumerate the box grouped by ascending total (Algorithm 1 line 6).
-        let mut by_total: Vec<Vec<CompactState>> =
-            vec![Vec::new(); target.total() + 1];
+        let mut by_total: Vec<Vec<CompactState>> = vec![Vec::new(); target.total() + 1];
         enumerate_box(target, |v| by_total[v.total()].push(v));
 
         // The origin is implicit: f(origin, none) = 0. First-layer states
@@ -101,14 +100,25 @@ impl Planner for DpPlanner {
                 // can never appear in a sequence; skip their updates.
                 let state = spec.state_for(v);
                 let dense = v.dense_index(target);
-                for a in spec.actions.ids() {
-                    let Some(prev) = v.receded(a) else { continue };
-                    // IsAvailable is checked on the *reached* state V with
-                    // last action a (funneling keys on the arriving drain).
-                    if !checker.check(spec, v, &state, Some(a)) {
+                // IsAvailable is checked on the *reached* state V with last
+                // action a (funneling keys on the arriving drain). All
+                // arriving types are checked as one batch: without
+                // funneling they share a cache key and cost one evaluation.
+                let types: Vec<ActionTypeId> = spec
+                    .actions
+                    .ids()
+                    .filter(|a| v.receded(*a).is_some())
+                    .collect();
+                let verdicts = {
+                    let refs: Vec<_> = types.iter().map(|a| (v, &state, Some(*a))).collect();
+                    checker.check_batch(spec, &refs)
+                };
+                for (a, ok) in types.into_iter().zip(verdicts) {
+                    if !ok {
                         continue;
                     }
                     stats.states_generated += 1;
+                    let prev = v.receded(a).expect("filtered on receded");
                     let prev_dense = prev.dense_index(target);
                     let mut best = f64::INFINITY;
                     let mut best_prev = NO_LAST;
@@ -120,9 +130,7 @@ impl Planner for DpPlanner {
                             if !base.is_finite() {
                                 continue;
                             }
-                            let step = self
-                                .cost
-                                .step_cost(Some(ActionTypeId(a_star as u8)), a);
+                            let step = self.cost.step_cost(Some(ActionTypeId(a_star as u8)), a);
                             if base + step < best {
                                 best = base + step;
                                 best_prev = a_star as u8;
@@ -215,11 +223,8 @@ mod tests {
     use std::time::Duration;
 
     fn spec() -> MigrationSpec {
-        MigrationBuilder::hgrid_v1_to_v2(
-            &presets::build(PresetId::A),
-            &MigrationOptions::default(),
-        )
-        .unwrap()
+        MigrationBuilder::hgrid_v1_to_v2(&presets::build(PresetId::A), &MigrationOptions::default())
+            .unwrap()
     }
 
     #[test]

@@ -108,22 +108,23 @@ pub fn audit_plan(spec: &MigrationSpec, plan: &MigrationPlan) -> PlanAudit {
             spec.apply_next(&mut state, &v, phase.kind);
             v = v.advanced(phase.kind);
         }
-        let outcome = evaluate_with(&mut router, &mut loads, topo, &state, &spec.demands, spec.theta);
+        let outcome = evaluate_with(
+            &mut router,
+            &mut loads,
+            topo,
+            &state,
+            &spec.demands,
+            spec.theta,
+        );
         let worst_circuit = outcome.report.worst_circuit.map(|c| {
             let ck = topo.circuit(c);
-            format!(
-                "{} <-> {}",
-                topo.switch(ck.a).name,
-                topo.switch(ck.b).name
-            )
+            format!("{} <-> {}", topo.switch(ck.a).name, topo.switch(ck.b).name)
         });
         let min_port_slack = topo
             .switches()
             .iter()
             .filter(|s| state.switch_up(s.id))
-            .map(|s| {
-                (s.max_ports as usize).saturating_sub(state.active_degree(topo, s.id))
-            })
+            .map(|s| (s.max_ports as usize).saturating_sub(state.active_degree(topo, s.id)))
             .min()
             .unwrap_or(0);
         phases.push(PhaseAudit {

@@ -19,11 +19,23 @@
 //! depends on *which* block was just drained, so the cache key gains the
 //! last action type (the canonical block order makes `(V, last type)`
 //! sufficient).
+//!
+//! Performance: the hot path is allocation-free — compact keys are the
+//! mixed-radix dense index of `V` packed into a `u64` (falling back to the
+//! count vector only if the target box overflows), the usable-circuit
+//! predicate is hoisted into a bitmask computed once per evaluation, and
+//! the full evaluation itself is parallel: routing fans destination groups
+//! out over a [`WorkerPool`], and [`check_batch`](SatChecker::check_batch)
+//! spreads independent candidate states across lanes. All parallel paths
+//! return results bit-identical to `threads = 1`.
 
 use crate::action::ActionTypeId;
 use crate::compact::CompactState;
 use crate::migration::MigrationSpec;
-use klotski_routing::{evaluate::summarize, EcmpRouter, LoadMap};
+use klotski_parallel::WorkerPool;
+use klotski_routing::{
+    ecmp::RouteOutcome, evaluate::summarize, EcmpRouter, LoadMap, ParallelRouter, UsableMask,
+};
 use klotski_topology::NetState;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -44,21 +56,46 @@ pub enum EscMode {
 pub struct SatStats {
     /// Total satisfiability queries.
     pub checks: u64,
-    /// Queries answered from the cache.
+    /// Queries answered from the cache (including queries answered by an
+    /// identical query evaluated earlier in the same batch).
     pub cache_hits: u64,
     /// Queries that ran the full routing + port evaluation.
     pub full_evaluations: u64,
 }
 
-/// The satisfiability checker with its ESC cache and reusable routing
-/// buffers.
+/// ESC cache key. Compact mode packs the dense index of `V` into a `u64`
+/// (no per-probe allocation); the `Counts` fallback only exists for target
+/// boxes larger than `u64` can index.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum CacheKey {
+    Dense(u64, u8),
+    Counts(Vec<u16>, u8),
+    Full(NetState, u8),
+}
+
+/// Per-lane evaluation scratch for parallel batched checks.
+#[derive(Debug)]
+struct LaneEval {
+    router: EcmpRouter,
+    loads: LoadMap,
+    mask: UsableMask,
+}
+
+/// The satisfiability checker with its ESC cache, worker pool, and reusable
+/// routing buffers.
 #[derive(Debug)]
 pub struct SatChecker {
     mode: EscMode,
-    router: EcmpRouter,
+    /// True when the target box fits in a `u64` dense index (always, in
+    /// practice: a box that overflows `u64` could never be searched anyway).
+    dense_ok: bool,
+    pool: WorkerPool,
+    router: ParallelRouter,
     loads: LoadMap,
-    compact_cache: HashMap<(Vec<u16>, u8), bool>,
-    full_cache: HashMap<(NetState, u8), bool>,
+    mask: UsableMask,
+    /// Lazily sized per-lane scratch for `check_batch`.
+    lane_scratch: Vec<LaneEval>,
+    cache: HashMap<CacheKey, bool>,
     stats: SatStats,
 }
 
@@ -66,14 +103,26 @@ pub struct SatChecker {
 const NO_LAST: u8 = u8::MAX;
 
 impl SatChecker {
-    /// Creates a checker for one migration instance.
+    /// Creates a checker for one migration instance, with the lane count
+    /// taken from `spec.threads`.
     pub fn new(spec: &MigrationSpec, mode: EscMode) -> Self {
+        Self::with_threads(spec, mode, spec.threads)
+    }
+
+    /// Creates a checker with an explicit lane count (≥ 1). `threads == 1`
+    /// reproduces the sequential checker exactly; larger counts produce
+    /// bit-identical results faster.
+    pub fn with_threads(spec: &MigrationSpec, mode: EscMode, threads: usize) -> Self {
+        let pool = WorkerPool::new(threads);
         Self {
             mode,
-            router: EcmpRouter::with_policy(&spec.topology, spec.split),
+            dense_ok: box_fits_u64(&spec.target_counts),
+            router: ParallelRouter::new(&spec.topology, pool.lanes(), spec.split),
+            pool,
             loads: LoadMap::new(&spec.topology),
-            compact_cache: HashMap::new(),
-            full_cache: HashMap::new(),
+            mask: UsableMask::new(),
+            lane_scratch: Vec::new(),
+            cache: HashMap::new(),
             stats: SatStats::default(),
         }
     }
@@ -83,13 +132,14 @@ impl SatChecker {
         self.stats
     }
 
+    /// Execution lanes available to this checker.
+    pub fn lanes(&self) -> usize {
+        self.pool.lanes()
+    }
+
     /// Number of cached entries (for memory-footprint reporting).
     pub fn cache_len(&self) -> usize {
-        match self.mode {
-            EscMode::Compact => self.compact_cache.len(),
-            EscMode::FullTopology => self.full_cache.len(),
-            EscMode::Off => 0,
-        }
+        self.cache.len()
     }
 
     /// Checks whether the state identified by `v` (with activation overlay
@@ -105,6 +155,125 @@ impl SatChecker {
         last: Option<ActionTypeId>,
     ) -> bool {
         self.stats.checks += 1;
+        let Some(key) = self.key_for(spec, v, state, last) else {
+            self.stats.full_evaluations += 1;
+            return self.evaluate(spec, v, state, last);
+        };
+        if let Some(&hit) = self.cache.get(&key) {
+            self.stats.cache_hits += 1;
+            return hit;
+        }
+        self.stats.full_evaluations += 1;
+        let result = self.evaluate(spec, v, state, last);
+        self.cache.insert(key, result);
+        result
+    }
+
+    /// Checks a batch of candidate states (planner expansions), answering
+    /// cached items immediately and spreading the uncached evaluations
+    /// across the pool's lanes. Verdicts come back in item order and are
+    /// identical to issuing [`check`](Self::check) per item; ESC inserts
+    /// are merged after the batch, also in item order.
+    ///
+    /// With one lane or at most one uncached item this degenerates to the
+    /// sequential path, where each evaluation instead parallelizes its own
+    /// routing over the pool.
+    pub fn check_batch(
+        &mut self,
+        spec: &MigrationSpec,
+        items: &[(&CompactState, &NetState, Option<ActionTypeId>)],
+    ) -> Vec<bool> {
+        if self.pool.lanes() == 1 || items.len() <= 1 {
+            return items
+                .iter()
+                .map(|&(v, state, last)| self.check(spec, v, state, last))
+                .collect();
+        }
+
+        self.stats.checks += items.len() as u64;
+        let mut results = vec![false; items.len()];
+        // Probe the cache; deduplicate uncached keys so each distinct state
+        // evaluates once (DP asks about one `V` under several action types,
+        // which collapse to one key when funneling is off).
+        let mut miss_items: Vec<usize> = Vec::new();
+        let mut resolve: Vec<Option<usize>> = vec![None; items.len()];
+        let mut keys: Vec<Option<CacheKey>> = Vec::with_capacity(items.len());
+        let mut seen: HashMap<CacheKey, usize> = HashMap::new();
+        for (i, &(v, state, last)) in items.iter().enumerate() {
+            let key = self.key_for(spec, v, state, last);
+            match &key {
+                Some(k) => {
+                    if let Some(&hit) = self.cache.get(k) {
+                        self.stats.cache_hits += 1;
+                        results[i] = hit;
+                    } else if let Some(&slot) = seen.get(k) {
+                        self.stats.cache_hits += 1;
+                        resolve[i] = Some(slot);
+                    } else {
+                        seen.insert(k.clone(), miss_items.len());
+                        resolve[i] = Some(miss_items.len());
+                        miss_items.push(i);
+                    }
+                }
+                None => {
+                    resolve[i] = Some(miss_items.len());
+                    miss_items.push(i);
+                }
+            }
+            keys.push(key);
+        }
+        if miss_items.is_empty() {
+            return results;
+        }
+
+        self.stats.full_evaluations += miss_items.len() as u64;
+        let mut verdicts = vec![false; miss_items.len()];
+        if miss_items.len() == 1 {
+            let (v, state, last) = items[miss_items[0]];
+            verdicts[0] = self.evaluate(spec, v, state, last);
+        } else {
+            if self.lane_scratch.len() < self.pool.lanes() {
+                self.lane_scratch = (0..self.pool.lanes())
+                    .map(|_| LaneEval {
+                        router: EcmpRouter::with_policy(&spec.topology, spec.split),
+                        loads: LoadMap::new(&spec.topology),
+                        mask: UsableMask::new(),
+                    })
+                    .collect();
+            }
+            let miss_ref = &miss_items;
+            self.pool.run_scratch_tasks_into(
+                &mut self.lane_scratch,
+                &mut verdicts,
+                |lane, slot, out| {
+                    let (v, state, last) = items[miss_ref[slot]];
+                    *out = evaluate_on_lane(lane, spec, v, state, last);
+                },
+            );
+        }
+
+        for (i, slot) in resolve.iter().enumerate() {
+            if let Some(slot) = slot {
+                results[i] = verdicts[*slot];
+            }
+        }
+        // Cache inserts merged after the batch, in item order.
+        for (i, key) in keys.into_iter().enumerate() {
+            if let (Some(k), Some(slot)) = (key, resolve[i]) {
+                self.cache.entry(k).or_insert(verdicts[slot]);
+            }
+        }
+        results
+    }
+
+    /// The cache key of a query, or `None` when caching is off.
+    fn key_for(
+        &self,
+        spec: &MigrationSpec,
+        v: &CompactState,
+        state: &NetState,
+        last: Option<ActionTypeId>,
+    ) -> Option<CacheKey> {
         // The last action type changes the outcome only via the funneling
         // model; without it, equivalent states are exactly Definition 1.
         let last_key = if spec.funneling.is_enabled() {
@@ -112,34 +281,19 @@ impl SatChecker {
         } else {
             NO_LAST
         };
-
         match self.mode {
-            EscMode::Compact => {
-                let key = (v.counts().to_vec(), last_key);
-                if let Some(&hit) = self.compact_cache.get(&key) {
-                    self.stats.cache_hits += 1;
-                    return hit;
-                }
-                let result = self.evaluate(spec, v, state, last);
-                self.compact_cache.insert(key, result);
-                result
-            }
-            EscMode::FullTopology => {
-                let key = (state.clone(), last_key);
-                if let Some(&hit) = self.full_cache.get(&key) {
-                    self.stats.cache_hits += 1;
-                    return hit;
-                }
-                let result = self.evaluate(spec, v, state, last);
-                self.full_cache.insert(key, result);
-                result
-            }
-            EscMode::Off => self.evaluate(spec, v, state, last),
+            EscMode::Compact => Some(if self.dense_ok {
+                CacheKey::Dense(dense_u64(v, &spec.target_counts), last_key)
+            } else {
+                CacheKey::Counts(v.counts().to_vec(), last_key)
+            }),
+            EscMode::FullTopology => Some(CacheKey::Full(state.clone(), last_key)),
+            EscMode::Off => None,
         }
     }
 
-    /// The actual Eq. 4–6 evaluation: route, apply funneling headroom,
-    /// compare against θ, then scan port budgets.
+    /// The actual Eq. 4–6 evaluation on the checker's own buffers, with
+    /// routing parallelized over the pool.
     fn evaluate(
         &mut self,
         spec: &MigrationSpec,
@@ -147,42 +301,107 @@ impl SatChecker {
         state: &NetState,
         last: Option<ActionTypeId>,
     ) -> bool {
-        self.stats.full_evaluations += 1;
-        let topo = &spec.topology;
-
         // Space/power footprint (§7.2) is the cheapest constraint: O(|A|).
         if let Some(space) = &spec.space {
             if !space.fits(v) {
                 return false;
             }
         }
-
+        let mut mask = std::mem::take(&mut self.mask);
+        mask.compute(&spec.topology, state);
         self.loads.clear();
-        let route = self.router.route(topo, state, &spec.demands, &mut self.loads);
-        if !route.all_reachable() {
+        let route = self.router.route_with_mask(
+            &self.pool,
+            &spec.topology,
+            state,
+            &mask,
+            &spec.demands,
+            &mut self.loads,
+        );
+        self.mask = mask;
+        finish_evaluate(spec, v, state, last, &mut self.loads, &route)
+    }
+}
+
+/// One full evaluation on a batch lane's private scratch.
+fn evaluate_on_lane(
+    lane: &mut LaneEval,
+    spec: &MigrationSpec,
+    v: &CompactState,
+    state: &NetState,
+    last: Option<ActionTypeId>,
+) -> bool {
+    if let Some(space) = &spec.space {
+        if !space.fits(v) {
             return false;
         }
+    }
+    lane.mask.compute(&spec.topology, state);
+    lane.loads.clear();
+    let route = lane.router.route_with_mask(
+        &spec.topology,
+        state,
+        &lane.mask,
+        &spec.demands,
+        &mut lane.loads,
+    );
+    finish_evaluate(spec, v, state, last, &mut lane.loads, &route)
+}
 
-        if spec.funneling.is_enabled() {
-            if let Some(a) = last {
-                if spec.kind_is_drain(a) && v.count(a) > 0 {
-                    let block = spec.block_for(a, v.count(a) - 1);
-                    spec.funneling
-                        .apply(topo, state, &block.switches, &mut self.loads);
-                }
+/// Shared tail of every evaluation: funneling headroom, θ comparison, and
+/// port budgets.
+fn finish_evaluate(
+    spec: &MigrationSpec,
+    v: &CompactState,
+    state: &NetState,
+    last: Option<ActionTypeId>,
+    loads: &mut LoadMap,
+    route: &RouteOutcome,
+) -> bool {
+    if !route.all_reachable() {
+        return false;
+    }
+    let topo = &spec.topology;
+    if spec.funneling.is_enabled() {
+        if let Some(a) = last {
+            if spec.kind_is_drain(a) && v.count(a) > 0 {
+                let block = spec.block_for(a, v.count(a) - 1);
+                spec.funneling.apply(topo, state, &block.switches, loads);
             }
         }
-
-        let report = summarize(topo, state, &self.loads, spec.theta);
-        if report.violations > 0 {
-            return false;
-        }
-
-        if spec.check_ports && !topo.port_violations(state).is_empty() {
-            return false;
-        }
-        true
     }
+    let report = summarize(topo, state, loads, spec.theta);
+    if report.violations > 0 {
+        return false;
+    }
+    if spec.check_ports && topo.has_port_violation(state) {
+        return false;
+    }
+    true
+}
+
+/// True when the mixed-radix box `Π (target_i + 1)` fits in a `u64`.
+fn box_fits_u64(target: &CompactState) -> bool {
+    let mut size = 1u128;
+    for &c in target.counts() {
+        size = size.saturating_mul(c as u128 + 1);
+        if size > u64::MAX as u128 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Mixed-radix dense index of `v` within `target`'s box, in `u64` (only
+/// valid when [`box_fits_u64`]; injective over the box, which is all a cache
+/// key needs).
+fn dense_u64(v: &CompactState, target: &CompactState) -> u64 {
+    let mut idx = 0u64;
+    for (&count, &bound) in v.counts().iter().zip(target.counts()) {
+        debug_assert!(count <= bound, "count outside the target box");
+        idx = idx * (bound as u64 + 1) + count as u64;
+    }
+    idx
 }
 
 #[cfg(test)]
@@ -192,11 +411,8 @@ mod tests {
     use klotski_topology::presets::{self, PresetId};
 
     fn spec() -> MigrationSpec {
-        MigrationBuilder::hgrid_v1_to_v2(
-            &presets::build(PresetId::A),
-            &MigrationOptions::default(),
-        )
-        .unwrap()
+        MigrationBuilder::hgrid_v1_to_v2(&presets::build(PresetId::A), &MigrationOptions::default())
+            .unwrap()
     }
 
     #[test]
@@ -266,12 +482,13 @@ mod tests {
 
     #[test]
     fn funneling_key_includes_last_action() {
-        let mut opts = MigrationOptions::default();
-        opts.funneling = klotski_routing::FunnelingModel {
-            headroom_factor: 1.5,
+        let opts = MigrationOptions {
+            funneling: klotski_routing::FunnelingModel {
+                headroom_factor: 1.5,
+            },
+            ..MigrationOptions::default()
         };
-        let spec =
-            MigrationBuilder::hgrid_v1_to_v2(&presets::build(PresetId::A), &opts).unwrap();
+        let spec = MigrationBuilder::hgrid_v1_to_v2(&presets::build(PresetId::A), &opts).unwrap();
         let mut checker = SatChecker::new(&spec, EscMode::Compact);
         let v = CompactState::from_counts(vec![1, 0]);
         let state = spec.state_for(&v);
@@ -287,9 +504,11 @@ mod tests {
         // A state that passes without funneling can fail with a large
         // headroom factor.
         let base = spec();
-        let mut opts = MigrationOptions::default();
-        opts.funneling = klotski_routing::FunnelingModel {
-            headroom_factor: 10.0,
+        let opts = MigrationOptions {
+            funneling: klotski_routing::FunnelingModel {
+                headroom_factor: 10.0,
+            },
+            ..MigrationOptions::default()
         };
         let funneled =
             MigrationBuilder::hgrid_v1_to_v2(&presets::build(PresetId::A), &opts).unwrap();
@@ -305,5 +524,88 @@ mod tests {
 
         assert!(plain, "one grid drained must be fine without funneling");
         assert!(!stressed, "x10 headroom must blow through theta");
+    }
+
+    #[test]
+    fn dense_u64_is_injective_over_a_small_box() {
+        let target = CompactState::from_counts(vec![3, 2, 4]);
+        assert!(box_fits_u64(&target));
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..=3u16 {
+            for b in 0..=2u16 {
+                for c in 0..=4u16 {
+                    let v = CompactState::from_counts(vec![a, b, c]);
+                    assert!(seen.insert(dense_u64(&v, &target)), "collision at {v}");
+                }
+            }
+        }
+        let huge = CompactState::from_counts(vec![u16::MAX; 5]);
+        assert!(!box_fits_u64(&huge));
+    }
+
+    #[test]
+    fn batch_agrees_with_sequential_checks_across_thread_counts() {
+        let spec = spec();
+        let states: Vec<(CompactState, NetState)> = [
+            vec![0, 0],
+            vec![1, 0],
+            vec![1, 1],
+            vec![2, 1],
+            vec![3, 0],
+            vec![2, 4],
+            vec![3, 6],
+        ]
+        .into_iter()
+        .map(|c| {
+            let v = CompactState::from_counts(c);
+            let s = spec.state_for(&v);
+            (v, s)
+        })
+        .collect();
+        let items: Vec<(&CompactState, &NetState, Option<ActionTypeId>)> = states
+            .iter()
+            .map(|(v, s)| (v, s, Some(ActionTypeId(0))))
+            .collect();
+
+        let mut reference = SatChecker::with_threads(&spec, EscMode::Off, 1);
+        let expected: Vec<bool> = items
+            .iter()
+            .map(|&(v, s, l)| reference.check(&spec, v, s, l))
+            .collect();
+
+        for threads in [1, 2, 4] {
+            for mode in [EscMode::Compact, EscMode::FullTopology, EscMode::Off] {
+                let mut checker = SatChecker::with_threads(&spec, mode, threads);
+                assert_eq!(
+                    checker.check_batch(&spec, &items),
+                    expected,
+                    "{mode:?} with {threads} threads"
+                );
+                // A second pass answers from the cache (or re-evaluates in
+                // Off mode) with identical verdicts.
+                assert_eq!(checker.check_batch(&spec, &items), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_dedupes_identical_keys() {
+        let spec = spec();
+        let mut checker = SatChecker::with_threads(&spec, EscMode::Compact, 4);
+        let v = CompactState::from_counts(vec![1, 1]);
+        let state = spec.state_for(&v);
+        // Funneling off: the last action type is not part of the key, so
+        // both items share one evaluation.
+        let items: Vec<(&CompactState, &NetState, Option<ActionTypeId>)> = vec![
+            (&v, &state, Some(ActionTypeId(0))),
+            (&v, &state, Some(ActionTypeId(1))),
+        ];
+        let out = checker.check_batch(&spec, &items);
+        assert_eq!(out[0], out[1]);
+        let s = checker.stats();
+        assert_eq!(s.checks, 2);
+        assert_eq!(s.full_evaluations, 1);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(checker.cache_len(), 1);
     }
 }

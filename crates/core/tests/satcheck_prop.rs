@@ -1,0 +1,120 @@
+//! Property tests for thread-count invariance of the satisfiability
+//! checker: for any migration progress point, any cache mode, and any
+//! thread count, `check` and `check_batch` must return the same verdicts
+//! as the single-threaded checker — parallelism is an implementation
+//! detail, never a semantics knob.
+
+use klotski_core::migration::{MigrationBuilder, MigrationOptions};
+use klotski_core::planner::{AStarPlanner, Planner};
+use klotski_core::satcheck::{EscMode, SatChecker};
+use klotski_core::{ActionTypeId, CompactState};
+use klotski_topology::presets::{self, PresetId};
+use klotski_topology::NetState;
+use proptest::prelude::*;
+
+/// Pseudo-random walk of `steps` actions through the target box, derived
+/// deterministically from `seed`.
+fn walk(target: &CompactState, seed: u64, steps: usize) -> CompactState {
+    let n = target.num_types();
+    let mut v = CompactState::origin(n);
+    let mut x = seed | 1;
+    for _ in 0..steps {
+        x = x.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(29);
+        let a = ActionTypeId((x % n as u64) as u8);
+        if v.count(a) < target.count(a) {
+            v = v.advanced(a);
+        }
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Verdicts are invariant across thread counts and cache modes, for
+    /// single checks and for batches.
+    #[test]
+    fn prop_verdicts_survive_thread_count(
+        seed in 0u64..1_000_000,
+        theta in 0.55f64..0.95,
+        funneling in 1.0f64..1.6,
+    ) {
+        let opts = MigrationOptions {
+            theta,
+            funneling: klotski_routing::FunnelingModel {
+                headroom_factor: funneling,
+            },
+            ..MigrationOptions::default()
+        };
+        let spec = MigrationBuilder::hgrid_v1_to_v2(&presets::build(PresetId::A), &opts)
+            .unwrap();
+        let target = spec.target_counts.clone();
+
+        // A handful of walk states plus origin and target.
+        let mut states: Vec<(CompactState, NetState)> = Vec::new();
+        for i in 0..5u64 {
+            let v = walk(&target, seed.wrapping_add(i * 7919), 1 + (i as usize) * 3);
+            let s = spec.state_for(&v);
+            states.push((v, s));
+        }
+        states.push((CompactState::origin(spec.num_types()), spec.initial.clone()));
+        states.push((target.clone(), spec.target_state()));
+
+        let items: Vec<(&CompactState, &NetState, Option<ActionTypeId>)> = states
+            .iter()
+            .enumerate()
+            .map(|(i, (v, s))| {
+                let last = (i % 2 == 0).then_some(ActionTypeId((i % 2) as u8));
+                (v, s, last)
+            })
+            .collect();
+
+        // Reference: single-threaded, uncached, per-item checks.
+        let mut reference = SatChecker::with_threads(&spec, EscMode::Off, 1);
+        let expected: Vec<bool> = items
+            .iter()
+            .map(|&(v, s, l)| reference.check(&spec, v, s, l))
+            .collect();
+
+        for threads in [1usize, 2, 4] {
+            for mode in [EscMode::Compact, EscMode::FullTopology, EscMode::Off] {
+                let mut per_item = SatChecker::with_threads(&spec, mode, threads);
+                let got: Vec<bool> = items
+                    .iter()
+                    .map(|&(v, s, l)| per_item.check(&spec, v, s, l))
+                    .collect();
+                prop_assert_eq!(&got, &expected, "check {:?} x{}", mode, threads);
+
+                let mut batched = SatChecker::with_threads(&spec, mode, threads);
+                let got = batched.check_batch(&spec, &items);
+                prop_assert_eq!(&got, &expected, "batch {:?} x{}", mode, threads);
+            }
+        }
+    }
+}
+
+/// The end-to-end guarantee behind the proptests: the planner's output is
+/// byte-identical at every thread count (serialized plans compared as
+/// strings).
+#[test]
+fn planner_output_is_identical_across_thread_counts() {
+    let preset = presets::build(PresetId::A);
+    let mut reference: Option<String> = None;
+    for threads in [1usize, 2, 4] {
+        let opts = MigrationOptions {
+            threads,
+            ..MigrationOptions::default()
+        };
+        let spec = MigrationBuilder::hgrid_v1_to_v2(&preset, &opts).unwrap();
+        let outcome = AStarPlanner::default().plan(&spec).unwrap();
+        let rendered = format!(
+            "{}|{:.12}",
+            serde_json::to_string(&outcome.plan).unwrap(),
+            outcome.cost
+        );
+        match &reference {
+            None => reference = Some(rendered),
+            Some(r) => assert_eq!(&rendered, r, "plan changed at {threads} threads"),
+        }
+    }
+}

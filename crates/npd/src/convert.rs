@@ -361,8 +361,7 @@ mod tests {
     #[test]
     fn attach_plan_writes_phases() {
         let preset = presets::build(PresetId::A);
-        let spec =
-            MigrationBuilder::hgrid_v1_to_v2(&preset, &MigrationOptions::default()).unwrap();
+        let spec = MigrationBuilder::hgrid_v1_to_v2(&preset, &MigrationOptions::default()).unwrap();
         let plan = AStarPlanner::default().plan(&spec).unwrap().plan;
         let mut npd = region_to_npd(&preset.config);
         attach_plan(&mut npd, &spec, &plan);

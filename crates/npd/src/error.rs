@@ -23,7 +23,10 @@ impl fmt::Display for NpdError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NpdError::Version { found, supported } => {
-                write!(f, "unsupported NPD version {found} (supported: {supported})")
+                write!(
+                    f,
+                    "unsupported NPD version {found} (supported: {supported})"
+                )
             }
             NpdError::NoBuildings => write!(f, "NPD fabric part has no buildings"),
             NpdError::NoHgridLayers => write!(f, "NPD hgrid part has no layers"),

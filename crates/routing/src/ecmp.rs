@@ -16,6 +16,7 @@
 //! satisfiability check affordable on an O(100,000)-circuit topology.
 
 use crate::loads::LoadMap;
+use crate::mask::UsableMask;
 use klotski_topology::{NetState, SwitchId, Topology};
 use klotski_traffic::{Demand, DemandMatrix};
 
@@ -53,6 +54,43 @@ impl RouteOutcome {
     }
 }
 
+/// Receiver of routing events. The sequential path writes straight into a
+/// [`LoadMap`]; parallel lanes record an ordered edit list instead, replayed
+/// later in a fixed chunk order so the merged result is bit-identical to a
+/// sequential run (f64 addition is not associative, so *order*, not just
+/// membership, must be preserved).
+pub trait RouteSink {
+    /// `gbps` of flow lands on directional slot `slot`
+    /// (see [`LoadMap::directed_slot`]).
+    fn add_flow(&mut self, slot: u32, gbps: f64);
+    /// One demand of `gbps` found a live path.
+    fn demand_routed(&mut self, gbps: f64);
+    /// One demand had no live path (Eq. 4 violation).
+    fn demand_unreachable(&mut self, src: SwitchId, dst: SwitchId);
+}
+
+/// Sequential sink: applies events directly.
+struct DirectSink<'a> {
+    loads: &'a mut LoadMap,
+    outcome: &'a mut RouteOutcome,
+}
+
+impl RouteSink for DirectSink<'_> {
+    #[inline]
+    fn add_flow(&mut self, slot: u32, gbps: f64) {
+        self.loads.add_slot(slot, gbps);
+    }
+
+    #[inline]
+    fn demand_routed(&mut self, gbps: f64) {
+        self.outcome.routed_gbps += gbps;
+    }
+
+    fn demand_unreachable(&mut self, src: SwitchId, dst: SwitchId) {
+        self.outcome.unreachable.push((src, dst));
+    }
+}
+
 /// Reusable ECMP routing engine. Holds scratch buffers sized to one
 /// topology so repeated satisfiability checks do not allocate.
 #[derive(Debug, Clone)]
@@ -63,6 +101,14 @@ pub struct EcmpRouter {
     inflow: Vec<f64>,
     /// Switches whose inflow was touched this pass (sparse reset).
     touched: Vec<u32>,
+    /// Downhill circuits of the switch being swept, as
+    /// `(directional load slot, far switch index, split weight)` — collected
+    /// once per switch so the weight normalization and the share emission
+    /// share a single scan.
+    downhill: Vec<(u32, u32, f64)>,
+    /// Usable-circuit mask storage for [`route`](Self::route); taken out
+    /// and restored around each call so the borrow does not alias `self`.
+    mask: UsableMask,
     /// Flow-split policy.
     pub policy: SplitPolicy,
 }
@@ -76,6 +122,8 @@ impl EcmpRouter {
             order: Vec::with_capacity(n),
             inflow: vec![0.0; n],
             touched: Vec::new(),
+            downhill: Vec::new(),
+            mask: UsableMask::new(),
             policy: SplitPolicy::Ecmp,
         }
     }
@@ -99,41 +147,64 @@ impl EcmpRouter {
         matrix: &DemandMatrix,
         loads: &mut LoadMap,
     ) -> RouteOutcome {
+        let mut mask = std::mem::take(&mut self.mask);
+        mask.compute(topo, state);
+        let outcome = self.route_with_mask(topo, state, &mask, matrix, loads);
+        self.mask = mask;
+        outcome
+    }
+
+    /// Like [`route`](Self::route) with a precomputed usable-circuit mask
+    /// (which must match `state`). Callers that evaluate one state several
+    /// times — or across several parallel lanes — compute the mask once and
+    /// share it read-only.
+    pub fn route_with_mask(
+        &mut self,
+        topo: &Topology,
+        state: &NetState,
+        mask: &UsableMask,
+        matrix: &DemandMatrix,
+        loads: &mut LoadMap,
+    ) -> RouteOutcome {
         let mut outcome = RouteOutcome {
             unreachable: Vec::new(),
             routed_gbps: 0.0,
         };
+        let mut sink = DirectSink {
+            loads,
+            outcome: &mut outcome,
+        };
         for (dst, group) in matrix.by_destination() {
-            self.route_group(topo, state, dst, &group, loads, &mut outcome);
+            self.route_group(topo, state, mask, dst, &group, &mut sink);
         }
         outcome
     }
 
-    /// Routes the demands of one destination group.
-    fn route_group(
+    /// Routes the demands of one destination group into `sink`.
+    pub(crate) fn route_group<S: RouteSink>(
         &mut self,
         topo: &Topology,
         state: &NetState,
+        mask: &UsableMask,
         dst: SwitchId,
         group: &[&Demand],
-        loads: &mut LoadMap,
-        outcome: &mut RouteOutcome,
+        sink: &mut S,
     ) {
-        self.bfs_from(topo, state, dst);
+        self.bfs_from(topo, state, mask, dst);
 
         // Inject demand rates at their sources; remember touched switches so
         // the inflow reset stays sparse.
         for d in group {
             let src = d.src.index();
             if self.dist[src] == UNREACHED || !state.switch_up(d.src) {
-                outcome.unreachable.push((d.src, d.dst));
+                sink.demand_unreachable(d.src, d.dst);
                 continue;
             }
             if self.inflow[src] == 0.0 {
                 self.touched.push(src as u32);
             }
             self.inflow[src] += d.gbps;
-            outcome.routed_gbps += d.gbps;
+            sink.demand_routed(d.gbps);
         }
 
         // Sweep in decreasing-distance order: every switch forwards its
@@ -150,31 +221,15 @@ impl EcmpRouter {
                 continue; // the destination absorbs its inflow
             }
             let uid = SwitchId::from_index(u);
-            // Total split weight over downhill circuits (shortest-path DAG
-            // edges): circuit count for ECMP, capacity sum for WCMP.
+            // One scan collects the downhill circuits (shortest-path DAG
+            // edges) with their split weights — circuit count for ECMP,
+            // capacity for WCMP — normalized by the weight total below.
+            self.downhill.clear();
             let mut total_weight = 0.0_f64;
             for &(c, far) in topo.neighbors(uid) {
-                if state.circuit_usable(topo, c)
+                if mask.usable(c)
                     && self.dist[far.index()].saturating_add(topo.circuit(c).hop_weight as u32)
                         == du
-                {
-                    total_weight += match self.policy {
-                        SplitPolicy::Ecmp => 1.0,
-                        SplitPolicy::Wcmp => {
-                            let ck = topo.circuit(c);
-                            ck.routing_weight.unwrap_or(ck.capacity_gbps)
-                        }
-                    };
-                }
-            }
-            debug_assert!(
-                total_weight > 0.0,
-                "a reachable non-destination switch must have a downhill circuit"
-            );
-            for &(c, far) in topo.neighbors(uid) {
-                let fi = far.index();
-                if state.circuit_usable(topo, c)
-                    && self.dist[fi].saturating_add(topo.circuit(c).hop_weight as u32) == du
                 {
                     let weight = match self.policy {
                         SplitPolicy::Ecmp => 1.0,
@@ -183,13 +238,23 @@ impl EcmpRouter {
                             ck.routing_weight.unwrap_or(ck.capacity_gbps)
                         }
                     };
-                    let share = flow * weight / total_weight;
-                    loads.add_directed(topo, c, uid, share);
-                    if self.inflow[fi] == 0.0 {
-                        self.touched.push(fi as u32);
-                    }
-                    self.inflow[fi] += share;
+                    total_weight += weight;
+                    self.downhill
+                        .push((LoadMap::directed_slot(topo, c, uid), far.0, weight));
                 }
+            }
+            debug_assert!(
+                total_weight > 0.0,
+                "a reachable non-destination switch must have a downhill circuit"
+            );
+            for &(slot, far, weight) in &self.downhill {
+                let fi = far as usize;
+                let share = flow * weight / total_weight;
+                sink.add_flow(slot, share);
+                if self.inflow[fi] == 0.0 {
+                    self.touched.push(far);
+                }
+                self.inflow[fi] += share;
             }
         }
 
@@ -206,7 +271,7 @@ impl EcmpRouter {
     /// Circuits carry small integer hop weights (ordinary hop = 2,
     /// transparent relay = 1, see `Circuit::hop_weight`), so this is Dial's
     /// algorithm with a tiny circular bucket array — still Θ(|S|+|C|).
-    fn bfs_from(&mut self, topo: &Topology, state: &NetState, root: SwitchId) {
+    fn bfs_from(&mut self, topo: &Topology, state: &NetState, mask: &UsableMask, root: SwitchId) {
         const MAX_W: usize = 2;
         for d in &mut self.dist {
             *d = UNREACHED;
@@ -231,7 +296,7 @@ impl EcmpRouter {
                 }
                 self.order.push(u);
                 for &(c, far) in topo.neighbors(SwitchId(u)) {
-                    if !state.circuit_usable(topo, c) {
+                    if !mask.usable(c) {
                         continue;
                     }
                     let nd = current + topo.circuit(c).hop_weight as u32;
@@ -408,9 +473,14 @@ mod tests {
         let (t, sw, _) = diamond();
         let state = NetState::all_up(&t);
         let mut router = EcmpRouter::new(&t);
-        router.bfs_from(&t, &state, sw[3]);
+        let mask = UsableMask::for_state(&t, &state);
+        router.bfs_from(&t, &state, &mask, sw[3]);
         assert_eq!(router.last_dist(sw[3]), Some(0));
-        assert_eq!(router.last_dist(sw[1]), Some(2), "one ordinary hop weighs 2");
+        assert_eq!(
+            router.last_dist(sw[1]),
+            Some(2),
+            "one ordinary hop weighs 2"
+        );
         assert_eq!(router.last_dist(sw[0]), Some(4));
     }
 

@@ -18,6 +18,9 @@
 //! Modules:
 //! - [`ecmp`]: hop-count ECMP routing with fractional flow splitting;
 //! - [`loads`]: per-circuit directional load accounting;
+//! - [`mask`]: the usable-circuit bitmask hoisted out of routing loops;
+//! - [`parallel`]: deterministic multi-threaded routing over a
+//!   [`klotski_parallel::WorkerPool`], bit-identical to the sequential path;
 //! - [`evaluate`]: the Eq. 4–5 evaluation combining reachability and
 //!   utilization, plus demand calibration helpers;
 //! - [`funneling`]: the traffic-funneling stress factor (§2.2, §7.2);
@@ -27,13 +30,17 @@ pub mod ecmp;
 pub mod evaluate;
 pub mod funneling;
 pub mod loads;
+pub mod mask;
+pub mod parallel;
 pub mod reachability;
 
-pub use ecmp::{EcmpRouter, SplitPolicy};
+pub use ecmp::{EcmpRouter, RouteSink, SplitPolicy};
 pub use evaluate::{
     evaluate, evaluate_policy, evaluate_with, scale_to_target_utilization,
     scale_to_target_utilization_on, SafetyOutcome, UtilizationReport,
 };
 pub use funneling::FunnelingModel;
 pub use loads::LoadMap;
+pub use mask::UsableMask;
+pub use parallel::{route_parallel, ParallelRouter};
 pub use reachability::{component_size, is_reachable};

@@ -8,11 +8,24 @@
 use klotski_topology::{CircuitId, SwitchId, Topology};
 
 /// Directional traffic loads over the circuits of one topology.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct LoadMap {
     /// `loads[2c]` = flow in the circuit's `a→b` direction,
     /// `loads[2c+1]` = flow in the `b→a` direction, Gbps.
     loads: Vec<f64>,
+    /// Slots that may hold nonzero flow, so `clear` is proportional to the
+    /// circuits actually loaded rather than to the topology size. Routing
+    /// touches O(demand destinations × path length) slots per check, far
+    /// fewer than the O(100,000) circuits of a production region.
+    touched: Vec<u32>,
+}
+
+/// Loads compare by flow values only; `touched` is bookkeeping whose order
+/// depends on routing history.
+impl PartialEq for LoadMap {
+    fn eq(&self, other: &Self) -> bool {
+        self.loads == other.loads
+    }
 }
 
 impl LoadMap {
@@ -20,20 +33,24 @@ impl LoadMap {
     pub fn new(topo: &Topology) -> Self {
         Self {
             loads: vec![0.0; topo.num_circuits() * 2],
+            touched: Vec::new(),
         }
     }
 
     /// Resets all loads to zero (reused across satisfiability checks).
+    /// Sparse: only slots written since the last clear are revisited.
     pub fn clear(&mut self) {
-        for l in &mut self.loads {
-            *l = 0.0;
+        for &s in &self.touched {
+            self.loads[s as usize] = 0.0;
         }
+        self.touched.clear();
     }
 
-    /// Adds `gbps` of flow on circuit `c` in the direction *leaving* switch
-    /// `from` (which must be an endpoint of `c`).
+    /// The directional slot index for flow on `c` *leaving* switch `from`
+    /// (which must be an endpoint of `c`). Precomputing the slot lets hot
+    /// loops skip the endpoint comparison on replay.
     #[inline]
-    pub fn add_directed(&mut self, topo: &Topology, c: CircuitId, from: SwitchId, gbps: f64) {
+    pub fn directed_slot(topo: &Topology, c: CircuitId, from: SwitchId) -> u32 {
         let circuit = topo.circuit(c);
         let dir = if from == circuit.a {
             0
@@ -41,7 +58,28 @@ impl LoadMap {
             debug_assert_eq!(from, circuit.b, "from must be an endpoint");
             1
         };
-        self.loads[c.index() * 2 + dir] += gbps;
+        (c.index() * 2 + dir) as u32
+    }
+
+    /// Adds `gbps` of flow to a directional slot from [`directed_slot`]
+    /// (tracking it for the sparse [`clear`]).
+    ///
+    /// [`directed_slot`]: Self::directed_slot
+    /// [`clear`]: Self::clear
+    #[inline]
+    pub fn add_slot(&mut self, slot: u32, gbps: f64) {
+        let l = &mut self.loads[slot as usize];
+        if *l == 0.0 && gbps != 0.0 {
+            self.touched.push(slot);
+        }
+        *l += gbps;
+    }
+
+    /// Adds `gbps` of flow on circuit `c` in the direction *leaving* switch
+    /// `from` (which must be an endpoint of `c`).
+    #[inline]
+    pub fn add_directed(&mut self, topo: &Topology, c: CircuitId, from: SwitchId, gbps: f64) {
+        self.add_slot(Self::directed_slot(topo, c, from), gbps);
     }
 
     /// Flow on circuit `c` in its `a→b` direction.
@@ -124,6 +162,33 @@ mod tests {
         l.clear();
         assert_eq!(l.max_direction(c), 0.0);
         assert_eq!(l.num_circuits(), 1);
+    }
+
+    #[test]
+    fn sparse_clear_matches_fresh_map() {
+        let (t, x, y, c) = pair();
+        let mut l = LoadMap::new(&t);
+        l.add_directed(&t, c, x, 10.0);
+        l.add_directed(&t, c, y, 5.0);
+        l.scale_circuit(c, 2.0);
+        l.clear();
+        assert_eq!(l, LoadMap::new(&t));
+        // Reuse after a sparse clear accumulates from zero again.
+        l.add_slot(LoadMap::directed_slot(&t, c, x), 7.0);
+        assert_eq!(l.forward(c), 7.0);
+        assert_eq!(l.reverse(c), 0.0);
+    }
+
+    #[test]
+    fn slot_api_matches_directed_api() {
+        let (t, x, y, c) = pair();
+        let mut a = LoadMap::new(&t);
+        let mut b = LoadMap::new(&t);
+        a.add_directed(&t, c, x, 3.0);
+        a.add_directed(&t, c, y, 4.0);
+        b.add_slot(LoadMap::directed_slot(&t, c, x), 3.0);
+        b.add_slot(LoadMap::directed_slot(&t, c, y), 4.0);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! Deterministic parallel ECMP routing.
+//!
+//! A demand matrix routes one destination group at a time, and groups are
+//! independent: each runs its own BFS + sweep and only *accumulates* into
+//! the shared [`LoadMap`]. That makes them embarrassingly parallel — except
+//! that f64 addition is not associative, so naively summing per-thread
+//! partial load maps would drift from the sequential result by rounding,
+//! and the planner's verdicts (and its ESC cache) must not depend on the
+//! thread count.
+//!
+//! [`ParallelRouter`] therefore keeps the *arithmetic* sequential while
+//! parallelizing the *work*: destination groups are split into contiguous
+//! chunks; each chunk is routed by some lane into a private edit list (the
+//! exact ordered sequence of `(slot, gbps)` additions, routed-demand terms,
+//! and unreachable pairs it would have produced sequentially); then the
+//! chunks are replayed into the shared `LoadMap` in chunk order on the
+//! calling thread. The replayed operation sequence is identical to a
+//! sequential run's, so the result is bit-identical for every thread count
+//! and every lane-to-chunk assignment. Replay cost is O(path slots), a tiny
+//! fraction of the BFS + sweep work that actually parallelizes.
+
+use crate::ecmp::{EcmpRouter, RouteOutcome, RouteSink, SplitPolicy};
+use crate::loads::LoadMap;
+use crate::mask::UsableMask;
+use klotski_parallel::{chunk_ranges, WorkerPool};
+use klotski_topology::{NetState, SwitchId, Topology};
+use klotski_traffic::DemandMatrix;
+
+/// Chunks per lane: a little oversubscription lets fast lanes steal the
+/// tail from slow ones without shrinking chunks so far that per-chunk
+/// overhead dominates.
+const CHUNKS_PER_LANE: usize = 4;
+
+/// The ordered routing events of one chunk of destination groups.
+#[derive(Debug, Default, Clone)]
+struct ChunkBuf {
+    /// `(directional slot, gbps)` additions, in emission order.
+    edits: Vec<(u32, f64)>,
+    /// Rates of demands that found a path, one term per demand in order
+    /// (kept as terms, not a partial sum, to preserve the sequential
+    /// summation order of `RouteOutcome::routed_gbps`).
+    routed_terms: Vec<f64>,
+    /// Demands with no live path, in order.
+    unreachable: Vec<(SwitchId, SwitchId)>,
+}
+
+impl ChunkBuf {
+    fn clear(&mut self) {
+        self.edits.clear();
+        self.routed_terms.clear();
+        self.unreachable.clear();
+    }
+}
+
+impl RouteSink for ChunkBuf {
+    #[inline]
+    fn add_flow(&mut self, slot: u32, gbps: f64) {
+        self.edits.push((slot, gbps));
+    }
+
+    #[inline]
+    fn demand_routed(&mut self, gbps: f64) {
+        self.routed_terms.push(gbps);
+    }
+
+    fn demand_unreachable(&mut self, src: SwitchId, dst: SwitchId) {
+        self.unreachable.push((src, dst));
+    }
+}
+
+/// Parallel routing engine: one [`EcmpRouter`] per pool lane plus reusable
+/// chunk buffers, producing results bit-identical to the sequential path.
+#[derive(Debug)]
+pub struct ParallelRouter {
+    /// Per-lane scratch engines (lane 0 is the calling thread).
+    engines: Vec<EcmpRouter>,
+    /// Per-chunk edit lists, reused across routes.
+    chunks: Vec<ChunkBuf>,
+    /// Mask storage for [`route`](Self::route).
+    mask: UsableMask,
+}
+
+impl ParallelRouter {
+    /// An engine for `lanes` pool lanes over `topo`.
+    pub fn new(topo: &Topology, lanes: usize, policy: SplitPolicy) -> Self {
+        let lanes = lanes.max(1);
+        Self {
+            engines: (0..lanes)
+                .map(|_| EcmpRouter::with_policy(topo, policy))
+                .collect(),
+            chunks: Vec::new(),
+            mask: UsableMask::new(),
+        }
+    }
+
+    /// Number of lanes this router can serve.
+    pub fn lanes(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Routes `matrix` like [`EcmpRouter::route`], distributing destination
+    /// groups over `pool`'s lanes. `loads` accumulates (it is not cleared),
+    /// and the result is bit-identical to the sequential router's for any
+    /// pool size. Panics if `pool` has more lanes than this router.
+    pub fn route(
+        &mut self,
+        pool: &WorkerPool,
+        topo: &Topology,
+        state: &NetState,
+        matrix: &DemandMatrix,
+        loads: &mut LoadMap,
+    ) -> RouteOutcome {
+        let mut mask = std::mem::take(&mut self.mask);
+        mask.compute(topo, state);
+        let outcome = self.route_with_mask(pool, topo, state, &mask, matrix, loads);
+        self.mask = mask;
+        outcome
+    }
+
+    /// [`route`](Self::route) with a precomputed usable-circuit mask
+    /// (which must match `state`).
+    pub fn route_with_mask(
+        &mut self,
+        pool: &WorkerPool,
+        topo: &Topology,
+        state: &NetState,
+        mask: &UsableMask,
+        matrix: &DemandMatrix,
+        loads: &mut LoadMap,
+    ) -> RouteOutcome {
+        assert!(
+            self.engines.len() >= pool.lanes(),
+            "router sized for {} lanes, pool has {}",
+            self.engines.len(),
+            pool.lanes()
+        );
+        // One lane: skip the edit-list indirection entirely.
+        if pool.lanes() == 1 {
+            return self.engines[0].route_with_mask(topo, state, mask, matrix, loads);
+        }
+
+        let groups: Vec<_> = matrix.by_destination().into_iter().collect();
+        let ranges = chunk_ranges(groups.len(), pool.lanes() * CHUNKS_PER_LANE);
+        if self.chunks.len() < ranges.len() {
+            self.chunks.resize_with(ranges.len(), ChunkBuf::default);
+        }
+        let chunks = &mut self.chunks[..ranges.len()];
+        for c in chunks.iter_mut() {
+            c.clear();
+        }
+
+        pool.run_scratch_tasks_into(&mut self.engines, chunks, |engine, task, buf| {
+            for (dst, group) in &groups[ranges[task].clone()] {
+                engine.route_group(topo, state, mask, *dst, group, buf);
+            }
+        });
+
+        // Replay in chunk order: this is the exact operation sequence a
+        // sequential run would have applied.
+        let mut outcome = RouteOutcome {
+            unreachable: Vec::new(),
+            routed_gbps: 0.0,
+        };
+        for buf in chunks.iter() {
+            for &(slot, gbps) in &buf.edits {
+                loads.add_slot(slot, gbps);
+            }
+            for &term in &buf.routed_terms {
+                outcome.routed_gbps += term;
+            }
+            outcome.unreachable.extend_from_slice(&buf.unreachable);
+        }
+        outcome
+    }
+}
+
+/// Convenience: route `matrix` with a fresh pool of `threads` lanes.
+/// `threads == 1` is exactly the sequential [`EcmpRouter::route`] path.
+pub fn route_parallel(
+    topo: &Topology,
+    state: &NetState,
+    matrix: &DemandMatrix,
+    loads: &mut LoadMap,
+    policy: SplitPolicy,
+    threads: usize,
+) -> RouteOutcome {
+    let pool = WorkerPool::new(threads);
+    let mut router = ParallelRouter::new(topo, pool.lanes(), policy);
+    router.route(&pool, topo, state, matrix, loads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use klotski_topology::presets::{self, PresetId};
+    use klotski_traffic::{generate, DemandGenConfig};
+
+    fn preset_world() -> (Topology, NetState, DemandMatrix) {
+        let p = presets::build(PresetId::A);
+        let t = p.topology;
+        let mut state = NetState::all_up(&t);
+        for s in p.handles.hgrid_v2_switches() {
+            state.drain_switch(&t, s);
+        }
+        let demands = generate(&t, &DemandGenConfig::default());
+        (t, state, demands)
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_sequential() {
+        let (t, state, demands) = preset_world();
+        let mut seq_loads = LoadMap::new(&t);
+        let mut router = EcmpRouter::new(&t);
+        let seq = router.route(&t, &state, &demands, &mut seq_loads);
+        for threads in [1, 2, 4] {
+            let mut loads = LoadMap::new(&t);
+            let out = route_parallel(&t, &state, &demands, &mut loads, SplitPolicy::Ecmp, threads);
+            assert_eq!(out, seq, "outcome with {threads} threads");
+            assert_eq!(loads, seq_loads, "loads with {threads} threads");
+            assert_eq!(
+                out.routed_gbps.to_bits(),
+                seq.routed_gbps.to_bits(),
+                "routed_gbps bits with {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn wcmp_parallel_matches_sequential() {
+        let (t, state, demands) = preset_world();
+        let mut seq_loads = LoadMap::new(&t);
+        let mut router = EcmpRouter::with_policy(&t, SplitPolicy::Wcmp);
+        let seq = router.route(&t, &state, &demands, &mut seq_loads);
+        let mut loads = LoadMap::new(&t);
+        let out = route_parallel(&t, &state, &demands, &mut loads, SplitPolicy::Wcmp, 3);
+        assert_eq!(out, seq);
+        assert_eq!(loads, seq_loads);
+    }
+
+    #[test]
+    fn router_is_reusable_across_states() {
+        let (t, state, demands) = preset_world();
+        let pool = WorkerPool::new(2);
+        let mut pr = ParallelRouter::new(&t, pool.lanes(), SplitPolicy::Ecmp);
+        let mut a = LoadMap::new(&t);
+        let first = pr.route(&pool, &t, &state, &demands, &mut a);
+        let mut b = LoadMap::new(&t);
+        let second = pr.route(&pool, &t, &state, &demands, &mut b);
+        assert_eq!(first, second, "no scratch leakage between routes");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unreachable_demands_survive_the_merge() {
+        let (t, mut state, demands) = preset_world();
+        // Knock out every circuit: everything becomes unreachable.
+        for i in 0..t.num_circuits() {
+            state.set_circuit(klotski_topology::CircuitId::from_index(i), false);
+        }
+        let mut seq_loads = LoadMap::new(&t);
+        let seq = EcmpRouter::new(&t).route(&t, &state, &demands, &mut seq_loads);
+        let mut loads = LoadMap::new(&t);
+        let out = route_parallel(&t, &state, &demands, &mut loads, SplitPolicy::Ecmp, 4);
+        assert_eq!(out.unreachable, seq.unreachable, "same pairs, same order");
+        assert_eq!(out.routed_gbps, 0.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests for the parallel routing path: for any demand matrix,
+//! any degraded network state, and any thread count, `route_parallel`
+//! must produce *exactly* the sequential result — same unreachable pairs
+//! in the same order, bit-identical routed volume, and float-for-float
+//! equal circuit loads (the merge replays the sequential operation order,
+//! so there is no tolerance to hide behind).
+
+use klotski_routing::{route_parallel, EcmpRouter, LoadMap, SplitPolicy};
+use klotski_topology::presets::{self, PresetId};
+use klotski_topology::{CircuitId, NetState, Topology};
+use klotski_traffic::{generate, DemandGenConfig, DemandMatrix};
+use proptest::prelude::*;
+
+/// Builds preset A with `down` circuits knocked out pseudo-randomly and a
+/// demand matrix drawn from `seed`.
+fn world(seed: u64, down: usize, drain_v2: bool) -> (Topology, NetState, DemandMatrix) {
+    let p = presets::build(PresetId::A);
+    let t = p.topology;
+    let mut state = NetState::all_up(&t);
+    if drain_v2 {
+        for s in p.handles.hgrid_v2_switches() {
+            state.drain_switch(&t, s);
+        }
+    }
+    // Deterministic circuit knockout derived from the seed (splitmix-style
+    // mixing; the property must hold for arbitrary degradation patterns).
+    let mut x = seed | 1;
+    for _ in 0..down {
+        x = x.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(31);
+        let idx = (x % t.num_circuits() as u64) as usize;
+        state.set_circuit(CircuitId::from_index(idx), false);
+    }
+    let cfg = DemandGenConfig {
+        seed,
+        ..DemandGenConfig::default()
+    };
+    let demands = generate(&t, &cfg);
+    (t, state, demands)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// ECMP: parallel loads equal sequential loads exactly, at 1, 2, and 4
+    /// threads.
+    #[test]
+    fn prop_parallel_ecmp_loads_are_exact(
+        seed in 0u64..1_000_000,
+        down in 0usize..40,
+        drain_v2 in proptest::bool::ANY,
+    ) {
+        let (t, state, demands) = world(seed, down, drain_v2);
+        let mut seq_loads = LoadMap::new(&t);
+        let seq = EcmpRouter::new(&t).route(&t, &state, &demands, &mut seq_loads);
+        for threads in [1usize, 2, 4] {
+            let mut loads = LoadMap::new(&t);
+            let out = route_parallel(&t, &state, &demands, &mut loads, SplitPolicy::Ecmp, threads);
+            prop_assert_eq!(&out, &seq, "outcome with {} threads", threads);
+            prop_assert_eq!(
+                out.routed_gbps.to_bits(),
+                seq.routed_gbps.to_bits(),
+                "routed bits with {} threads", threads
+            );
+            prop_assert_eq!(&loads, &seq_loads, "loads with {} threads", threads);
+        }
+    }
+
+    /// WCMP: same exactness property under weighted splitting.
+    #[test]
+    fn prop_parallel_wcmp_loads_are_exact(
+        seed in 0u64..1_000_000,
+        down in 0usize..40,
+    ) {
+        let (t, state, demands) = world(seed, down, true);
+        let mut seq_loads = LoadMap::new(&t);
+        let seq = EcmpRouter::with_policy(&t, SplitPolicy::Wcmp)
+            .route(&t, &state, &demands, &mut seq_loads);
+        for threads in [2usize, 4] {
+            let mut loads = LoadMap::new(&t);
+            let out = route_parallel(&t, &state, &demands, &mut loads, SplitPolicy::Wcmp, threads);
+            prop_assert_eq!(&out, &seq, "outcome with {} threads", threads);
+            prop_assert_eq!(&loads, &seq_loads, "loads with {} threads", threads);
+        }
+    }
+}

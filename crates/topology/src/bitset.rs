@@ -121,7 +121,10 @@ impl BitSet {
     /// True if every set bit of `self` is also set in `other`.
     pub fn is_subset_of(&self, other: &BitSet) -> bool {
         assert_eq!(self.len, other.len, "BitSet length mismatch");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Clears all bits.

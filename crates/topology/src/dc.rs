@@ -10,18 +10,10 @@ use crate::ids::DcId;
 use serde::{Deserialize, Serialize};
 
 /// Parameters of one datacenter building.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct DatacenterConfig {
     /// The building's fabric.
     pub fabric: FabricConfig,
-}
-
-impl Default for DatacenterConfig {
-    fn default() -> Self {
-        Self {
-            fabric: FabricConfig::default(),
-        }
-    }
 }
 
 /// Builds one datacenter building into `b`.

@@ -84,10 +84,12 @@ pub fn build_fabric(b: &mut TopologyBuilder, dc: DcId, cfg: &FabricConfig) -> Fa
     for plane in 0..cfg.planes {
         let mut row = Vec::with_capacity(cfg.ssws_per_plane);
         for _ in 0..cfg.ssws_per_plane {
-            row.push(b.add_switch(
-                SwitchSpec::new(SwitchRole::Ssw, cfg.ssw_generation, dc, cfg.ssw_ports)
-                    .plane(PlaneId(plane as u16)),
-            ));
+            row.push(
+                b.add_switch(
+                    SwitchSpec::new(SwitchRole::Ssw, cfg.ssw_generation, dc, cfg.ssw_ports)
+                        .plane(PlaneId(plane as u16)),
+                ),
+            );
         }
         ssws.push(row);
     }
@@ -98,14 +100,14 @@ pub fn build_fabric(b: &mut TopologyBuilder, dc: DcId, cfg: &FabricConfig) -> Fa
     for pod in 0..cfg.pods {
         let pod_id = PodId(pod as u16);
         let mut pod_fsws = Vec::with_capacity(cfg.planes);
-        for plane in 0..cfg.planes {
+        for (plane, plane_ssws) in ssws.iter().enumerate() {
             let fsw = b.add_switch(
                 SwitchSpec::new(SwitchRole::Fsw, Generation::V1, dc, cfg.fsw_ports)
                     .plane(PlaneId(plane as u16))
                     .pod(pod_id),
             );
             // FSW of plane `i` connects to every SSW of plane `i`.
-            for &ssw in &ssws[plane] {
+            for &ssw in plane_ssws {
                 b.add_circuit(fsw, ssw, cfg.fsw_ssw_gbps)
                     .expect("fsw-ssw circuit");
             }

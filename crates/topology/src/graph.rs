@@ -149,7 +149,10 @@ impl Topology {
     /// Sets a WCMP routing-weight override on a built topology; see
     /// [`Circuit::routing_weight`].
     pub fn set_routing_weight(&mut self, id: CircuitId, weight: f64) {
-        assert!(weight.is_finite() && weight > 0.0, "weight must be positive");
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "weight must be positive"
+        );
         self.circuits[id.index()].routing_weight = Some(weight);
     }
 
@@ -168,6 +171,15 @@ impl Topology {
             }
         }
         Ok(())
+    }
+
+    /// True if any live switch exceeds its port budget in `state` —
+    /// the boolean form of [`port_violations`](Self::port_violations),
+    /// allocation-free and early-exiting for the satisfiability hot path.
+    pub fn has_port_violation(&self, state: &crate::netstate::NetState) -> bool {
+        self.switches.iter().any(|s| {
+            state.switch_up(s.id) && state.active_degree(self, s.id) > s.max_ports as usize
+        })
     }
 
     /// Returns every switch whose count of *usable* incident circuits in
@@ -367,7 +379,10 @@ impl TopologyBuilder {
 
     /// Sets a WCMP routing-weight override; see [`Circuit::routing_weight`].
     pub fn set_routing_weight(&mut self, id: CircuitId, weight: f64) {
-        assert!(weight.is_finite() && weight > 0.0, "weight must be positive");
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "weight must be positive"
+        );
         self.circuits[id.index()].routing_weight = Some(weight);
     }
 

@@ -18,8 +18,8 @@
 //!   smaller capacity per node, no per-plane mapping, balanced across both
 //!   sides (typical of generation v2).
 
-use crate::graph::{SwitchSpec, TopologyBuilder};
 use crate::fabric::FabricHandles;
+use crate::graph::{SwitchSpec, TopologyBuilder};
 use crate::ids::{CircuitId, DcId, GridId, SwitchId};
 use crate::switch::{Generation, SwitchRole};
 use serde::{Deserialize, Serialize};
@@ -162,16 +162,14 @@ pub fn build_hgrid(b: &mut TopologyBuilder, dc: DcId, cfg: &HgridConfig) -> Hgri
         let grid_fadus: Vec<SwitchId> = (0..cfg.fadus_per_grid)
             .map(|_| {
                 b.add_switch(
-                    SwitchSpec::new(SwitchRole::Fadu, cfg.generation, dc, cfg.fadu_ports)
-                        .grid(gid),
+                    SwitchSpec::new(SwitchRole::Fadu, cfg.generation, dc, cfg.fadu_ports).grid(gid),
                 )
             })
             .collect();
         let grid_fauus: Vec<SwitchId> = (0..cfg.fauus_per_grid)
             .map(|_| {
                 b.add_switch(
-                    SwitchSpec::new(SwitchRole::Fauu, cfg.generation, dc, cfg.fauu_ports)
-                        .grid(gid),
+                    SwitchSpec::new(SwitchRole::Fauu, cfg.generation, dc, cfg.fauu_ports).grid(gid),
                 )
             })
             .collect();

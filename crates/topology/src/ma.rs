@@ -64,10 +64,24 @@ pub fn build_backbone(b: &mut TopologyBuilder, dc: DcId, cfg: &BackboneConfig) -
         "backbone must be non-empty"
     );
     let ebs: Vec<SwitchId> = (0..cfg.ebs)
-        .map(|_| b.add_switch(SwitchSpec::new(SwitchRole::Eb, Generation::V1, dc, cfg.eb_ports)))
+        .map(|_| {
+            b.add_switch(SwitchSpec::new(
+                SwitchRole::Eb,
+                Generation::V1,
+                dc,
+                cfg.eb_ports,
+            ))
+        })
         .collect();
     let drs: Vec<SwitchId> = (0..cfg.drs)
-        .map(|_| b.add_switch(SwitchSpec::new(SwitchRole::Dr, Generation::V1, dc, cfg.dr_ports)))
+        .map(|_| {
+            b.add_switch(SwitchSpec::new(
+                SwitchRole::Dr,
+                Generation::V1,
+                dc,
+                cfg.dr_ports,
+            ))
+        })
         .collect();
     let ebbs: Vec<SwitchId> = (0..cfg.ebbs)
         .map(|_| {

@@ -84,12 +84,7 @@ impl RegionHandles {
 
     /// All v2 SSWs flattened (empty if absent).
     pub fn ssw_v2_switches(&self) -> Vec<SwitchId> {
-        self.ssw_v2
-            .iter()
-            .flatten()
-            .flatten()
-            .copied()
-            .collect()
+        self.ssw_v2.iter().flatten().flatten().copied().collect()
     }
 
     /// All v1 FAUUs flattened.

@@ -77,7 +77,6 @@ impl fmt::Display for TopologyStats {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::graph::{SwitchSpec, TopologyBuilder};
     use crate::ids::{DcId, PlaneId};
     use crate::switch::{Generation, SwitchRole};
@@ -85,7 +84,12 @@ mod tests {
     #[test]
     fn stats_count_roles_dcs_planes() {
         let mut b = TopologyBuilder::new("t");
-        let r = b.add_switch(SwitchSpec::new(SwitchRole::Rsw, Generation::V1, DcId(0), 16));
+        let r = b.add_switch(SwitchSpec::new(
+            SwitchRole::Rsw,
+            Generation::V1,
+            DcId(0),
+            16,
+        ));
         let f1 = b.add_switch(
             SwitchSpec::new(SwitchRole::Fsw, Generation::V1, DcId(0), 16).plane(PlaneId(0)),
         );

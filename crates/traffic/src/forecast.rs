@@ -167,8 +167,14 @@ mod tests {
 
     #[test]
     fn linear_trend_never_negative() {
-        let h = TrafficHistory::from_samples((0..10).map(|d| 100.0 - 15.0 * d as f64).collect::<Vec<_>>()
-            .into_iter().map(|x: f64| x.max(0.0)).collect());
+        let h = TrafficHistory::from_samples(
+            (0..10)
+                .map(|d| 100.0 - 15.0 * d as f64)
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|x: f64| x.max(0.0))
+                .collect(),
+        );
         assert!(LinearTrendForecaster { window: 0 }.forecast(&h, 50) >= 0.0);
     }
 

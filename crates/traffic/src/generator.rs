@@ -11,9 +11,9 @@
 
 use crate::demand::{Demand, DemandClass, DemandMatrix};
 use klotski_topology::{SwitchId, SwitchRole, Topology};
+use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use rand::rngs::SmallRng;
 
 use serde::{Deserialize, Serialize};
 

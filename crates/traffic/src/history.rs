@@ -6,9 +6,9 @@
 //! drive forecasting behaviour during month-long migrations (§7.1): organic
 //! growth (trend), weekly seasonality, and noise.
 
+use rand::rngs::SmallRng;
 use rand::RngExt;
 use rand::SeedableRng;
-use rand::rngs::SmallRng;
 
 use serde::{Deserialize, Serialize};
 
@@ -121,7 +121,10 @@ mod tests {
     #[test]
     fn synthesis_is_deterministic() {
         let cfg = HistoryConfig::default();
-        assert_eq!(TrafficHistory::synthesize(&cfg), TrafficHistory::synthesize(&cfg));
+        assert_eq!(
+            TrafficHistory::synthesize(&cfg),
+            TrafficHistory::synthesize(&cfg)
+        );
     }
 
     #[test]
@@ -132,7 +135,10 @@ mod tests {
             ..HistoryConfig::default()
         };
         let h = TrafficHistory::synthesize(&cfg);
-        assert!(h.samples()[119] > h.samples()[0] * 1.3, "+0.3%/day over 120d");
+        assert!(
+            h.samples()[119] > h.samples()[0] * 1.3,
+            "+0.3%/day over 120d"
+        );
     }
 
     #[test]

@@ -24,12 +24,7 @@ pub struct SurgeEvent {
 
 impl SurgeEvent {
     /// A surge on one class.
-    pub fn on_class(
-        from_step: usize,
-        until_step: usize,
-        factor: f64,
-        class: DemandClass,
-    ) -> Self {
+    pub fn on_class(from_step: usize, until_step: usize, factor: f64, class: DemandClass) -> Self {
         Self {
             from_step,
             until_step,

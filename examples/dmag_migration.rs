@@ -15,10 +15,7 @@ use klotski::topology::SwitchRole;
 
 fn main() {
     let preset = presets::build_for_bench(PresetId::EDmag);
-    let mas = preset
-        .topology
-        .switches_by_role(SwitchRole::Ma)
-        .count();
+    let mas = preset.topology.switches_by_role(SwitchRole::Ma).count();
     println!(
         "region {}: inserting {} MA switches between {} FAUUs and {} EBs",
         preset.topology.name(),
@@ -47,7 +44,9 @@ fn main() {
     }
 
     // Klotski plans it.
-    let outcome = AStarPlanner::default().plan(&spec).expect("Klotski plans DMAG");
+    let outcome = AStarPlanner::default()
+        .plan(&spec)
+        .expect("Klotski plans DMAG");
     validate_plan(&spec, &outcome.plan).expect("safe plan");
     println!(
         "\nKlotski-A*: cost {} in {:?} ({} states visited)",

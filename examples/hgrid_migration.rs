@@ -45,10 +45,7 @@ fn main() {
                     o.stats.planning_time
                 );
                 validate_plan(&spec, &o.plan).expect("every produced plan must be safe");
-                let better = best
-                    .as_ref()
-                    .map(|(c, _)| o.cost < *c)
-                    .unwrap_or(true);
+                let better = best.as_ref().map(|(c, _)| o.cost < *c).unwrap_or(true);
                 if better {
                     best = Some((o.cost, o.plan));
                 }

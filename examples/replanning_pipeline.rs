@@ -77,8 +77,16 @@ fn main() {
             p.blocks_operated,
             p.attempts,
             p.realized_max_utilization * 100.0,
-            if p.external_maintenance { ", concurrent maintenance" } else { "" },
-            if p.safe { "" } else { "  << UNSAFE under realized demand" },
+            if p.external_maintenance {
+                ", concurrent maintenance"
+            } else {
+                ""
+            },
+            if p.safe {
+                ""
+            } else {
+                "  << UNSAFE under realized demand"
+            },
         );
     }
     println!(

@@ -24,8 +24,7 @@ fn full_scale_e_plans_in_minutes() {
     assert!(preset.topology.num_switches() > 10_000);
     assert!(preset.topology.num_circuits() > 100_000);
 
-    let spec =
-        MigrationBuilder::hgrid_v1_to_v2(&preset, &MigrationOptions::default()).unwrap();
+    let spec = MigrationBuilder::hgrid_v1_to_v2(&preset, &MigrationOptions::default()).unwrap();
     assert!(spec.num_switch_actions() > 600, "Table 3: ~700 actions");
 
     let start = std::time::Instant::now();

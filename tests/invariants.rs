@@ -10,11 +10,8 @@ use klotski::topology::{NetState, SwitchId};
 use proptest::prelude::*;
 
 fn spec() -> klotski::core::migration::MigrationSpec {
-    MigrationBuilder::hgrid_v1_to_v2(
-        &presets::build(PresetId::A),
-        &MigrationOptions::default(),
-    )
-    .unwrap()
+    MigrationBuilder::hgrid_v1_to_v2(&presets::build(PresetId::A), &MigrationOptions::default())
+        .unwrap()
 }
 
 proptest! {
@@ -84,7 +81,7 @@ proptest! {
     ) {
         let model = CostModel::new(alpha);
         let last = (usize::from(last) < remaining.len())
-            .then(|| klotski::core::ActionTypeId(last));
+            .then_some(klotski::core::ActionTypeId(last));
         let adm = model.heuristic(HeuristicMode::Admissible, &remaining, last);
         let paper = model.heuristic(HeuristicMode::PaperEq9, &remaining, last);
         prop_assert!(adm <= paper + 1e-12);

@@ -85,7 +85,10 @@ fn replanning_disabled_aborts_instead() {
     // the revision into an abort.
     if with.replans > 0 {
         assert!(!without.completed);
-        assert!(without.abort_reason.unwrap().contains("replanning disabled"));
+        assert!(without
+            .abort_reason
+            .unwrap()
+            .contains("replanning disabled"));
     }
 }
 
@@ -94,8 +97,7 @@ fn funneling_enabled_specs_still_plan() {
     // §7.2: production planning inflates related circuits for drain
     // asynchrony. Plans must exist (possibly longer) with the model on.
     let preset = presets::build(PresetId::A);
-    let plain =
-        MigrationBuilder::hgrid_v1_to_v2(&preset, &MigrationOptions::default()).unwrap();
+    let plain = MigrationBuilder::hgrid_v1_to_v2(&preset, &MigrationOptions::default()).unwrap();
     let opts = MigrationOptions {
         funneling: FunnelingModel {
             headroom_factor: 1.15,
@@ -105,7 +107,10 @@ fn funneling_enabled_specs_still_plan() {
     let stressed = MigrationBuilder::hgrid_v1_to_v2(&preset, &opts).unwrap();
     let base = AStarPlanner::default().plan(&plain).unwrap().cost;
     let hard = AStarPlanner::default().plan(&stressed).unwrap().cost;
-    assert!(hard >= base, "funneling headroom can only constrain further");
+    assert!(
+        hard >= base,
+        "funneling headroom can only constrain further"
+    );
 }
 
 #[test]
@@ -118,8 +123,7 @@ fn npd_pipeline_end_to_end() {
     let (topo, _) = npd_to_topology(&parsed).unwrap();
     assert_eq!(topo.num_switches(), preset.topology.num_switches());
 
-    let spec =
-        MigrationBuilder::hgrid_v1_to_v2(&preset, &MigrationOptions::default()).unwrap();
+    let spec = MigrationBuilder::hgrid_v1_to_v2(&preset, &MigrationOptions::default()).unwrap();
     let plan = AStarPlanner::default().plan(&spec).unwrap().plan;
     let mut shipped = parsed;
     attach_plan(&mut shipped, &spec, &plan);

@@ -1,0 +1,176 @@
+//! Offline shim of `criterion` for this workspace: enough of the API for
+//! the `benches/` files to compile and produce honest (if statistically
+//! simpler) timings. Each `bench_function` warms up, then runs timed
+//! batches until the measurement window closes, reporting min/mean/max.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Display, mut f: F) {
+        run_benchmark(&name.to_string(), 10, Duration::from_secs(3), &mut f);
+    }
+
+    /// Criterion's post-run hook; nothing to finalize here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_benchmark(
+            &name.to_string(),
+            self.sample_size,
+            self.measurement_time,
+            &mut f,
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    f: &mut F,
+) {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        sample_size,
+        measurement_time,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        eprintln!("  {name}: no samples");
+        return;
+    }
+    let min = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = b.samples.iter().cloned().fold(0.0f64, f64::max);
+    let mean = b.samples.iter().sum::<f64>() / b.samples.len() as f64;
+    eprintln!(
+        "  {name}: [{} {} {}] ({} samples)",
+        format_time(min),
+        format_time(mean),
+        format_time(max),
+        b.samples.len()
+    );
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Runs the measured closure and records per-iteration timings.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup: one untimed run.
+        black_box(f());
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed().as_secs_f64());
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Builds one `fn group_name()` running every target against a fresh
+/// `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Builds `fn main()` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50));
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(format_time(2e-9).ends_with("ns"));
+        assert!(format_time(2e-6).ends_with("µs"));
+        assert!(format_time(2e-3).ends_with("ms"));
+        assert!(format_time(2.0).ends_with('s'));
+    }
+}

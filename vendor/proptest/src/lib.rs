@@ -1,0 +1,267 @@
+//! Offline shim of `proptest` for this workspace.
+//!
+//! Provides the `proptest!` macro, `ProptestConfig`, numeric-range and
+//! boolean strategies, and `collection::vec` — the exact surface the repo's
+//! property tests use. Cases are generated from a deterministic RNG seeded
+//! by the test name, so failures reproduce run-to-run. (No shrinking: a
+//! failing case panics with the generated inputs visible in the assert.)
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// The deterministic generator handed to strategies.
+pub struct TestRng {
+    rng: SmallRng,
+}
+
+impl TestRng {
+    /// Seeded from the test's name, so each test gets a stable stream.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        Self {
+            rng: SmallRng::seed_from_u64(h),
+        }
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    type Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        rng.rng.random_range(self.clone())
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        // Sampling the half-open range is fine for test generation; the
+        // inclusive upper bound has probability ~0 anyway.
+        let (s, e) = (*self.start(), *self.end());
+        if s == e {
+            return s;
+        }
+        rng.rng.random_range(s..e)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// Boolean strategies (`prop::bool::ANY`).
+pub mod bool {
+    use super::{RngExt, Strategy, TestRng};
+
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn new_value(&self, rng: &mut TestRng) -> bool {
+            rng.rng.random_range(0u32..2) == 1
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{RngExt, Strategy, TestRng};
+    use std::ops::Range;
+
+    /// A size specification: exact or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.rng.random_range(self.size.min..self.size.max_exclusive);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestRng};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The `proptest!` block: expands each contained `fn name(arg in strategy)`
+/// into a plain test that draws `config.cases` deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    (@funcs ($config:expr)) => {};
+    (@funcs ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let mut __rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::new_value(&($strategy), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::proptest!(@funcs ($config) $($rest)*);
+    };
+    // With an explicit config.
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@funcs ($config) $($rest)*);
+    };
+    // Without a config: use the default.
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@funcs ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_respect_bounds(
+            x in 3u32..10,
+            y in 0.25f64..0.5,
+            z in 2u16..=4,
+            flag in prop::bool::ANY,
+            v in prop::collection::vec(0usize..7, 1..5),
+        ) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.25..0.5).contains(&y));
+            prop_assert!((2..=4).contains(&z));
+            prop_assert!(usize::from(flag) <= 1);
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&e| e < 7));
+        }
+    }
+
+    #[test]
+    fn deterministic_streams_per_name() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        let s = 0u64..1000;
+        for _ in 0..50 {
+            assert_eq!(s.new_value(&mut a), s.new_value(&mut b));
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! Offline shim of `serde_derive` for this workspace.
+//!
+//! The build environment has no network access to a crate registry, so the
+//! workspace vendors a minimal serde data model (`vendor/serde`) and this
+//! companion derive. It intentionally supports exactly the shapes used in the
+//! repo — named-field structs, single-field tuple structs, and unit-variant
+//! enums — plus the `#[serde(default)]`, `#[serde(default = "path")]`, and
+//! `#[serde(transparent)]` attributes. Anything else is a compile error, not
+//! silent misbehavior.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum FieldDefault {
+    Required,
+    Std,
+    Path(String),
+}
+
+struct Field {
+    name: String,
+    default: FieldDefault,
+}
+
+enum Kind {
+    Struct(Vec<Field>),
+    Newtype,
+    Enum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive shim: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive shim: generated invalid Deserialize impl")
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    let mut is_enum = false;
+    // Skip outer attributes and visibility until `struct` / `enum`.
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" {
+                    break;
+                }
+                if s == "enum" {
+                    is_enum = true;
+                    break;
+                }
+                // `pub` / `crate`; a following `(crate)` group is consumed
+                // by the Group arm on the next loop turn.
+            }
+            Some(TokenTree::Group(_)) => {}
+            Some(_) => {}
+            None => panic!("serde_derive shim: no struct or enum found"),
+        }
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+    match iter.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde_derive shim: generics are not supported ({name})")
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_enum {
+                Item {
+                    name,
+                    kind: Kind::Enum(parse_variants(g.stream())),
+                }
+            } else {
+                Item {
+                    name,
+                    kind: Kind::Struct(parse_fields(g.stream())),
+                }
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let n = count_tuple_fields(g.stream());
+            if is_enum || n != 1 {
+                panic!("serde_derive shim: only single-field tuple structs are supported ({name})");
+            }
+            Item {
+                name,
+                kind: Kind::Newtype,
+            }
+        }
+        other => panic!("serde_derive shim: unsupported shape for {name}: {other:?}"),
+    }
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_token = false;
+    for t in ts {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    fields += 1;
+                    saw_token = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_token = true;
+    }
+    fields + usize::from(saw_token)
+}
+
+fn parse_fields(ts: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = ts.into_iter().peekable();
+    loop {
+        let mut default = FieldDefault::Required;
+        // Attributes (doc comments and #[serde(...)]).
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.next() {
+                if let Some(d) = parse_serde_default(g.stream()) {
+                    default = d;
+                }
+            }
+        }
+        // Visibility.
+        if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            iter.next();
+            if matches!(
+                iter.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                iter.next();
+            }
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: expected field name, got {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected `:` after {name}, got {other:?}"),
+        }
+        // Skip the type up to a top-level comma (angle-bracket aware).
+        let mut depth = 0i32;
+        loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+                None => break,
+            }
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Extracts a default policy from one attribute token group, if it is
+/// `serde(default)` or `serde(default = "path")`.
+fn parse_serde_default(ts: TokenStream) -> Option<FieldDefault> {
+    let mut iter = ts.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match iter.next() {
+        Some(TokenTree::Group(g)) => g.stream(),
+        _ => return None,
+    };
+    let mut it = inner.into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "default" => match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => match it.next() {
+                Some(TokenTree::Literal(l)) => {
+                    let s = l.to_string();
+                    Some(FieldDefault::Path(s.trim_matches('"').to_string()))
+                }
+                _ => None,
+            },
+            _ => Some(FieldDefault::Std),
+        },
+        // `transparent` and friends need no field handling here: the
+        // newtype codegen already forwards to the inner value.
+        _ => None,
+    }
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = ts.into_iter().peekable();
+    loop {
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            iter.next();
+        }
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => {
+                variants.push(id.to_string());
+                match iter.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+                    Some(TokenTree::Group(_)) => {
+                        panic!("serde_derive shim: only unit enum variants are supported")
+                    }
+                    Some(other) => {
+                        panic!("serde_derive shim: unexpected token after variant: {other:?}")
+                    }
+                    None => break,
+                }
+            }
+            None => break,
+            other => panic!("serde_derive shim: expected variant name, got {other:?}"),
+        }
+    }
+    variants
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    match &item.kind {
+        Kind::Struct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "__fields.push((::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_value(&self.{f})));\n",
+                    f = f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(::serde::Map::from_entries(__fields))\n\
+                 }}\n}}\n"
+            )
+        }
+        Kind::Newtype => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+             ::serde::Serialize::to_value(&self.0)\n\
+             }}\n}}\n"
+        ),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&format!("{name}::{v} => \"{v}\",\n"));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::String(::std::string::String::from(match self {{\n{arms}}}))\n\
+                 }}\n}}\n"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    match &item.kind {
+        Kind::Struct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                let missing = match &f.default {
+                    FieldDefault::Required => format!(
+                        "::serde::Deserialize::from_missing(\"{name}.{f}\")?",
+                        f = f.name
+                    ),
+                    FieldDefault::Std => "::std::default::Default::default()".to_string(),
+                    FieldDefault::Path(p) => format!("{p}()"),
+                };
+                inits.push_str(&format!(
+                    "{f}: match __obj.get(\"{f}\") {{\n\
+                     ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+                     ::std::option::Option::None => {missing},\n\
+                     }},\n",
+                    f = f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::Error::new(\"expected object for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+                 }}\n}}\n"
+            )
+        }
+        Kind::Newtype => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+             ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))\n\
+             }}\n}}\n"
+        ),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&format!(
+                    "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let __s = __v.as_str().ok_or_else(|| \
+                 ::serde::Error::new(\"expected string for {name}\"))?;\n\
+                 match __s {{\n{arms}\
+                 _ => ::std::result::Result::Err(::serde::Error::new(\
+                 \"unknown {name} variant\")),\n}}\n\
+                 }}\n}}\n"
+            )
+        }
+    }
+}
