@@ -103,7 +103,7 @@ impl Planner for BruteForcePlanner {
             best_seq: None,
             stats: PlanStats::default(),
             start,
-            budget: self.budget,
+            budget: self.budget.clone(),
             out_of_budget: false,
         };
         let origin = CompactState::origin(spec.num_types());

@@ -104,7 +104,11 @@ impl Planner for JanusPlanner {
             budget: SearchBudget {
                 max_states: self.budget.max_states,
                 time_limit: remaining_budget,
+                // The inner sweep honors the caller's deadline/cancellation.
+                deadline: self.budget.deadline,
+                cancel: self.budget.cancel.clone(),
             },
+            pool: None,
         };
         let mut outcome = sweep.plan(spec)?;
         outcome.stats.sat_checks += preprocessing_checks;

@@ -10,12 +10,12 @@
 //! - `KLOTSKI_FULL_SCALE=1` — build D/E at full paper scale (slow);
 //! - `KLOTSKI_BENCH_TIMEOUT_SECS` — per-planner cap (default 120).
 
-use klotski_bench::{experiments, parallel};
+use klotski_bench::{experiments, parallel, service};
 
 /// A named experiment: label plus the function rendering its output.
 type Experiment = (&'static str, fn() -> String);
 
-const EXPERIMENTS: [Experiment; 9] = [
+const EXPERIMENTS: [Experiment; 10] = [
     ("table1", experiments::table1),
     ("table3", experiments::table3),
     ("fig8", experiments::fig8),
@@ -25,6 +25,7 @@ const EXPERIMENTS: [Experiment; 9] = [
     ("fig12", experiments::fig12),
     ("fig13", experiments::fig13),
     ("parallel", parallel::parallel),
+    ("service", service::service),
 ];
 
 fn main() {

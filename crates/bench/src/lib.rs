@@ -19,6 +19,7 @@
 pub mod experiments;
 pub mod parallel;
 pub mod runner;
+pub mod service;
 pub mod table;
 
 pub use runner::{run_planner, spec_for, PlannerKind, RunResult};

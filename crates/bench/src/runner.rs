@@ -122,6 +122,7 @@ pub fn run_planner(kind: PlannerKind, spec: &MigrationSpec, alpha: f64) -> RunRe
     let budget = SearchBudget {
         max_states: 50_000_000,
         time_limit: bench_timeout(),
+        ..SearchBudget::default()
     };
     let cost = CostModel::new(alpha);
     let start = Instant::now();

@@ -61,7 +61,9 @@ pub use error::PlanError;
 pub use migration::{MigrationBuilder, MigrationOptions, MigrationSpec, MigrationType};
 pub use opex::{OpexModel, OpexReport};
 pub use plan::{MigrationPlan, PlanPhase};
-pub use planner::{AStarPlanner, DpPlanner, PlanOutcome, PlanStats, Planner};
+pub use planner::{
+    AStarPlanner, CancelFlag, DpPlanner, PlanOutcome, PlanStats, Planner, SearchBudget,
+};
 pub use report::{audit_plan, PlanAudit};
 pub use satcheck::{EscMode, SatChecker};
 pub use space::SpaceModel;

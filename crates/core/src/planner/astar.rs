@@ -18,9 +18,11 @@ use crate::migration::MigrationSpec;
 use crate::plan::{MigrationPlan, PlanStep};
 use crate::planner::{PlanOutcome, PlanStats, Planner, SearchBudget};
 use crate::satcheck::{EscMode, SatChecker};
+use klotski_parallel::WorkerPool;
 use klotski_topology::NetState;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Key of a search state: dense index of `V` in the target box, plus the
@@ -76,6 +78,10 @@ pub struct AStarPlanner {
     pub secondary_priority: bool,
     /// State/time budget.
     pub budget: SearchBudget,
+    /// Shared satisfiability worker pool. `None` builds a private pool per
+    /// `plan` call; long-lived callers (the planning service) pass one pool
+    /// so its threads are reused across jobs.
+    pub pool: Option<Arc<WorkerPool>>,
 }
 
 impl Default for AStarPlanner {
@@ -86,6 +92,7 @@ impl Default for AStarPlanner {
             heuristic: HeuristicMode::Admissible,
             secondary_priority: true,
             budget: SearchBudget::default(),
+            pool: None,
         }
     }
 }
@@ -109,7 +116,10 @@ impl Planner for AStarPlanner {
         let start = Instant::now();
         let target = &spec.target_counts;
         let num_types = spec.num_types();
-        let mut checker = SatChecker::new(spec, self.esc);
+        let mut checker = match &self.pool {
+            Some(pool) => SatChecker::with_pool(spec, self.esc, Arc::clone(pool)),
+            None => SatChecker::new(spec, self.esc),
+        };
         let mut stats = PlanStats::default();
 
         let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
@@ -139,14 +149,10 @@ impl Planner for AStarPlanner {
                 _ => {}
             }
             stats.states_visited += 1;
-            if stats.states_visited > self.budget.max_states
-                || start.elapsed() > self.budget.time_limit
-            {
-                return Err(PlanError::BudgetExceeded {
-                    states_visited: stats.states_visited,
-                    elapsed: start.elapsed(),
-                });
-            }
+            // Per-expansion budget gate: state count, time limit, absolute
+            // deadline, and cooperative cancellation all stop the search
+            // here, before any successor work.
+            self.budget.check(stats.states_visited, start)?;
 
             let v = decode(dense, target);
             if v.is_target(target) {
@@ -345,6 +351,52 @@ mod tests {
             planner.plan(&spec),
             Err(PlanError::BudgetExceeded { .. })
         ));
+    }
+
+    #[test]
+    fn cancelled_search_reports_budget_not_partial_plan() {
+        use crate::planner::CancelFlag;
+        let spec = spec();
+        let flag = CancelFlag::new();
+        flag.cancel(); // cancelled before the search even starts
+        let planner = AStarPlanner {
+            budget: SearchBudget::default().with_cancel(flag),
+            ..AStarPlanner::default()
+        };
+        assert!(matches!(
+            planner.plan(&spec),
+            Err(PlanError::BudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn expired_deadline_reports_budget() {
+        let spec = spec();
+        let planner = AStarPlanner {
+            budget: SearchBudget::default().with_deadline(Instant::now()),
+            ..AStarPlanner::default()
+        };
+        assert!(matches!(
+            planner.plan(&spec),
+            Err(PlanError::BudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn shared_pool_reproduces_owned_pool_plan() {
+        let spec = spec();
+        let owned = AStarPlanner::default().plan(&spec).unwrap();
+        let pool = Arc::new(WorkerPool::new(2));
+        let planner = AStarPlanner {
+            pool: Some(Arc::clone(&pool)),
+            ..AStarPlanner::default()
+        };
+        // Same pool reused across two jobs; plans stay identical.
+        for _ in 0..2 {
+            let shared = planner.plan(&spec).unwrap();
+            assert_eq!(shared.plan, owned.plan);
+            assert!((shared.cost - owned.cost).abs() < 1e-12);
+        }
     }
 
     #[test]

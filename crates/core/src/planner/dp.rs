@@ -19,6 +19,8 @@ use crate::migration::MigrationSpec;
 use crate::plan::{MigrationPlan, PlanStep};
 use crate::planner::{PlanOutcome, PlanStats, Planner, SearchBudget};
 use crate::satcheck::{EscMode, SatChecker};
+use klotski_parallel::WorkerPool;
+use std::sync::Arc;
 use std::time::Instant;
 
 const NO_LAST: u8 = u8::MAX;
@@ -32,6 +34,10 @@ pub struct DpPlanner {
     pub esc: EscMode,
     /// State/time budget; `max_states` bounds the box size `Π(v*_i + 1)`.
     pub budget: SearchBudget,
+    /// Shared satisfiability worker pool. `None` builds a private pool per
+    /// `plan` call; long-lived callers (the planning service) pass one pool
+    /// so its threads are reused across jobs.
+    pub pool: Option<Arc<WorkerPool>>,
 }
 
 impl Default for DpPlanner {
@@ -40,6 +46,7 @@ impl Default for DpPlanner {
             cost: CostModel::default(),
             esc: EscMode::Compact,
             budget: SearchBudget::default(),
+            pool: None,
         }
     }
 }
@@ -71,7 +78,10 @@ impl Planner for DpPlanner {
             });
         }
 
-        let mut checker = SatChecker::new(spec, self.esc);
+        let mut checker = match &self.pool {
+            Some(pool) => SatChecker::with_pool(spec, self.esc, Arc::clone(pool)),
+            None => SatChecker::new(spec, self.esc),
+        };
         let mut stats = PlanStats::default();
 
         // Dense tables over (V, last): f costs and predecessor action types.
@@ -87,14 +97,10 @@ impl Planner for DpPlanner {
         // (one action done) pay the initial phase cost of 1.
         for states in by_total.iter().skip(1) {
             for v in states {
-                if start.elapsed() > self.budget.time_limit {
-                    stats.absorb_sat(checker.stats());
-                    stats.planning_time = start.elapsed();
-                    return Err(PlanError::BudgetExceeded {
-                        states_visited: stats.states_visited,
-                        elapsed: start.elapsed(),
-                    });
-                }
+                // Per-state budget gate: time limit, absolute deadline, and
+                // cooperative cancellation (the box pre-check above already
+                // bounds the state count).
+                self.budget.check(stats.states_visited, start)?;
                 stats.states_visited += 1;
                 // Algorithm 1 line 9: states that violate the constraints
                 // can never appear in a sequence; skip their updates.
@@ -279,6 +285,22 @@ mod tests {
         let dp = DpPlanner::default().plan(&spec).unwrap();
         let astar = AStarPlanner::default().plan(&spec).unwrap();
         assert!(dp.stats.states_visited >= astar.stats.states_visited);
+    }
+
+    #[test]
+    fn cancelled_sweep_reports_budget_not_partial_plan() {
+        use crate::planner::CancelFlag;
+        let spec = spec();
+        let flag = CancelFlag::new();
+        flag.cancel();
+        let planner = DpPlanner {
+            budget: SearchBudget::default().with_cancel(flag),
+            ..DpPlanner::default()
+        };
+        assert!(matches!(
+            planner.plan(&spec),
+            Err(PlanError::BudgetExceeded { .. })
+        ));
     }
 
     #[test]

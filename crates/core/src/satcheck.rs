@@ -39,6 +39,7 @@ use klotski_routing::{
 use klotski_topology::NetState;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Cache strategy for satisfiability results.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -89,7 +90,7 @@ pub struct SatChecker {
     /// True when the target box fits in a `u64` dense index (always, in
     /// practice: a box that overflows `u64` could never be searched anyway).
     dense_ok: bool,
-    pool: WorkerPool,
+    pool: Arc<WorkerPool>,
     router: ParallelRouter,
     loads: LoadMap,
     mask: UsableMask,
@@ -113,7 +114,14 @@ impl SatChecker {
     /// reproduces the sequential checker exactly; larger counts produce
     /// bit-identical results faster.
     pub fn with_threads(spec: &MigrationSpec, mode: EscMode, threads: usize) -> Self {
-        let pool = WorkerPool::new(threads);
+        Self::with_pool(spec, mode, Arc::new(WorkerPool::new(threads)))
+    }
+
+    /// Creates a checker over an existing worker pool. Long-lived callers
+    /// (the planning service's worker threads) share one pool across many
+    /// jobs instead of spawning threads per plan; verdicts are identical to
+    /// a privately-owned pool of the same lane count.
+    pub fn with_pool(spec: &MigrationSpec, mode: EscMode, pool: Arc<WorkerPool>) -> Self {
         Self {
             mode,
             dense_ok: box_fits_u64(&spec.target_counts),

@@ -27,10 +27,12 @@
 //! assert_eq!(topo.num_switches(), preset.topology.num_switches());
 //! ```
 
+pub mod api;
 pub mod convert;
 pub mod error;
 pub mod schema;
 
+pub use api::{npd_digest, PlanRequestOptions, PlanSummary};
 pub use convert::{npd_to_topology, region_to_npd};
 pub use error::NpdError;
 pub use schema::Npd;

@@ -104,6 +104,13 @@ impl WorkerPool {
         Self::new(default_lanes())
     }
 
+    /// A reference-counted pool with `lanes` lanes, for callers that share
+    /// one pool across many jobs (every `run` epoch is independent, so a
+    /// pool outliving any single job is safe by construction).
+    pub fn shared(lanes: usize) -> std::sync::Arc<Self> {
+        std::sync::Arc::new(Self::new(lanes))
+    }
+
     /// Total execution lanes (workers + the calling thread).
     pub fn lanes(&self) -> usize {
         self.workers.len() + 1

@@ -1,0 +1,267 @@
+//! Job lifecycle tracking: every accepted submission becomes a [`Job`]
+//! that connection threads can wait on (synchronous requests) or poll
+//! (`GET /v1/jobs/{id}` after a `?wait=0` submission).
+//!
+//! A job's phase is a Mutex+Condvar cell; workers publish exactly one
+//! terminal transition (`Done` or `Failed`), waking every waiter. The
+//! [`JobTable`] keeps a bounded history of finished jobs so pollers can
+//! fetch results after the fact without the table growing forever.
+
+use crate::pipeline::PlanArtifact;
+use klotski_npd::api::JobState;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// What kind of work a job carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// `POST /v1/plan`: respond with the plan-attached NPD bytes.
+    Plan,
+    /// `POST /v1/audit`: respond with the summary + safety audit.
+    Audit,
+}
+
+impl JobKind {
+    /// Wire label used in job status responses.
+    pub fn label(self) -> &'static str {
+        match self {
+            JobKind::Plan => "plan",
+            JobKind::Audit => "audit",
+        }
+    }
+}
+
+/// A terminal failure, carrying the HTTP status the serving layer should
+/// answer with (422 infeasible/invalid, 504 deadline, 500 internal).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError {
+    /// HTTP status code for this failure class.
+    pub status: u16,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+/// Internal lifecycle cell.
+#[derive(Debug)]
+enum Phase {
+    Queued,
+    Running,
+    Done(Arc<PlanArtifact>),
+    Failed(JobError),
+}
+
+/// One accepted submission.
+pub struct Job {
+    /// Monotonic job id, also the `/v1/jobs/{id}` path segment.
+    pub id: u64,
+    /// Plan or audit.
+    pub kind: JobKind,
+    /// When the job was admitted (drives the end-to-end latency metric).
+    pub admitted: Instant,
+    phase: Mutex<Phase>,
+    done: Condvar,
+}
+
+impl Job {
+    /// A freshly admitted job.
+    pub fn new(id: u64, kind: JobKind) -> Self {
+        Self {
+            id,
+            kind,
+            admitted: Instant::now(),
+            phase: Mutex::new(Phase::Queued),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Marks the job running (worker picked it up).
+    pub fn set_running(&self) {
+        *self.phase.lock().unwrap() = Phase::Running;
+    }
+
+    /// Publishes success and wakes all waiters.
+    pub fn complete(&self, artifact: Arc<PlanArtifact>) {
+        *self.phase.lock().unwrap() = Phase::Done(artifact);
+        self.done.notify_all();
+    }
+
+    /// Publishes failure and wakes all waiters.
+    pub fn fail(&self, status: u16, message: impl Into<String>) {
+        *self.phase.lock().unwrap() = Phase::Failed(JobError {
+            status,
+            message: message.into(),
+        });
+        self.done.notify_all();
+    }
+
+    /// Current state plus outcome, without blocking.
+    pub fn status(&self) -> (JobState, Option<Arc<PlanArtifact>>, Option<JobError>) {
+        match &*self.phase.lock().unwrap() {
+            Phase::Queued => (JobState::Queued, None, None),
+            Phase::Running => (JobState::Running, None, None),
+            Phase::Done(a) => (JobState::Done, Some(Arc::clone(a)), None),
+            Phase::Failed(e) => (JobState::Failed, None, Some(e.clone())),
+        }
+    }
+
+    /// Blocks until the job reaches a terminal state or `timeout` passes.
+    /// Returns `None` on timeout (the job keeps running; poll later).
+    pub fn wait(&self, timeout: Duration) -> Option<Result<Arc<PlanArtifact>, JobError>> {
+        let deadline = Instant::now() + timeout;
+        let mut phase = self.phase.lock().unwrap();
+        loop {
+            match &*phase {
+                Phase::Done(a) => return Some(Ok(Arc::clone(a))),
+                Phase::Failed(e) => return Some(Err(e.clone())),
+                _ => {}
+            }
+            let remaining = deadline.checked_duration_since(Instant::now())?;
+            let (next, timed_out) = self.done.wait_timeout(phase, remaining).unwrap();
+            phase = next;
+            if timed_out.timed_out() {
+                match &*phase {
+                    Phase::Done(a) => return Some(Ok(Arc::clone(a))),
+                    Phase::Failed(e) => return Some(Err(e.clone())),
+                    _ => return None,
+                }
+            }
+        }
+    }
+}
+
+/// Bounded registry of live and recently finished jobs.
+pub struct JobTable {
+    inner: Mutex<TableInner>,
+    capacity: usize,
+}
+
+struct TableInner {
+    jobs: HashMap<u64, Arc<Job>>,
+    order: VecDeque<u64>,
+    next_id: u64,
+}
+
+impl JobTable {
+    /// A table remembering at most `capacity` jobs (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(TableInner {
+                jobs: HashMap::new(),
+                order: VecDeque::new(),
+                next_id: 1,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Registers a new job, evicting the oldest once over capacity.
+    pub fn create(&self, kind: JobKind) -> Arc<Job> {
+        let mut inner = self.inner.lock().unwrap();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let job = Arc::new(Job::new(id, kind));
+        inner.jobs.insert(id, Arc::clone(&job));
+        inner.order.push_back(id);
+        while inner.order.len() > self.capacity {
+            if let Some(old) = inner.order.pop_front() {
+                inner.jobs.remove(&old);
+            }
+        }
+        job
+    }
+
+    /// Looks up a job by id.
+    pub fn get(&self, id: u64) -> Option<Arc<Job>> {
+        self.inner.lock().unwrap().jobs.get(&id).cloned()
+    }
+
+    /// Number of remembered jobs.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().jobs.len()
+    }
+
+    /// True when no jobs are remembered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use klotski_core::report::PlanAudit;
+    use klotski_npd::api::PlanSummary;
+
+    fn artifact() -> Arc<PlanArtifact> {
+        Arc::new(PlanArtifact {
+            summary: PlanSummary {
+                name: "t".into(),
+                npd_digest: "0".into(),
+                options_digest: "0".into(),
+                planner: "klotski-a*".into(),
+                cost: 1.0,
+                phases: 1,
+                steps: 1,
+                states_visited: 1,
+                sat_checks: 1,
+                planning_ms: 0,
+                cached: false,
+            },
+            plan_json: b"{}".to_vec(),
+            audit: PlanAudit {
+                migration: "t".into(),
+                theta: 0.75,
+                phases: vec![],
+            },
+        })
+    }
+
+    #[test]
+    fn lifecycle_transitions_publish_to_pollers() {
+        let table = JobTable::new(8);
+        let job = table.create(JobKind::Plan);
+        assert_eq!(job.status().0, JobState::Queued);
+        job.set_running();
+        assert_eq!(job.status().0, JobState::Running);
+        job.complete(artifact());
+        let (state, result, error) = job.status();
+        assert_eq!(state, JobState::Done);
+        assert!(result.is_some());
+        assert!(error.is_none());
+    }
+
+    #[test]
+    fn wait_blocks_until_worker_publishes() {
+        let job = Arc::new(Job::new(1, JobKind::Audit));
+        let worker = {
+            let job = Arc::clone(&job);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                job.fail(422, "infeasible");
+            })
+        };
+        let outcome = job.wait(Duration::from_secs(5)).expect("terminal");
+        let err = outcome.unwrap_err();
+        assert_eq!(err.status, 422);
+        assert_eq!(err.message, "infeasible");
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn wait_times_out_on_stuck_job() {
+        let job = Job::new(2, JobKind::Plan);
+        assert!(job.wait(Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn table_evicts_oldest_beyond_capacity() {
+        let table = JobTable::new(3);
+        let ids: Vec<u64> = (0..5).map(|_| table.create(JobKind::Plan).id).collect();
+        assert_eq!(table.len(), 3);
+        assert!(table.get(ids[0]).is_none(), "oldest evicted");
+        assert!(table.get(ids[4]).is_some(), "newest kept");
+        // Ids are monotonic and unique.
+        assert_eq!(ids, vec![1, 2, 3, 4, 5]);
+    }
+}

@@ -1,0 +1,747 @@
+//! # klotski-service
+//!
+//! A concurrent planning/audit daemon over NPD (§5's EDP-Lite pipeline as
+//! a long-running service). The paper's planner runs inside a production
+//! deployment pipeline where many migrations are planned and re-audited
+//! continuously; this crate is that serving layer, built std-only:
+//!
+//! * **HTTP/1.1 + JSON** on a plain `TcpListener` — `POST /v1/plan` and
+//!   `POST /v1/audit` accept NPD documents, `GET /v1/jobs/{id}` polls
+//!   asynchronous jobs, `GET /metrics` exposes Prometheus text,
+//!   `GET /healthz` is the load-balancer probe.
+//! * **Bounded admission**: a fixed-capacity MPMC queue between connection
+//!   threads and planner workers. A full queue answers
+//!   `503 + Retry-After` — the daemon sheds load instead of growing.
+//! * **Long-lived workers**: each worker thread owns a persistent
+//!   [`WorkerPool`] reused across jobs, so satisfiability lanes are warmed
+//!   once, not per request.
+//! * **Shared plan cache** keyed by `(NPD digest, options digest)`:
+//!   repeated submissions of the same document return the original bytes.
+//! * **Byte-identity**: the service and `klotski plan` call the same
+//!   [`pipeline::plan_document`], so a daemon response is byte-for-byte
+//!   the file the CLI would have written.
+//! * **Graceful shutdown**: SIGTERM/SIGINT stop admission, drain the
+//!   queue, and join every worker before exit.
+
+pub mod cache;
+pub mod http;
+pub mod jobs;
+pub mod metrics;
+pub mod pipeline;
+pub mod queue;
+pub mod signal;
+
+use crate::cache::PlanCache;
+use crate::http::{read_request, HttpError, Request, Response};
+use crate::jobs::{Job, JobKind, JobTable};
+use crate::metrics::{Gauges, Metrics};
+use crate::pipeline::{plan_document, PipelineError, PlanArtifact};
+use crate::queue::{BoundedQueue, PushError};
+use klotski_core::planner::SearchBudget;
+use klotski_npd::api::{
+    AcceptedResponse, AuditResponse, ErrorResponse, JobStatusResponse, PlanRequestOptions,
+    PlanSummary,
+};
+use klotski_npd::Npd;
+use klotski_parallel::{default_lanes, WorkerPool};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Service tuning knobs. `Default` is a sensible single-host deployment.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bind address; `"127.0.0.1:0"` picks an ephemeral port.
+    pub addr: String,
+    /// Planner worker threads. `0` is accepted (admission-only mode, used
+    /// by backpressure tests: nothing ever drains the queue).
+    pub workers: usize,
+    /// Bounded queue capacity; beyond it submissions get 503.
+    pub queue_depth: usize,
+    /// Satisfiability lanes per worker's persistent [`WorkerPool`].
+    pub lanes_per_worker: usize,
+    /// Shared plan-cache capacity in artifacts (0 disables).
+    pub cache_capacity: usize,
+    /// Finished/live jobs remembered for polling.
+    pub jobs_capacity: usize,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// Per-connection socket read/write timeout.
+    pub io_timeout: Duration,
+    /// How long a synchronous (no `?wait=0`) submission blocks before
+    /// degrading to `202 Accepted` + job id.
+    pub sync_wait: Duration,
+    /// Service-wide planning deadline applied when a request does not set
+    /// `deadline_ms`. `None` = unbounded (the search budget still applies).
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: default_lanes(),
+            queue_depth: 64,
+            lanes_per_worker: 1,
+            cache_capacity: 128,
+            jobs_capacity: 1024,
+            max_body_bytes: 8 * 1024 * 1024,
+            io_timeout: Duration::from_secs(30),
+            sync_wait: Duration::from_secs(300),
+            default_deadline: None,
+        }
+    }
+}
+
+/// One admitted unit of work travelling the queue.
+struct QueuedJob {
+    job: Arc<Job>,
+    npd: Npd,
+    options: PlanRequestOptions,
+    key: (u64, u64),
+}
+
+/// State shared by the acceptor, connection threads, and workers.
+struct Shared {
+    config: ServiceConfig,
+    queue: BoundedQueue<QueuedJob>,
+    jobs: JobTable,
+    cache: PlanCache<PlanArtifact>,
+    metrics: Metrics,
+    workers_busy: AtomicUsize,
+    draining: std::sync::atomic::AtomicBool,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst) || signal::shutdown_requested()
+    }
+
+    fn gauges(&self) -> Gauges {
+        Gauges {
+            queue_depth: self.queue.len(),
+            queue_capacity: self.queue.capacity(),
+            workers_busy: self.workers_busy.load(Ordering::Relaxed),
+            workers: self.config.workers,
+            cache_entries: self.cache.len(),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+        }
+    }
+}
+
+/// A running daemon. Dropping it without [`shutdown`](Self::shutdown)
+/// leaves threads running; call shutdown for a clean exit.
+pub struct Service {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Binds, spawns the acceptor and worker threads, and returns.
+    pub fn start(config: ServiceConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_depth),
+            jobs: JobTable::new(config.jobs_capacity),
+            cache: PlanCache::new(config.cache_capacity),
+            metrics: Metrics::new(),
+            workers_busy: AtomicUsize::new(0),
+            draining: std::sync::atomic::AtomicBool::new(false),
+            config,
+        });
+
+        let workers = (0..shared.config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("klotski-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("klotski-acceptor".into())
+                .spawn(move || accept_loop(listener, &shared))
+                .expect("spawn acceptor")
+        };
+
+        Ok(Self {
+            shared,
+            local_addr,
+            acceptor,
+            workers,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Blocks until a shutdown signal arrives, then drains and exits.
+    /// This is the `klotski serve` main loop.
+    pub fn run_until_signalled(self) {
+        while !signal::shutdown_requested() {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        self.shutdown();
+    }
+
+    /// Graceful shutdown: stop admission, drain the queue, join all
+    /// threads. In-flight and already-queued jobs finish; new submissions
+    /// have been getting 503 since the drain flag flipped.
+    pub fn shutdown(self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        let _ = self.acceptor.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Accept loop: one short-lived thread per connection (`Connection:
+/// close`), exiting once the drain flag flips.
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.draining() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        let _ = std::thread::Builder::new()
+            .name("klotski-conn".into())
+            .spawn(move || {
+                let _ = handle_connection(stream, &shared);
+            });
+    }
+}
+
+/// Worker loop: pop, plan, publish. Exits when the queue is closed and
+/// drained. Each worker owns one persistent pool reused across jobs.
+fn worker_loop(shared: &Arc<Shared>) {
+    let pool = WorkerPool::shared(shared.config.lanes_per_worker.max(1));
+    while let Some(queued) = shared.queue.pop() {
+        shared.workers_busy.fetch_add(1, Ordering::Relaxed);
+        run_job(shared, &queued, &pool);
+        shared.workers_busy.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn run_job(shared: &Arc<Shared>, queued: &QueuedJob, pool: &Arc<WorkerPool>) {
+    queued.job.set_running();
+    // A same-key job may have finished while this one sat queued.
+    if let Some(hit) = shared.cache.get(queued.key) {
+        shared
+            .metrics
+            .jobs_completed
+            .fetch_add(1, Ordering::Relaxed);
+        shared.metrics.latency.record(queued.job.admitted.elapsed());
+        queued.job.complete(hit);
+        return;
+    }
+    let mut budget = SearchBudget::default();
+    let deadline_ms = queued
+        .options
+        .deadline_ms
+        .map(Duration::from_millis)
+        .or(shared.config.default_deadline);
+    if let Some(d) = deadline_ms {
+        // Deadlines bound admission-to-answer, so they start at admission.
+        budget = budget.with_deadline(queued.job.admitted + d);
+    }
+    match plan_document(&queued.npd, &queued.options, budget, Some(Arc::clone(pool))) {
+        Ok(artifact) => {
+            let artifact = Arc::new(artifact);
+            shared.cache.insert(queued.key, Arc::clone(&artifact));
+            shared
+                .metrics
+                .jobs_completed
+                .fetch_add(1, Ordering::Relaxed);
+            shared.metrics.latency.record(queued.job.admitted.elapsed());
+            queued.job.complete(artifact);
+        }
+        Err(e) => {
+            let status = match &e {
+                PipelineError::Invalid(_) => 422,
+                PipelineError::Plan(_) if e.is_budget_exceeded() => 504,
+                PipelineError::Plan(_) => 422,
+                PipelineError::Internal(_) => 500,
+            };
+            shared.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            queued.job.fail(status, e.to_string());
+        }
+    }
+}
+
+/// Reads one request, routes it, writes one response.
+fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+    http::configure_stream(&stream, shared.config.io_timeout)?;
+    let request = match read_request(&mut stream, shared.config.max_body_bytes) {
+        Ok(r) => r,
+        Err(HttpError::BodyTooLarge(n)) => {
+            shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return Response::json(
+                413,
+                &ErrorResponse::new(format!("body of {n} bytes too large")),
+            )
+            .write_to(&mut stream);
+        }
+        Err(HttpError::Malformed(why)) => {
+            shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return Response::json(400, &ErrorResponse::new(why)).write_to(&mut stream);
+        }
+        Err(HttpError::Io(e)) => return Err(e),
+    };
+    shared.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+    let response = route(&request, shared);
+    response.write_to(&mut stream)
+}
+
+fn route(request: &Request, shared: &Arc<Shared>) -> Response {
+    let path = request.path.as_str();
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => {
+            if shared.draining() {
+                Response::text(503, "draining").with_header("Retry-After", "1")
+            } else {
+                Response::text(200, "ok")
+            }
+        }
+        ("GET", "/metrics") => {
+            Response::text(200, metrics::render(&shared.metrics, &shared.gauges()))
+        }
+        ("POST", "/v1/plan") => submit(request, shared, JobKind::Plan),
+        ("POST", "/v1/audit") => submit(request, shared, JobKind::Audit),
+        ("GET", _) if path.starts_with("/v1/jobs/") => job_endpoint(request, shared),
+        (_, "/healthz" | "/metrics" | "/v1/plan" | "/v1/audit") => {
+            shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            Response::json(405, &ErrorResponse::new("method not allowed"))
+        }
+        _ => {
+            shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            Response::json(404, &ErrorResponse::new(format!("no route for {path}")))
+        }
+    }
+}
+
+/// Parses per-request options out of the query string.
+fn options_from_query(request: &Request) -> Result<PlanRequestOptions, String> {
+    let mut options = PlanRequestOptions::default();
+    for (key, value) in &request.query {
+        match key.as_str() {
+            "theta" => {
+                options.theta = Some(value.parse().map_err(|_| format!("bad theta {value:?}"))?)
+            }
+            "alpha" => {
+                options.alpha = Some(value.parse().map_err(|_| format!("bad alpha {value:?}"))?)
+            }
+            "planner" => options.planner = Some(value.clone()),
+            "deadline_ms" => {
+                options.deadline_ms = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad deadline_ms {value:?}"))?,
+                )
+            }
+            "wait" => {} // handled by the caller
+            other => return Err(format!("unknown query parameter {other:?}")),
+        }
+    }
+    Ok(options)
+}
+
+/// Shared handler for `POST /v1/plan` and `POST /v1/audit`.
+fn submit(request: &Request, shared: &Arc<Shared>, kind: JobKind) -> Response {
+    let counter = match kind {
+        JobKind::Plan => &shared.metrics.plan_requests,
+        JobKind::Audit => &shared.metrics.audit_requests,
+    };
+    counter.fetch_add(1, Ordering::Relaxed);
+
+    if shared.draining() {
+        shared.metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
+        return Response::json(503, &ErrorResponse::new("draining; not accepting work"))
+            .with_header("Retry-After", "1");
+    }
+    let options = match options_from_query(request) {
+        Ok(o) => o,
+        Err(why) => {
+            shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return Response::json(400, &ErrorResponse::new(why));
+        }
+    };
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(b) => b,
+        Err(_) => {
+            shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return Response::json(400, &ErrorResponse::new("body is not UTF-8"));
+        }
+    };
+    let npd = match Npd::from_json(body) {
+        Ok(n) => n,
+        Err(e) => {
+            shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return Response::json(422, &ErrorResponse::new(format!("invalid NPD: {e}")));
+        }
+    };
+
+    let key = (klotski_npd::npd_digest(&npd), options.digest());
+    if let Some(hit) = shared.cache.get(key) {
+        return finished_response(kind, &hit, true);
+    }
+
+    let job = shared.jobs.create(kind);
+    let queued = QueuedJob {
+        job: Arc::clone(&job),
+        npd,
+        options,
+        key,
+    };
+    match shared.queue.try_push(queued) {
+        Ok(()) => {}
+        Err(PushError::Full(_)) => {
+            shared.metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            job.fail(503, "queue full");
+            return Response::json(
+                503,
+                &ErrorResponse::new(format!(
+                    "queue full ({} jobs queued); retry later",
+                    shared.queue.capacity()
+                )),
+            )
+            .with_header("Retry-After", "1");
+        }
+        Err(PushError::Closed(_)) => {
+            shared.metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            job.fail(503, "draining");
+            return Response::json(503, &ErrorResponse::new("draining; not accepting work"))
+                .with_header("Retry-After", "1");
+        }
+    }
+
+    if request.query_param("wait") == Some("0") {
+        return Response::json(
+            202,
+            &AcceptedResponse {
+                job: job.id.to_string(),
+            },
+        )
+        .with_header("Location", format!("/v1/jobs/{}", job.id));
+    }
+    match job.wait(shared.config.sync_wait) {
+        Some(Ok(artifact)) => finished_response(kind, &artifact, artifact.summary.cached),
+        Some(Err(e)) => Response::json(e.status, &ErrorResponse::new(e.message)),
+        None => Response::json(
+            202,
+            &AcceptedResponse {
+                job: job.id.to_string(),
+            },
+        )
+        .with_header("Location", format!("/v1/jobs/{}", job.id)),
+    }
+}
+
+/// Renders a finished artifact for its request kind. Plan responses are
+/// the raw plan-attached NPD bytes (byte-identical to the CLI); audit
+/// responses are the summary + safety timeline.
+fn finished_response(kind: JobKind, artifact: &Arc<PlanArtifact>, cached: bool) -> Response {
+    let cache_header = if cached { "hit" } else { "miss" };
+    match kind {
+        JobKind::Plan => Response::raw_json(200, artifact.plan_json.clone())
+            .with_header("X-Klotski-Cache", cache_header)
+            .with_header("X-Klotski-Digest", artifact.summary.npd_digest.clone())
+            .with_header("X-Klotski-Cost", format!("{}", artifact.summary.cost)),
+        JobKind::Audit => {
+            let summary = PlanSummary {
+                cached,
+                ..artifact.summary.clone()
+            };
+            Response::json(
+                200,
+                &AuditResponse {
+                    summary,
+                    audit: artifact.audit.clone(),
+                },
+            )
+            .with_header("X-Klotski-Cache", cache_header)
+        }
+    }
+}
+
+/// `GET /v1/jobs/{id}` and `GET /v1/jobs/{id}/result`.
+fn job_endpoint(request: &Request, shared: &Arc<Shared>) -> Response {
+    let rest = &request.path["/v1/jobs/".len()..];
+    let (id_str, want_result) = match rest.strip_suffix("/result") {
+        Some(id) => (id, true),
+        None => (rest, false),
+    };
+    let Ok(id) = id_str.parse::<u64>() else {
+        shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+        return Response::json(400, &ErrorResponse::new(format!("bad job id {id_str:?}")));
+    };
+    let Some(job) = shared.jobs.get(id) else {
+        return Response::json(404, &ErrorResponse::new(format!("no job {id}")));
+    };
+    let (state, artifact, error) = job.status();
+    if want_result {
+        return match (artifact, error) {
+            (Some(a), _) => finished_response(job.kind, &a, a.summary.cached),
+            (None, Some(e)) => Response::json(e.status, &ErrorResponse::new(e.message)),
+            (None, None) => Response::json(
+                409,
+                &ErrorResponse::new(format!("job {id} not finished (state {state:?})")),
+            )
+            .with_header("Retry-After", "1"),
+        };
+    }
+    Response::json(
+        200,
+        &JobStatusResponse {
+            id: id.to_string(),
+            kind: job.kind.label().to_string(),
+            state,
+            error: error.map(|e| e.message),
+            summary: artifact.map(|a| a.summary.clone()),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use klotski_npd::convert::region_to_npd;
+    use klotski_topology::presets::{self, PresetId};
+    use std::io::{Read, Write};
+    use std::time::Instant;
+
+    fn small_npd_json() -> String {
+        region_to_npd(&presets::config(PresetId::A))
+            .to_json_pretty()
+            .unwrap()
+    }
+
+    fn request(addr: SocketAddr, head: &str, body: &str) -> (u16, Vec<(String, String)>, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let msg = format!("{head}\r\nContent-Length: {}\r\n\r\n{body}", body.len());
+        stream.write_all(msg.as_bytes()).unwrap();
+        let mut reply = Vec::new();
+        stream.read_to_end(&mut reply).unwrap();
+        let reply = String::from_utf8(reply).unwrap();
+        let (head, body) = reply.split_once("\r\n\r\n").unwrap();
+        let mut lines = head.split("\r\n");
+        let status: u16 = lines
+            .next()
+            .unwrap()
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        let headers = lines
+            .filter_map(|l| l.split_once(':'))
+            .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+            .collect();
+        (status, headers, body.to_string())
+    }
+
+    fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+        headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    #[test]
+    fn plan_audit_cache_and_metrics_end_to_end() {
+        let service = Service::start(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let addr = service.local_addr();
+        let npd = small_npd_json();
+
+        let (status, _, body) = request(addr, "GET /healthz HTTP/1.1\r\nHost: t", "");
+        assert_eq!((status, body.as_str()), (200, "ok"));
+
+        // First plan: a cache miss that returns the plan-attached document.
+        let (status, headers, body) = request(addr, "POST /v1/plan HTTP/1.1\r\nHost: t", &npd);
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(header(&headers, "x-klotski-cache"), Some("miss"));
+        let shipped = Npd::from_json(&body).unwrap();
+        assert!(!shipped.phases.is_empty());
+
+        // Second identical plan: served from cache, byte-identical.
+        let (status, headers, body2) = request(addr, "POST /v1/plan HTTP/1.1\r\nHost: t", &npd);
+        assert_eq!(status, 200);
+        assert_eq!(header(&headers, "x-klotski-cache"), Some("hit"));
+        assert_eq!(body, body2);
+
+        // Audit of the same document also hits the cache.
+        let (status, headers, body) = request(addr, "POST /v1/audit HTTP/1.1\r\nHost: t", &npd);
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(header(&headers, "x-klotski-cache"), Some("hit"));
+        let audit: AuditResponse = serde_json::from_str(&body).unwrap();
+        assert!(audit.summary.cached);
+        assert_eq!(audit.audit.phases.len(), audit.summary.phases);
+        assert!(audit.audit.peak_utilization() <= audit.audit.theta + 1e-9);
+
+        let (status, _, text) = request(addr, "GET /metrics HTTP/1.1\r\nHost: t", "");
+        assert_eq!(status, 200);
+        assert!(text.contains("klotski_plan_requests_total 2"), "{text}");
+        assert!(text.contains("klotski_audit_requests_total 1"));
+        assert!(text.contains("klotski_jobs_completed_total 1"));
+        assert!(text.contains("klotski_plan_latency_seconds_count 1"));
+
+        service.shutdown();
+    }
+
+    #[test]
+    fn async_submission_polls_to_completion() {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            cache_capacity: 0, // force real planning
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let addr = service.local_addr();
+        let npd = small_npd_json();
+
+        let (status, headers, body) =
+            request(addr, "POST /v1/plan?wait=0 HTTP/1.1\r\nHost: t", &npd);
+        assert_eq!(status, 202, "{body}");
+        let accepted: AcceptedResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!(
+            header(&headers, "location"),
+            Some(format!("/v1/jobs/{}", accepted.job).as_str())
+        );
+
+        // Poll until done.
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let (status, _, body) = request(
+                addr,
+                &format!("GET /v1/jobs/{} HTTP/1.1\r\nHost: t", accepted.job),
+                "",
+            );
+            assert_eq!(status, 200, "{body}");
+            let poll: JobStatusResponse = serde_json::from_str(&body).unwrap();
+            match poll.state {
+                klotski_npd::api::JobState::Done => {
+                    let summary = poll.summary.expect("summary on done");
+                    assert!(summary.phases > 0);
+                    break;
+                }
+                klotski_npd::api::JobState::Failed => panic!("job failed: {:?}", poll.error),
+                _ => std::thread::sleep(Duration::from_millis(25)),
+            }
+            assert!(Instant::now() < deadline, "job never finished");
+        }
+
+        // Fetch the raw result bytes.
+        let (status, _, body) = request(
+            addr,
+            &format!("GET /v1/jobs/{}/result HTTP/1.1\r\nHost: t", accepted.job),
+            "",
+        );
+        assert_eq!(status, 200);
+        assert!(Npd::from_json(&body).is_ok());
+
+        service.shutdown();
+    }
+
+    #[test]
+    fn invalid_inputs_get_4xx_envelopes() {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let addr = service.local_addr();
+
+        let (status, _, body) = request(addr, "POST /v1/plan HTTP/1.1\r\nHost: t", "{not json");
+        assert_eq!(status, 422, "{body}");
+        let err: ErrorResponse = serde_json::from_str(&body).unwrap();
+        assert!(err.error.contains("invalid NPD"));
+
+        let (status, _, _) = request(addr, "POST /v1/plan?theta=bogus HTTP/1.1\r\nHost: t", "{}");
+        assert_eq!(status, 400);
+
+        let (status, _, _) = request(addr, "GET /v1/jobs/999 HTTP/1.1\r\nHost: t", "");
+        assert_eq!(status, 404);
+
+        let (status, _, _) = request(addr, "DELETE /v1/plan HTTP/1.1\r\nHost: t", "");
+        assert_eq!(status, 405);
+
+        let (status, _, _) = request(addr, "GET /nope HTTP/1.1\r\nHost: t", "");
+        assert_eq!(status, 404);
+
+        service.shutdown();
+    }
+
+    #[test]
+    fn full_queue_rejects_with_503_and_retry_after() {
+        // No workers: nothing drains, so the queue fills deterministically.
+        let service = Service::start(ServiceConfig {
+            workers: 0,
+            queue_depth: 2,
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let addr = service.local_addr();
+        let npd = small_npd_json();
+
+        for _ in 0..2 {
+            let (status, _, _) = request(addr, "POST /v1/plan?wait=0 HTTP/1.1\r\nHost: t", &npd);
+            assert_eq!(status, 202);
+        }
+        let (status, headers, body) =
+            request(addr, "POST /v1/plan?wait=0 HTTP/1.1\r\nHost: t", &npd);
+        assert_eq!(status, 503, "{body}");
+        assert_eq!(header(&headers, "retry-after"), Some("1"));
+        let err: ErrorResponse = serde_json::from_str(&body).unwrap();
+        assert!(err.error.contains("queue full"));
+
+        let (_, _, text) = request(addr, "GET /metrics HTTP/1.1\r\nHost: t", "");
+        assert!(text.contains("klotski_rejected_busy_total 1"), "{text}");
+        assert!(text.contains("klotski_queue_depth 2"));
+
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let addr = service.local_addr();
+        let npd = small_npd_json();
+        let (status, _, body) = request(addr, "POST /v1/plan?wait=0 HTTP/1.1\r\nHost: t", &npd);
+        assert_eq!(status, 202);
+        let accepted: AcceptedResponse = serde_json::from_str(&body).unwrap();
+        let shared = Arc::clone(&service.shared);
+
+        // Shutdown must block until the admitted job has been planned.
+        service.shutdown();
+        let job = shared.jobs.get(accepted.job.parse().unwrap()).unwrap();
+        let (state, artifact, error) = job.status();
+        assert_eq!(state, klotski_npd::api::JobState::Done, "error: {error:?}");
+        assert!(artifact.is_some());
+    }
+}

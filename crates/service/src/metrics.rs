@@ -1,0 +1,333 @@
+//! Std-only service metrics: atomic counters plus a fixed-bucket latency
+//! histogram, rendered in Prometheus text exposition format at `/metrics`.
+//!
+//! The histogram uses geometric bucket bounds (~1.47× apart) spanning
+//! 100 µs to ~2 min, so quantile estimates carry bounded relative error
+//! without any locking on the record path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Upper bounds of the latency buckets, in microseconds. Geometric series:
+/// `bound[i] = 100 · (1.468)^i`, 32 buckets, last bound ≈ 2.6 min; anything
+/// slower lands in the implicit overflow bucket.
+const BUCKET_BOUNDS_US: [u64; 32] = [
+    100, 147, 216, 317, 465, 683, 1_002, 1_472, 2_161, 3_172, 4_657, 6_837, 10_036, 14_733, 21_628,
+    31_750, 46_609, 68_422, 100_444, 147_452, 216_460, 317_764, 466_478, 684_789, 1_005_270,
+    1_475_737, 2_166_382, 3_180_249, 4_668_606, 6_853_514, 10_060_959, 14_769_488,
+];
+
+/// A lock-free fixed-bucket latency histogram.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_BOUNDS_US.len()],
+    /// Samples beyond the last bound.
+    overflow: AtomicU64,
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            overflow: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, sample: Duration) {
+        let us = sample.as_micros().min(u128::from(u64::MAX)) as u64;
+        match BUCKET_BOUNDS_US.iter().position(|&b| us <= b) {
+            Some(i) => self.buckets[i].fetch_add(1, Ordering::Relaxed),
+            None => self.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples, seconds.
+    pub fn sum_seconds(&self) -> f64 {
+        self.sum_us.load(Ordering::Relaxed) as f64 / 1e6
+    }
+
+    /// Estimated `q`-quantile in seconds (upper bound of the bucket holding
+    /// the quantile sample). Returns 0 with no samples.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return BUCKET_BOUNDS_US[i] as f64 / 1e6;
+            }
+        }
+        // Quantile sample sits in the overflow bucket: report the max bound.
+        *BUCKET_BOUNDS_US.last().unwrap() as f64 / 1e6
+    }
+}
+
+/// All service counters. Everything is relaxed-atomic: metrics never
+/// contend with the request path.
+#[derive(Debug)]
+pub struct Metrics {
+    /// HTTP requests accepted (any endpoint).
+    pub http_requests: AtomicU64,
+    /// `POST /v1/plan` submissions.
+    pub plan_requests: AtomicU64,
+    /// `POST /v1/audit` submissions.
+    pub audit_requests: AtomicU64,
+    /// Malformed requests answered 4xx.
+    pub bad_requests: AtomicU64,
+    /// Submissions refused with 503 (queue full, connection cap, draining).
+    pub rejected_busy: AtomicU64,
+    /// Jobs that finished with a plan.
+    pub jobs_completed: AtomicU64,
+    /// Jobs that finished with an error.
+    pub jobs_failed: AtomicU64,
+    /// End-to-end plan/audit latency (admission to completion).
+    pub latency: Histogram,
+    started: Instant,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh counters with the uptime clock started now.
+    pub fn new() -> Self {
+        Self {
+            http_requests: AtomicU64::new(0),
+            plan_requests: AtomicU64::new(0),
+            audit_requests: AtomicU64::new(0),
+            bad_requests: AtomicU64::new(0),
+            rejected_busy: AtomicU64::new(0),
+            jobs_completed: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            latency: Histogram::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Seconds since the service started.
+    pub fn uptime_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+/// Point-in-time gauges owned by the server, passed in at render time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gauges {
+    /// Jobs currently waiting in the queue.
+    pub queue_depth: usize,
+    /// Queue capacity.
+    pub queue_capacity: usize,
+    /// Worker threads currently planning.
+    pub workers_busy: usize,
+    /// Total worker threads.
+    pub workers: usize,
+    /// Entries in the shared plan cache.
+    pub cache_entries: usize,
+    /// Plan-cache hits since start.
+    pub cache_hits: u64,
+    /// Plan-cache misses since start.
+    pub cache_misses: u64,
+}
+
+/// Renders the Prometheus text exposition for `/metrics`.
+pub fn render(m: &Metrics, g: &Gauges) -> String {
+    let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+    let hit_rate = {
+        let total = g.cache_hits + g.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            g.cache_hits as f64 / total as f64
+        }
+    };
+    let mut out = String::with_capacity(1024);
+    let mut line = |name: &str, help: &str, value: String| {
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+        ));
+    };
+    line(
+        "klotski_uptime_seconds",
+        "Seconds since service start.",
+        format!("{:.3}", m.uptime_seconds()),
+    );
+    line(
+        "klotski_http_requests_total",
+        "HTTP requests accepted.",
+        load(&m.http_requests).to_string(),
+    );
+    line(
+        "klotski_plan_requests_total",
+        "Plan submissions.",
+        load(&m.plan_requests).to_string(),
+    );
+    line(
+        "klotski_audit_requests_total",
+        "Audit submissions.",
+        load(&m.audit_requests).to_string(),
+    );
+    line(
+        "klotski_bad_requests_total",
+        "Requests rejected 4xx.",
+        load(&m.bad_requests).to_string(),
+    );
+    line(
+        "klotski_rejected_busy_total",
+        "Submissions rejected 503 (backpressure).",
+        load(&m.rejected_busy).to_string(),
+    );
+    line(
+        "klotski_jobs_completed_total",
+        "Jobs finished successfully.",
+        load(&m.jobs_completed).to_string(),
+    );
+    line(
+        "klotski_jobs_failed_total",
+        "Jobs finished with an error.",
+        load(&m.jobs_failed).to_string(),
+    );
+    line(
+        "klotski_queue_depth",
+        "Jobs waiting in the bounded queue.",
+        g.queue_depth.to_string(),
+    );
+    line(
+        "klotski_queue_capacity",
+        "Bounded queue capacity.",
+        g.queue_capacity.to_string(),
+    );
+    line(
+        "klotski_workers",
+        "Planner worker threads.",
+        g.workers.to_string(),
+    );
+    line(
+        "klotski_workers_busy",
+        "Worker threads currently planning.",
+        g.workers_busy.to_string(),
+    );
+    line(
+        "klotski_cache_entries",
+        "Entries in the shared plan cache.",
+        g.cache_entries.to_string(),
+    );
+    line(
+        "klotski_cache_hits_total",
+        "Plan-cache hits.",
+        g.cache_hits.to_string(),
+    );
+    line(
+        "klotski_cache_misses_total",
+        "Plan-cache misses.",
+        g.cache_misses.to_string(),
+    );
+    line(
+        "klotski_cache_hit_rate",
+        "Plan-cache hit fraction.",
+        format!("{hit_rate:.4}"),
+    );
+    for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
+        out.push_str(&format!(
+            "klotski_plan_latency_seconds{{quantile=\"{label}\"}} {:.6}\n",
+            m.latency.quantile(q)
+        ));
+    }
+    out.push_str(&format!(
+        "klotski_plan_latency_seconds_count {}\n",
+        m.latency.count()
+    ));
+    out.push_str(&format!(
+        "klotski_plan_latency_seconds_sum {:.6}\n",
+        m.latency.sum_seconds()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn quantiles_are_monotonic_and_bracket_samples() {
+        let h = Histogram::new();
+        for ms in [1u64, 2, 5, 10, 20, 50, 100, 200, 500, 1000] {
+            h.record(Duration::from_millis(ms));
+        }
+        let p50 = h.quantile(0.5);
+        let p95 = h.quantile(0.95);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        // The p50 sample (20 ms) must land in a bucket bounded near it.
+        assert!((0.02..=0.04).contains(&p50), "p50 {p50}");
+        assert!((1.0..=1.6).contains(&p99), "p99 {p99}");
+        assert_eq!(h.count(), 10);
+    }
+
+    #[test]
+    fn overflow_samples_report_last_bound() {
+        let h = Histogram::new();
+        h.record(Duration::from_secs(3600));
+        assert!(h.quantile(0.5) > 10.0);
+    }
+
+    #[test]
+    fn render_exposes_all_families() {
+        let m = Metrics::new();
+        m.plan_requests.fetch_add(3, Ordering::Relaxed);
+        m.latency.record(Duration::from_millis(12));
+        let g = Gauges {
+            queue_depth: 2,
+            queue_capacity: 64,
+            workers_busy: 1,
+            workers: 4,
+            cache_entries: 5,
+            cache_hits: 9,
+            cache_misses: 1,
+        };
+        let text = render(&m, &g);
+        for family in [
+            "klotski_plan_requests_total 3",
+            "klotski_queue_depth 2",
+            "klotski_queue_capacity 64",
+            "klotski_cache_hit_rate 0.9000",
+            "klotski_plan_latency_seconds{quantile=\"0.5\"}",
+            "klotski_plan_latency_seconds_count 1",
+            "klotski_workers 4",
+        ] {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! The one shared planning pipeline behind both `klotski plan` and the
+//! service's `/v1/plan`.
+//!
+//! Byte-identity between the CLI and the daemon is a hard product
+//! requirement (operators diff shipped plan documents), so there is exactly
+//! one implementation of the NPD → region → spec → plan → attach sequence
+//! and both front ends call it. The CLI writes
+//! [`PlanArtifact::plan_json`] to `-o`; the service returns the same bytes
+//! as the response body.
+
+use klotski_core::migration::{MigrationBuilder, MigrationOptions};
+use klotski_core::plan::validate_plan;
+use klotski_core::planner::{AStarPlanner, DpPlanner, Planner, SearchBudget};
+use klotski_core::report::{audit_plan, PlanAudit};
+use klotski_core::{CostModel, PlanError};
+use klotski_npd::api::{digest_hex, npd_digest, PlanRequestOptions, PlanSummary};
+use klotski_npd::convert::{attach_plan, npd_to_region};
+use klotski_npd::Npd;
+use klotski_parallel::WorkerPool;
+use klotski_topology::presets::{Preset, PresetId};
+use klotski_topology::region::build_region;
+use std::sync::Arc;
+
+/// Everything a finished planning job produces. Cached whole behind `Arc`
+/// so repeated submissions reuse the bytes, the audit, and the summary.
+#[derive(Debug, Clone)]
+pub struct PlanArtifact {
+    /// Job summary (costs, counters, digests). `cached` is false here; the
+    /// serving layer flips it when answering from cache.
+    pub summary: PlanSummary,
+    /// The plan-attached NPD document, pretty-printed — byte-identical to
+    /// what `klotski plan -o` writes for the same input.
+    pub plan_json: Vec<u8>,
+    /// Per-phase safety audit of the same plan.
+    pub audit: PlanAudit,
+}
+
+/// Why the pipeline rejected or failed a request.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The request itself is unusable: bad JSON, inconsistent NPD, or
+    /// out-of-range options. Maps to 4xx.
+    Invalid(String),
+    /// The planner gave up: infeasible migration, budget/deadline
+    /// exhausted, unsupported type. Carries the planner error.
+    Plan(PlanError),
+    /// The pipeline produced something it refuses to ship (plan failed
+    /// validation, serialization failed). Maps to 500.
+    Internal(String),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Invalid(why) => write!(f, "invalid request: {why}"),
+            PipelineError::Plan(e) => write!(f, "planning failed: {e}"),
+            PipelineError::Internal(why) => write!(f, "internal error: {why}"),
+        }
+    }
+}
+
+impl PipelineError {
+    /// True when the failure is the budget/deadline/cancellation path.
+    pub fn is_budget_exceeded(&self) -> bool {
+        matches!(self, PipelineError::Plan(PlanError::BudgetExceeded { .. }))
+    }
+}
+
+/// Parses and bounds-checks the request options into planner inputs.
+fn resolve_options(
+    options: &PlanRequestOptions,
+) -> Result<(MigrationOptions, CostModel, bool), PipelineError> {
+    let mut mig = MigrationOptions::default();
+    if let Some(theta) = options.theta {
+        if !(theta > 0.0 && theta <= 1.0) {
+            return Err(PipelineError::Invalid(format!(
+                "theta {theta} outside (0, 1]"
+            )));
+        }
+        mig.theta = theta;
+    }
+    let alpha = options.alpha.unwrap_or(0.0);
+    if !(0.0..=1.0).contains(&alpha) {
+        return Err(PipelineError::Invalid(format!(
+            "alpha {alpha} outside [0, 1]"
+        )));
+    }
+    let use_dp = match options.planner.as_deref() {
+        None | Some("astar") | Some("a*") => false,
+        Some("dp") => true,
+        Some(other) => {
+            return Err(PipelineError::Invalid(format!(
+                "unknown planner {other:?} (expected \"astar\" or \"dp\")"
+            )))
+        }
+    };
+    Ok((mig, CostModel { alpha }, use_dp))
+}
+
+/// Plans the migration an NPD document implies and attaches the phases.
+///
+/// This is the `klotski plan` pipeline verbatim: convert the NPD to a
+/// region config, build the region, derive the migration spec, run the
+/// selected planner under `budget`, validate, audit, attach. `pool` lets a
+/// long-lived caller (the service's worker threads) reuse satisfiability
+/// lanes across jobs; `None` matches the CLI's private-pool behaviour.
+/// Either way the resulting plan bytes are identical — PR 1's determinism
+/// guarantee makes lane count unobservable in the output.
+pub fn plan_document(
+    npd: &Npd,
+    options: &PlanRequestOptions,
+    budget: SearchBudget,
+    pool: Option<Arc<WorkerPool>>,
+) -> Result<PlanArtifact, PipelineError> {
+    let (mig_options, cost, use_dp) = resolve_options(options)?;
+    let cfg = npd_to_region(npd).map_err(|e| PipelineError::Invalid(e.to_string()))?;
+    let (topology, handles) = build_region(&cfg);
+    let preset_like = Preset {
+        id: PresetId::A, // placeholder tag; planning reads topology + handles
+        config: cfg,
+        topology,
+        handles,
+    };
+    let spec = MigrationBuilder::for_preset(&preset_like, &mig_options)
+        .map_err(|e| PipelineError::Invalid(e.to_string()))?;
+
+    let (outcome, planner_name) = if use_dp {
+        let planner = DpPlanner {
+            cost,
+            budget,
+            pool,
+            ..DpPlanner::default()
+        };
+        (
+            planner.plan(&spec).map_err(PipelineError::Plan)?,
+            planner.name(),
+        )
+    } else {
+        let planner = AStarPlanner {
+            cost,
+            budget,
+            pool,
+            ..AStarPlanner::default()
+        };
+        (
+            planner.plan(&spec).map_err(PipelineError::Plan)?,
+            planner.name(),
+        )
+    };
+
+    validate_plan(&spec, &outcome.plan)
+        .map_err(|e| PipelineError::Internal(format!("produced plan failed validation: {e}")))?;
+    let audit = audit_plan(&spec, &outcome.plan);
+
+    let mut shipped = npd.clone();
+    attach_plan(&mut shipped, &spec, &outcome.plan);
+    let plan_json = shipped
+        .to_json_pretty()
+        .map_err(|e| PipelineError::Internal(format!("serialization failed: {e}")))?
+        .into_bytes();
+
+    let steps = outcome.plan.phases().iter().map(|p| p.blocks.len()).sum();
+    let summary = PlanSummary {
+        name: spec.name.clone(),
+        npd_digest: digest_hex(npd_digest(npd)),
+        options_digest: digest_hex(options.digest()),
+        planner: planner_name.to_string(),
+        cost: outcome.cost,
+        phases: outcome.plan.num_phases(),
+        steps,
+        states_visited: outcome.stats.states_visited,
+        sat_checks: outcome.stats.sat_checks,
+        planning_ms: outcome.stats.planning_time.as_millis() as u64,
+        cached: false,
+    };
+    Ok(PlanArtifact {
+        summary,
+        plan_json,
+        audit,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use klotski_npd::convert::region_to_npd;
+    use klotski_topology::presets::{self};
+
+    fn small_npd() -> Npd {
+        region_to_npd(&presets::config(PresetId::A))
+    }
+
+    #[test]
+    fn default_options_plan_and_attach() {
+        let npd = small_npd();
+        let artifact = plan_document(
+            &npd,
+            &PlanRequestOptions::default(),
+            SearchBudget::default(),
+            None,
+        )
+        .expect("preset A plans");
+        assert!(artifact.summary.phases > 0);
+        assert_eq!(artifact.summary.planner, "klotski-a*");
+        assert!(!artifact.summary.cached);
+        // The shipped document must parse and carry the phases.
+        let shipped = Npd::from_json(std::str::from_utf8(&artifact.plan_json).unwrap()).unwrap();
+        assert_eq!(shipped.phases.len(), artifact.summary.phases);
+        assert_eq!(artifact.audit.phases.len(), artifact.summary.phases);
+    }
+
+    #[test]
+    fn dp_planner_selectable_and_matches_astar_cost() {
+        let npd = small_npd();
+        let astar = plan_document(
+            &npd,
+            &PlanRequestOptions::default(),
+            SearchBudget::default(),
+            None,
+        )
+        .unwrap();
+        let dp = plan_document(
+            &npd,
+            &PlanRequestOptions {
+                planner: Some("dp".into()),
+                ..Default::default()
+            },
+            SearchBudget::default(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(dp.summary.planner, "klotski-dp");
+        // Both planners are optimal; costs agree even if tie-breaks differ.
+        assert!((astar.summary.cost - dp.summary.cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_pool_output_is_byte_identical_to_private_pool() {
+        let npd = small_npd();
+        let private = plan_document(
+            &npd,
+            &PlanRequestOptions::default(),
+            SearchBudget::default(),
+            None,
+        )
+        .unwrap();
+        let pool = WorkerPool::shared(2);
+        let shared = plan_document(
+            &npd,
+            &PlanRequestOptions::default(),
+            SearchBudget::default(),
+            Some(pool),
+        )
+        .unwrap();
+        assert_eq!(private.plan_json, shared.plan_json);
+        assert_eq!(private.summary.cost, shared.summary.cost);
+    }
+
+    #[test]
+    fn bad_options_are_rejected_as_invalid() {
+        let npd = small_npd();
+        for options in [
+            PlanRequestOptions {
+                theta: Some(1.5),
+                ..Default::default()
+            },
+            PlanRequestOptions {
+                alpha: Some(-0.1),
+                ..Default::default()
+            },
+            PlanRequestOptions {
+                planner: Some("sat".into()),
+                ..Default::default()
+            },
+        ] {
+            let err = plan_document(&npd, &options, SearchBudget::default(), None)
+                .expect_err("must reject");
+            assert!(matches!(err, PipelineError::Invalid(_)), "{err}");
+        }
+    }
+
+    #[test]
+    fn expired_deadline_surfaces_budget_exceeded() {
+        let npd = small_npd();
+        let budget = SearchBudget::default()
+            .with_deadline(std::time::Instant::now() - std::time::Duration::from_millis(1));
+        let err = plan_document(&npd, &PlanRequestOptions::default(), budget, None)
+            .expect_err("expired deadline cannot plan");
+        assert!(err.is_budget_exceeded(), "{err}");
+    }
+}

@@ -4,199 +4,252 @@
 //! klotski export <preset> <out.json>        # write a region as NPD
 //! klotski plan <npd.json> [-o out.json]     # plan the migration an NPD implies
 //! klotski audit <preset>                    # plan + per-phase safety audit
+//! klotski serve [--addr A] [...]            # run the planning daemon
 //! klotski presets                           # list the built-in topologies
 //! ```
 //!
 //! The `plan` subcommand mirrors the §5 EDP-Lite pipeline: NPD in, ordered
-//! phase list out (attached to the NPD document when `-o` is given).
+//! phase list out (attached to the NPD document when `-o` is given). Both
+//! `plan` and the `serve` daemon call the same
+//! [`klotski::service::pipeline::plan_document`], so a served plan is
+//! byte-identical to the file this CLI writes.
 
 use klotski::core::migration::{MigrationBuilder, MigrationOptions};
 use klotski::core::opex::OpexModel;
-use klotski::core::plan::validate_plan;
-use klotski::core::planner::{AStarPlanner, Planner};
+use klotski::core::planner::{AStarPlanner, Planner, SearchBudget};
 use klotski::core::report::audit_plan;
 use klotski::core::BlockClass;
-use klotski::npd::convert::{attach_plan, npd_to_region, region_to_npd};
+use klotski::npd::api::PlanRequestOptions;
+use klotski::npd::convert::region_to_npd;
 use klotski::npd::Npd;
+use klotski::service::pipeline::plan_document;
+use klotski::service::{signal, Service, ServiceConfig};
 use klotski::topology::presets::{self, PresetId};
-use klotski::topology::region::build_region;
 use std::process::ExitCode;
+use std::time::Duration;
 
-fn parse_preset(name: &str) -> Option<PresetId> {
+/// A fatal CLI error: message plus process exit code (1 = operation
+/// failed, 2 = usage error). Every failure path funnels through this one
+/// type so error reporting stays uniform.
+struct CliError {
+    message: String,
+    code: u8,
+}
+
+impl CliError {
+    fn failure(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            code: 1,
+        }
+    }
+
+    fn usage() -> Self {
+        Self {
+            message: "usage:\n  klotski presets\n  klotski export <preset> <out.json>\n  \
+                 klotski plan <npd.json> [-o out.json] [--planner astar|dp] \
+                 [--theta X] [--alpha X]\n  klotski audit <preset>\n  \
+                 klotski serve [--addr HOST:PORT] [--workers N] [--queue-depth N] \
+                 [--cache N] [--deadline-ms N]"
+                .into(),
+            code: 2,
+        }
+    }
+}
+
+/// Replaces the dozen hand-rolled `Err(e) => { eprintln!(...); return
+/// ExitCode::FAILURE }` branches: annotate any `Result` with context and
+/// `?` it.
+trait OrFail<T> {
+    fn or_fail(self, what: impl std::fmt::Display) -> Result<T, CliError>;
+}
+
+impl<T, E: std::fmt::Display> OrFail<T> for Result<T, E> {
+    fn or_fail(self, what: impl std::fmt::Display) -> Result<T, CliError> {
+        self.map_err(|e| CliError::failure(format!("{what}: {e}")))
+    }
+}
+
+fn parse_preset(name: &str) -> Result<PresetId, CliError> {
     PresetId::ALL
         .into_iter()
         .find(|id| id.to_string().eq_ignore_ascii_case(name))
+        .ok_or_else(|| CliError::failure(format!("unknown preset {name:?}")))
 }
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage:\n  klotski presets\n  klotski export <preset> <out.json>\n  \
-         klotski plan <npd.json> [-o out.json]\n  klotski audit <preset>"
-    );
-    ExitCode::from(2)
+/// Pulls `--flag value` out of an argument list, parsing the value.
+fn take_flag<T: std::str::FromStr>(
+    args: &mut Vec<String>,
+    flag: &str,
+) -> Result<Option<T>, CliError>
+where
+    T::Err: std::fmt::Display,
+{
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if pos + 1 >= args.len() {
+        return Err(CliError::failure(format!("{flag} needs a value")));
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    value
+        .parse()
+        .map(Some)
+        .or_fail(format_args!("bad {flag} value {value:?}"))
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("presets") => {
-            println!("built-in evaluation topologies (Table 3):");
-            for id in PresetId::ALL {
-                let p = presets::build_for_bench(id);
-                println!(
-                    "  {:<7} {:>6} switches {:>7} circuits",
-                    id.to_string(),
-                    p.topology.num_switches(),
-                    p.topology.num_circuits()
-                );
-            }
-            ExitCode::SUCCESS
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{}", e.message);
+            ExitCode::from(e.code)
         }
-        Some("export") if args.len() == 3 => {
-            let Some(id) = parse_preset(&args[1]) else {
-                eprintln!("unknown preset {:?}", args[1]);
-                return ExitCode::from(2);
-            };
-            let cfg = presets::config(id);
-            let npd = region_to_npd(&cfg);
-            match npd.to_json_pretty() {
-                Ok(json) => {
-                    if let Err(e) = std::fs::write(&args[2], json) {
-                        eprintln!("cannot write {}: {e}", args[2]);
-                        return ExitCode::FAILURE;
-                    }
-                    println!("wrote {} ({})", args[2], npd.name);
-                    ExitCode::SUCCESS
-                }
-                Err(e) => {
-                    eprintln!("serialization failed: {e}");
-                    ExitCode::FAILURE
-                }
-            }
-        }
-        Some("plan") if args.len() >= 2 => {
-            let json = match std::fs::read_to_string(&args[1]) {
-                Ok(j) => j,
-                Err(e) => {
-                    eprintln!("cannot read {}: {e}", args[1]);
-                    return ExitCode::FAILURE;
-                }
-            };
-            let npd = match Npd::from_json(&json) {
-                Ok(n) => n,
-                Err(e) => {
-                    eprintln!("invalid NPD: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let cfg = match npd_to_region(&npd) {
-                Ok(c) => c,
-                Err(e) => {
-                    eprintln!("NPD conversion failed: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let (topology, handles) = build_region(&cfg);
-            let preset_like = klotski::topology::presets::Preset {
-                id: PresetId::A, // placeholder tag; planning reads topology + handles
-                config: cfg,
-                topology,
-                handles,
-            };
-            let spec =
-                match MigrationBuilder::for_preset(&preset_like, &MigrationOptions::default()) {
-                    Ok(s) => s,
-                    Err(e) => {
-                        eprintln!("cannot build migration: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                };
-            let outcome = match AStarPlanner::default().plan(&spec) {
-                Ok(o) => o,
-                Err(e) => {
-                    eprintln!("planning failed: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            if let Err(e) = validate_plan(&spec, &outcome.plan) {
-                eprintln!("internal error: produced plan failed validation: {e}");
-                return ExitCode::FAILURE;
-            }
-            println!(
-                "{}: cost {} ({} phases), {} states visited in {:?}",
-                spec.name,
-                outcome.cost,
-                outcome.plan.num_phases(),
-                outcome.stats.states_visited,
-                outcome.stats.planning_time
-            );
-            for (i, phase) in outcome.plan.phases().iter().enumerate() {
-                println!(
-                    "  phase {}: {} x{}",
-                    i + 1,
-                    spec.actions.kind(phase.kind),
-                    phase.blocks.len()
-                );
-            }
-            if let Some(pos) = args.iter().position(|a| a == "-o") {
-                let Some(out) = args.get(pos + 1) else {
-                    return usage();
-                };
-                let mut shipped = npd;
-                attach_plan(&mut shipped, &spec, &outcome.plan);
-                match shipped.to_json_pretty() {
-                    Ok(json) => {
-                        if let Err(e) = std::fs::write(out, json) {
-                            eprintln!("cannot write {out}: {e}");
-                            return ExitCode::FAILURE;
-                        }
-                        println!("phases attached to {out}");
-                    }
-                    Err(e) => {
-                        eprintln!("serialization failed: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                }
-            }
-            ExitCode::SUCCESS
-        }
-        Some("audit") if args.len() == 2 => {
-            let Some(id) = parse_preset(&args[1]) else {
-                eprintln!("unknown preset {:?}", args[1]);
-                return ExitCode::from(2);
-            };
-            let preset = presets::build_for_bench(id);
-            let spec = match MigrationBuilder::for_preset(&preset, &MigrationOptions::default()) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("cannot build migration: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let outcome = match AStarPlanner::default().plan(&spec) {
-                Ok(o) => o,
-                Err(e) => {
-                    eprintln!("planning failed: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            print!("{}", audit_plan(&spec, &outcome.plan));
-            let opex = OpexModel::default();
-            let priced = opex.price(&spec, &outcome.plan);
-            println!(
-                "opex: {} phases x ${:.0}k setup + {:.0} crew-days = ${:.0}k total (~{:.0} working days)",
-                priced.phases,
-                opex.phase_setup_cost / 1000.0,
-                priced.crew_days,
-                priced.total_cost / 1000.0,
-                priced.duration_days
-            );
-            println!(
-                "recommended alpha for this workload: {:.3}",
-                opex.recommended_alpha(BlockClass::FaGrid)
-            );
-            ExitCode::SUCCESS
-        }
-        _ => usage(),
     }
+}
+
+fn run(mut args: Vec<String>) -> Result<(), CliError> {
+    match args.first().map(String::as_str) {
+        Some("presets") => cmd_presets(),
+        Some("export") if args.len() == 3 => cmd_export(&args[1], &args[2]),
+        Some("plan") if args.len() >= 2 => {
+            args.remove(0);
+            cmd_plan(args)
+        }
+        Some("audit") if args.len() == 2 => cmd_audit(&args[1]),
+        Some("serve") => {
+            args.remove(0);
+            cmd_serve(args)
+        }
+        _ => Err(CliError::usage()),
+    }
+}
+
+fn cmd_presets() -> Result<(), CliError> {
+    println!("built-in evaluation topologies (Table 3):");
+    for id in PresetId::ALL {
+        let p = presets::build_for_bench(id);
+        println!(
+            "  {:<7} {:>6} switches {:>7} circuits",
+            id.to_string(),
+            p.topology.num_switches(),
+            p.topology.num_circuits()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_export(preset: &str, out: &str) -> Result<(), CliError> {
+    let id = parse_preset(preset)?;
+    let npd = region_to_npd(&presets::config(id));
+    let json = npd.to_json_pretty().or_fail("serialization failed")?;
+    std::fs::write(out, json).or_fail(format_args!("cannot write {out}"))?;
+    println!("wrote {out} ({})", npd.name);
+    Ok(())
+}
+
+fn cmd_plan(mut args: Vec<String>) -> Result<(), CliError> {
+    let options = PlanRequestOptions {
+        theta: take_flag(&mut args, "--theta")?,
+        alpha: take_flag(&mut args, "--alpha")?,
+        planner: take_flag(&mut args, "--planner")?,
+        deadline_ms: take_flag(&mut args, "--deadline-ms")?,
+    };
+    let out = take_flag::<String>(&mut args, "-o")?;
+    let [input] = args.as_slice() else {
+        return Err(CliError::usage());
+    };
+
+    let json = std::fs::read_to_string(input).or_fail(format_args!("cannot read {input}"))?;
+    let npd = Npd::from_json(&json).or_fail("invalid NPD")?;
+    let mut budget = SearchBudget::default();
+    if let Some(ms) = options.deadline_ms {
+        budget = budget.with_deadline(std::time::Instant::now() + Duration::from_millis(ms));
+    }
+    let artifact = plan_document(&npd, &options, budget, None)
+        .map_err(|e| CliError::failure(e.to_string()))?;
+
+    let s = &artifact.summary;
+    println!(
+        "{}: cost {} ({} phases), {} states visited in {}ms",
+        s.name, s.cost, s.phases, s.states_visited, s.planning_ms
+    );
+    for phase in &artifact.audit.phases {
+        println!(
+            "  phase {}: {} x{}",
+            phase.index, phase.action, phase.blocks
+        );
+    }
+    if let Some(out) = out {
+        std::fs::write(&out, &artifact.plan_json).or_fail(format_args!("cannot write {out}"))?;
+        println!("phases attached to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_audit(preset: &str) -> Result<(), CliError> {
+    let id = parse_preset(preset)?;
+    let preset = presets::build_for_bench(id);
+    let spec = MigrationBuilder::for_preset(&preset, &MigrationOptions::default())
+        .or_fail("cannot build migration")?;
+    let outcome = AStarPlanner::default()
+        .plan(&spec)
+        .or_fail("planning failed")?;
+    print!("{}", audit_plan(&spec, &outcome.plan));
+    let opex = OpexModel::default();
+    let priced = opex.price(&spec, &outcome.plan);
+    println!(
+        "opex: {} phases x ${:.0}k setup + {:.0} crew-days = ${:.0}k total (~{:.0} working days)",
+        priced.phases,
+        opex.phase_setup_cost / 1000.0,
+        priced.crew_days,
+        priced.total_cost / 1000.0,
+        priced.duration_days
+    );
+    println!(
+        "recommended alpha for this workload: {:.3}",
+        opex.recommended_alpha(BlockClass::FaGrid)
+    );
+    Ok(())
+}
+
+fn cmd_serve(mut args: Vec<String>) -> Result<(), CliError> {
+    let mut config = ServiceConfig::default();
+    if let Some(addr) = take_flag::<String>(&mut args, "--addr")? {
+        config.addr = addr;
+    } else {
+        config.addr = "127.0.0.1:8645".into();
+    }
+    if let Some(workers) = take_flag(&mut args, "--workers")? {
+        config.workers = workers;
+    }
+    if let Some(depth) = take_flag(&mut args, "--queue-depth")? {
+        config.queue_depth = depth;
+    }
+    if let Some(cache) = take_flag(&mut args, "--cache")? {
+        config.cache_capacity = cache;
+    }
+    if let Some(ms) = take_flag::<u64>(&mut args, "--deadline-ms")? {
+        config.default_deadline = Some(Duration::from_millis(ms));
+    }
+    if !args.is_empty() {
+        return Err(CliError::usage());
+    }
+
+    signal::install_handlers();
+    let service = Service::start(config.clone()).or_fail("cannot start service")?;
+    println!(
+        "klotski-service listening on http://{} ({} workers, queue depth {})",
+        service.local_addr(),
+        config.workers,
+        config.queue_depth
+    );
+    println!(
+        "endpoints: POST /v1/plan  POST /v1/audit  GET /v1/jobs/{{id}}  GET /metrics  GET /healthz"
+    );
+    service.run_until_signalled();
+    println!("drained; bye");
+    Ok(())
 }

@@ -2,6 +2,8 @@
 pub use klotski_baselines as baselines;
 pub use klotski_core as core;
 pub use klotski_npd as npd;
+pub use klotski_parallel as parallel;
 pub use klotski_routing as routing;
+pub use klotski_service as service;
 pub use klotski_topology as topology;
 pub use klotski_traffic as traffic;
