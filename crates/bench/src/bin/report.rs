@@ -10,12 +10,13 @@
 //! - `KLOTSKI_FULL_SCALE=1` — build D/E at full paper scale (slow);
 //! - `KLOTSKI_BENCH_TIMEOUT_SECS` — per-planner cap (default 120).
 
-use klotski_bench::{experiments, parallel, service};
+use klotski_bench::{experiments, parallel, service, telemetry};
+use klotski_telemetry::log_event;
 
 /// A named experiment: label plus the function rendering its output.
 type Experiment = (&'static str, fn() -> String);
 
-const EXPERIMENTS: [Experiment; 10] = [
+const EXPERIMENTS: [Experiment; 11] = [
     ("table1", experiments::table1),
     ("table3", experiments::table3),
     ("fig8", experiments::fig8),
@@ -26,9 +27,13 @@ const EXPERIMENTS: [Experiment; 10] = [
     ("fig13", experiments::fig13),
     ("parallel", parallel::parallel),
     ("service", service::service),
+    ("telemetry", telemetry::telemetry),
 ];
 
 fn main() {
+    // Progress goes to stderr as structured one-per-line JSON events, so
+    // stdout stays pure experiment output (tables and figures).
+    klotski_telemetry::install(std::sync::Arc::new(klotski_telemetry::StderrSink));
     let args: Vec<String> = std::env::args().skip(1).collect();
     let selected: Vec<&Experiment> = if args.is_empty() || args[0] == "all" {
         EXPERIMENTS.iter().collect()
@@ -38,13 +43,15 @@ fn main() {
             match EXPERIMENTS.iter().find(|(name, _)| name == arg) {
                 Some(exp) => picked.push(exp),
                 None => {
-                    eprintln!(
-                        "unknown experiment {arg:?}; available: {}",
-                        EXPERIMENTS
+                    log_event!(
+                        "report.unknown_experiment",
+                        "name" = arg.as_str(),
+                        "available" = EXPERIMENTS
                             .iter()
                             .map(|(n, _)| *n)
                             .collect::<Vec<_>>()
                             .join(", ")
+                            .as_str(),
                     );
                     std::process::exit(2);
                 }
@@ -57,9 +64,11 @@ fn main() {
         let start = std::time::Instant::now();
         let output = run();
         println!("{output}");
-        println!(
-            "[{name} completed in {:.1}s]\n",
-            start.elapsed().as_secs_f64()
+        log_event!(
+            "report.experiment",
+            "name" = *name,
+            "secs" = start.elapsed().as_secs_f64(),
         );
     }
+    klotski_telemetry::uninstall();
 }

@@ -21,6 +21,7 @@ pub mod parallel;
 pub mod runner;
 pub mod service;
 pub mod table;
+pub mod telemetry;
 
 pub use runner::{run_planner, spec_for, PlannerKind, RunResult};
 

@@ -1,0 +1,125 @@
+//! Telemetry overhead measurement: the same A\* search with tracing off
+//! and with a full in-memory trace, best-of-N each. The `report` binary's
+//! `telemetry` experiment renders the comparison and writes
+//! `BENCH_telemetry.json`; the acceptance bar is < 3% overhead on preset C.
+
+use crate::table::Table;
+use klotski_core::migration::MigrationOptions;
+use klotski_core::planner::{AStarPlanner, Planner};
+use klotski_telemetry::RingSink;
+use klotski_topology::presets::PresetId;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The JSON document written to `BENCH_telemetry.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct TelemetryReport {
+    /// Preset the search ran on.
+    pub preset: String,
+    /// Runs per arm (best-of).
+    pub runs: usize,
+    /// Best wall-clock with no sink installed, milliseconds.
+    pub plain_ms: f64,
+    /// Best wall-clock with a ring-buffer trace sink installed, ms.
+    pub traced_ms: f64,
+    /// `(traced - plain) / plain`, percent.
+    pub overhead_pct: f64,
+    /// Trace lines captured by the traced arm's final run.
+    pub trace_lines: usize,
+    /// Spans among those lines.
+    pub trace_spans: usize,
+    /// Events among those lines.
+    pub trace_events: usize,
+}
+
+/// Runs the two arms interleaved (plain, traced, plain, traced, …) so
+/// machine drift hits both equally, and validates the captured trace.
+pub fn measure(preset: PresetId, runs: usize) -> TelemetryReport {
+    let spec = crate::runner::spec_for(preset, &MigrationOptions::default());
+    let planner = AStarPlanner::default();
+    // Park whatever sink the caller had; the plain arm must run dark.
+    let saved = klotski_telemetry::swap(None);
+
+    let mut plain_ms = f64::INFINITY;
+    let mut traced_ms = f64::INFINITY;
+    let mut summary = klotski_telemetry::TraceSummary::default();
+    let mut trace_lines = 0usize;
+    for _ in 0..runs.max(1) {
+        let t0 = Instant::now();
+        planner.plan(&spec).expect("preset plans");
+        plain_ms = plain_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+
+        let ring = Arc::new(RingSink::new(1 << 20));
+        klotski_telemetry::swap(Some(ring.clone()));
+        let t0 = Instant::now();
+        planner.plan(&spec).expect("preset plans");
+        traced_ms = traced_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        klotski_telemetry::swap(None);
+
+        let lines = ring.lines();
+        trace_lines = lines.len();
+        let text = lines.join("\n");
+        summary = klotski_telemetry::validate_trace(&text).expect("trace validates");
+    }
+    klotski_telemetry::swap(saved);
+
+    TelemetryReport {
+        preset: preset.to_string(),
+        runs: runs.max(1),
+        plain_ms,
+        traced_ms,
+        overhead_pct: (traced_ms - plain_ms) / plain_ms * 100.0,
+        trace_lines,
+        trace_spans: summary.spans,
+        trace_events: summary.events,
+    }
+}
+
+/// The `telemetry` experiment: overhead on preset C, written to
+/// `BENCH_telemetry.json`.
+pub fn telemetry() -> String {
+    let report = measure(PresetId::C, 3);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    let path = "BENCH_telemetry.json";
+    let note = match std::fs::write(path, &json) {
+        Ok(()) => format!("wrote {path}"),
+        Err(e) => format!("could not write {path}: {e}"),
+    };
+    let mut t = Table::new([
+        "preset",
+        "runs",
+        "plain ms",
+        "traced ms",
+        "overhead",
+        "trace lines",
+    ]);
+    t.row([
+        report.preset.clone(),
+        report.runs.to_string(),
+        format!("{:.2}", report.plain_ms),
+        format!("{:.2}", report.traced_ms),
+        format!("{:+.2}%", report.overhead_pct),
+        report.trace_lines.to_string(),
+    ]);
+    format!(
+        "== Telemetry overhead (A* search, trace on vs off) ==\n{}\n[{note}]",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_captures_a_valid_trace_and_finite_overhead() {
+        let report = measure(PresetId::A, 1);
+        assert!(report.plain_ms.is_finite() && report.plain_ms > 0.0);
+        assert!(report.traced_ms.is_finite() && report.traced_ms > 0.0);
+        assert!(report.overhead_pct.is_finite());
+        // The traced arm must have captured at least the astar.plan span.
+        assert!(report.trace_spans >= 1, "{report:?}");
+        assert_eq!(report.trace_lines, report.trace_spans + report.trace_events);
+    }
+}

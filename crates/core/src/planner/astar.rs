@@ -16,9 +16,10 @@ use crate::cost::{CostModel, HeuristicMode};
 use crate::error::PlanError;
 use crate::migration::MigrationSpec;
 use crate::plan::{MigrationPlan, PlanStep};
-use crate::planner::{PlanOutcome, PlanStats, Planner, SearchBudget};
+use crate::planner::{flush_search_metrics, PlanOutcome, PlanStats, Planner, SearchBudget};
 use crate::satcheck::{EscMode, SatChecker};
 use klotski_parallel::WorkerPool;
+use klotski_telemetry::{log_event, span};
 use klotski_topology::NetState;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
@@ -113,6 +114,34 @@ impl Planner for AStarPlanner {
     }
 
     fn plan(&self, spec: &MigrationSpec) -> Result<PlanOutcome, PlanError> {
+        let mut guard = span!("astar.plan", "migration" = spec.name.as_str());
+        let result = self.plan_inner(spec);
+        match &result {
+            Ok(outcome) => {
+                guard
+                    .field("outcome", "done")
+                    .field("expansions", outcome.stats.states_visited)
+                    .field("cost", outcome.cost);
+                flush_search_metrics("astar", &outcome.stats);
+            }
+            Err(PlanError::BudgetExceeded { .. }) => {
+                guard.field("outcome", "budget");
+            }
+            Err(_) => {
+                guard.field("outcome", "infeasible");
+            }
+        }
+        result
+    }
+}
+
+/// Expansion interval between `astar.progress` / `dp.progress` trace
+/// events: frequent enough to watch a long search move, rare enough to be
+/// invisible in the profile.
+pub(crate) const PROGRESS_EVERY: u64 = 4096;
+
+impl AStarPlanner {
+    fn plan_inner(&self, spec: &MigrationSpec) -> Result<PlanOutcome, PlanError> {
         let start = Instant::now();
         let target = &spec.target_counts;
         let num_types = spec.num_types();
@@ -145,10 +174,21 @@ impl Planner for AStarPlanner {
             let (dense, last_raw) = entry.key;
             // Stale entry: a better g was found after this was pushed.
             match best_g.get(&entry.key) {
-                Some(&g) if entry.g > g + 1e-12 => continue,
+                Some(&g) if entry.g > g + 1e-12 => {
+                    stats.states_deduped += 1;
+                    continue;
+                }
                 _ => {}
             }
             stats.states_visited += 1;
+            if stats.states_visited % PROGRESS_EVERY == 0 {
+                log_event!(
+                    "astar.progress",
+                    "expansions" = stats.states_visited,
+                    "frontier" = heap.len() as u64,
+                    "f" = entry.f,
+                );
+            }
             // Per-expansion budget gate: state count, time limit, absolute
             // deadline, and cooperative cancellation all stop the search
             // here, before any successor work.
@@ -185,10 +225,14 @@ impl Planner for AStarPlanner {
             }
             let verdicts = {
                 let refs: Vec<_> = cand.iter().map(|(a, nv, ns)| (nv, ns, Some(*a))).collect();
-                checker.check_batch(spec, &refs)
+                let t0 = Instant::now();
+                let verdicts = checker.check_batch(spec, &refs);
+                stats.satcheck_time += t0.elapsed();
+                verdicts
             };
             for ((a, nv, _), ok) in cand.into_iter().zip(verdicts) {
                 if !ok {
+                    stats.states_pruned += 1;
                     continue;
                 }
                 let g = entry.g + self.cost.step_cost(last, a);
@@ -198,6 +242,7 @@ impl Planner for AStarPlanner {
                     None => true,
                 };
                 if !improved {
+                    stats.states_deduped += 1;
                     continue;
                 }
                 best_g.insert(key, g);

@@ -17,9 +17,11 @@ use crate::cost::CostModel;
 use crate::error::PlanError;
 use crate::migration::MigrationSpec;
 use crate::plan::{MigrationPlan, PlanStep};
-use crate::planner::{PlanOutcome, PlanStats, Planner, SearchBudget};
+use crate::planner::astar::PROGRESS_EVERY;
+use crate::planner::{flush_search_metrics, PlanOutcome, PlanStats, Planner, SearchBudget};
 use crate::satcheck::{EscMode, SatChecker};
 use klotski_parallel::WorkerPool;
+use klotski_telemetry::{log_event, span};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -67,6 +69,29 @@ impl Planner for DpPlanner {
     }
 
     fn plan(&self, spec: &MigrationSpec) -> Result<PlanOutcome, PlanError> {
+        let mut guard = span!("dp.plan", "migration" = spec.name.as_str());
+        let result = self.plan_inner(spec);
+        match &result {
+            Ok(outcome) => {
+                guard
+                    .field("outcome", "done")
+                    .field("expansions", outcome.stats.states_visited)
+                    .field("cost", outcome.cost);
+                flush_search_metrics("dp", &outcome.stats);
+            }
+            Err(PlanError::BudgetExceeded { .. }) => {
+                guard.field("outcome", "budget");
+            }
+            Err(_) => {
+                guard.field("outcome", "infeasible");
+            }
+        }
+        result
+    }
+}
+
+impl DpPlanner {
+    fn plan_inner(&self, spec: &MigrationSpec) -> Result<PlanOutcome, PlanError> {
         let start = Instant::now();
         let target = &spec.target_counts;
         let num_types = spec.num_types();
@@ -102,6 +127,13 @@ impl Planner for DpPlanner {
                 // bounds the state count).
                 self.budget.check(stats.states_visited, start)?;
                 stats.states_visited += 1;
+                if stats.states_visited % PROGRESS_EVERY == 0 {
+                    log_event!(
+                        "dp.progress",
+                        "swept" = stats.states_visited,
+                        "box_size" = box_size as u64,
+                    );
+                }
                 // Algorithm 1 line 9: states that violate the constraints
                 // can never appear in a sequence; skip their updates.
                 let state = spec.state_for(v);
@@ -117,10 +149,14 @@ impl Planner for DpPlanner {
                     .collect();
                 let verdicts = {
                     let refs: Vec<_> = types.iter().map(|a| (v, &state, Some(*a))).collect();
-                    checker.check_batch(spec, &refs)
+                    let t0 = Instant::now();
+                    let verdicts = checker.check_batch(spec, &refs);
+                    stats.satcheck_time += t0.elapsed();
+                    verdicts
                 };
                 for (a, ok) in types.into_iter().zip(verdicts) {
                     if !ok {
+                        stats.states_pruned += 1;
                         continue;
                     }
                     stats.states_generated += 1;

@@ -34,12 +34,21 @@ pub struct PlanStats {
     pub states_visited: u64,
     /// Successor states generated.
     pub states_generated: u64,
+    /// Candidates rejected by the satisfiability check.
+    #[serde(default)]
+    pub states_pruned: u64,
+    /// Candidates dropped as stale or non-improving duplicates.
+    #[serde(default)]
+    pub states_deduped: u64,
     /// Satisfiability queries issued.
     pub sat_checks: u64,
     /// Queries served from the ESC cache.
     pub cache_hits: u64,
     /// Queries that ran the full evaluation.
     pub full_evaluations: u64,
+    /// Wall time spent inside satisfiability checks.
+    #[serde(default)]
+    pub satcheck_time: Duration,
     /// Wall-clock planning time.
     pub planning_time: Duration,
 }
@@ -51,6 +60,75 @@ impl PlanStats {
         self.cache_hits = s.cache_hits;
         self.full_evaluations = s.full_evaluations;
     }
+
+    /// ESC cache hit rate over all satisfiability queries, in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.sat_checks == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.sat_checks as f64
+        }
+    }
+}
+
+/// Publishes one finished search's counters to the global telemetry
+/// registry under the `klotski_search_*` families, labelled by planner.
+pub(crate) fn flush_search_metrics(planner: &str, stats: &PlanStats) {
+    let reg = klotski_telemetry::registry();
+    for (family, help) in [
+        ("klotski_search_plans_total", "Completed planner searches"),
+        ("klotski_search_expansions_total", "States popped / swept"),
+        (
+            "klotski_search_generated_total",
+            "Successor states generated",
+        ),
+        (
+            "klotski_search_pruned_total",
+            "Candidates rejected by the satisfiability check",
+        ),
+        (
+            "klotski_search_deduped_total",
+            "Candidates dropped as stale or non-improving duplicates",
+        ),
+        ("klotski_search_sat_checks_total", "Satisfiability queries"),
+        (
+            "klotski_search_esc_hits_total",
+            "Queries served from the ESC cache",
+        ),
+        (
+            "klotski_search_full_evaluations_total",
+            "Queries that ran the full evaluation",
+        ),
+        (
+            "klotski_search_satcheck_us_total",
+            "Microseconds spent inside satisfiability checks",
+        ),
+        ("klotski_search_plan_seconds", "Wall time of one search"),
+    ] {
+        reg.set_help(family, help);
+    }
+    let label = |family: &str| format!("{family}{{planner=\"{planner}\"}}");
+    reg.counter(&label("klotski_search_plans_total")).inc();
+    for (family, value) in [
+        ("klotski_search_expansions_total", stats.states_visited),
+        ("klotski_search_generated_total", stats.states_generated),
+        ("klotski_search_pruned_total", stats.states_pruned),
+        ("klotski_search_deduped_total", stats.states_deduped),
+        ("klotski_search_sat_checks_total", stats.sat_checks),
+        ("klotski_search_esc_hits_total", stats.cache_hits),
+        (
+            "klotski_search_full_evaluations_total",
+            stats.full_evaluations,
+        ),
+        (
+            "klotski_search_satcheck_us_total",
+            stats.satcheck_time.as_micros() as u64,
+        ),
+    ] {
+        reg.counter(&label(family)).add(value);
+    }
+    reg.histogram(&label("klotski_search_plan_seconds"))
+        .record(stats.planning_time);
 }
 
 /// A successful planning result.

@@ -99,8 +99,26 @@ pub struct PlanSummary {
     pub steps: usize,
     /// Search states visited.
     pub states_visited: u64,
+    /// Successor states generated.
+    #[serde(default)]
+    pub states_generated: u64,
+    /// Candidates rejected by the satisfiability check.
+    #[serde(default)]
+    pub states_pruned: u64,
+    /// Candidates dropped as stale or non-improving duplicates.
+    #[serde(default)]
+    pub states_deduped: u64,
     /// Satisfiability queries issued.
     pub sat_checks: u64,
+    /// Queries served from the ESC cache.
+    #[serde(default)]
+    pub cache_hits: u64,
+    /// Queries that ran the full evaluation.
+    #[serde(default)]
+    pub full_evaluations: u64,
+    /// Wall-clock spent inside satisfiability checks, milliseconds.
+    #[serde(default)]
+    pub satcheck_ms: u64,
     /// Planning wall-clock, milliseconds.
     pub planning_ms: u64,
     /// True when the response was served from the shared plan cache.
@@ -242,7 +260,13 @@ mod tests {
                 phases: 4,
                 steps: 12,
                 states_visited: 99,
+                states_generated: 150,
+                states_pruned: 30,
+                states_deduped: 21,
                 sat_checks: 200,
+                cache_hits: 120,
+                full_evaluations: 80,
+                satcheck_ms: 6,
                 planning_ms: 12,
                 cached: false,
             }),

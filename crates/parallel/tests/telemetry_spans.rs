@@ -1,0 +1,61 @@
+//! Spans opened inside `WorkerPool` lanes keep consistent parent/child
+//! ids across threads, and the emitted JSONL round-trips through the
+//! schema validator.
+
+use std::sync::Arc;
+
+use klotski_parallel::WorkerPool;
+use klotski_telemetry::{span, validate_trace, Record, RingSink, SpanGuard};
+
+#[test]
+fn nested_spans_across_pool_threads_keep_parent_child_ids() {
+    let ring = Arc::new(RingSink::new(1 << 16));
+    let saved = klotski_telemetry::swap(Some(ring.clone()));
+
+    let pool = WorkerPool::new(4);
+    let root_id;
+    {
+        let root = span!("test.root");
+        root_id = root.id();
+        pool.run(64, |lane, task| {
+            // Lane threads have no span context of their own; attach the
+            // task span to the caller's root explicitly.
+            let mut guard = SpanGuard::enter_with_parent("test.task", root_id);
+            guard.field("lane", lane as u64).field("task", task as u64);
+            {
+                let _inner = span!("test.inner");
+            }
+        });
+    }
+
+    klotski_telemetry::swap(saved);
+
+    let text = ring.lines().into_iter().collect::<Vec<_>>().join("\n");
+    let summary = validate_trace(&text).expect("trace must validate");
+    assert_eq!(summary.spans, 1 + 64 + 64, "root + 64 tasks + 64 inners");
+
+    let mut task_ids = std::collections::HashSet::new();
+    let mut inners = Vec::new();
+    for line in text.lines() {
+        match klotski_telemetry::parse_line(line).unwrap() {
+            Record::Span {
+                name, id, parent, ..
+            } if name == "test.task" => {
+                assert_eq!(parent, root_id, "every task span hangs off the root");
+                task_ids.insert(id);
+            }
+            Record::Span { name, parent, .. } if name == "test.inner" => {
+                inners.push(parent);
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(task_ids.len(), 64, "task span ids are unique");
+    assert_eq!(inners.len(), 64);
+    for parent in inners {
+        assert!(
+            task_ids.contains(&parent),
+            "inner span parent {parent} must be a task span"
+        );
+    }
+}

@@ -23,8 +23,11 @@ use crate::ecmp::{EcmpRouter, RouteOutcome, RouteSink, SplitPolicy};
 use crate::loads::LoadMap;
 use crate::mask::UsableMask;
 use klotski_parallel::{chunk_ranges, WorkerPool};
+use klotski_telemetry::{registry, Counter, Histogram};
 use klotski_topology::{NetState, SwitchId, Topology};
 use klotski_traffic::DemandMatrix;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Chunks per lane: a little oversubscription lets fast lanes steal the
 /// tail from slow ones without shrinking chunks so far that per-chunk
@@ -68,6 +71,38 @@ impl RouteSink for ChunkBuf {
     }
 }
 
+/// Registry handles for routing introspection, resolved once per router so
+/// the per-route cost is three atomic adds and a histogram record.
+#[derive(Debug)]
+struct RouteMetrics {
+    routes: Arc<Counter>,
+    demands: Arc<Counter>,
+    route_seconds: Arc<Histogram>,
+}
+
+impl RouteMetrics {
+    fn new() -> Self {
+        let reg = registry();
+        reg.set_help(
+            "klotski_routing_routes_total",
+            "Full demand-matrix routing passes",
+        );
+        reg.set_help(
+            "klotski_routing_demands_total",
+            "Individual demands routed across all passes",
+        );
+        reg.set_help(
+            "klotski_routing_route_seconds",
+            "Wall time of one routing pass",
+        );
+        Self {
+            routes: reg.counter("klotski_routing_routes_total"),
+            demands: reg.counter("klotski_routing_demands_total"),
+            route_seconds: reg.histogram("klotski_routing_route_seconds"),
+        }
+    }
+}
+
 /// Parallel routing engine: one [`EcmpRouter`] per pool lane plus reusable
 /// chunk buffers, producing results bit-identical to the sequential path.
 #[derive(Debug)]
@@ -78,6 +113,8 @@ pub struct ParallelRouter {
     chunks: Vec<ChunkBuf>,
     /// Mask storage for [`route`](Self::route).
     mask: UsableMask,
+    /// Introspection counters shared through the global registry.
+    metrics: RouteMetrics,
 }
 
 impl ParallelRouter {
@@ -90,6 +127,7 @@ impl ParallelRouter {
                 .collect(),
             chunks: Vec::new(),
             mask: UsableMask::new(),
+            metrics: RouteMetrics::new(),
         }
     }
 
@@ -134,9 +172,14 @@ impl ParallelRouter {
             self.engines.len(),
             pool.lanes()
         );
+        let started = Instant::now();
+        self.metrics.routes.inc();
+        self.metrics.demands.add(matrix.len() as u64);
         // One lane: skip the edit-list indirection entirely.
         if pool.lanes() == 1 {
-            return self.engines[0].route_with_mask(topo, state, mask, matrix, loads);
+            let outcome = self.engines[0].route_with_mask(topo, state, mask, matrix, loads);
+            self.metrics.route_seconds.record(started.elapsed());
+            return outcome;
         }
 
         let groups: Vec<_> = matrix.by_destination().into_iter().collect();
@@ -170,6 +213,7 @@ impl ParallelRouter {
             }
             outcome.unreachable.extend_from_slice(&buf.unreachable);
         }
+        self.metrics.route_seconds.record(started.elapsed());
         outcome
     }
 }

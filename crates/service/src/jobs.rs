@@ -204,7 +204,13 @@ mod tests {
                 phases: 1,
                 steps: 1,
                 states_visited: 1,
+                states_generated: 1,
+                states_pruned: 0,
+                states_deduped: 0,
                 sat_checks: 1,
+                cache_hits: 0,
+                full_evaluations: 1,
+                satcheck_ms: 0,
                 planning_ms: 0,
                 cached: false,
             },

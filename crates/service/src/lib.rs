@@ -240,6 +240,11 @@ fn worker_loop(shared: &Arc<Shared>) {
 }
 
 fn run_job(shared: &Arc<Shared>, queued: &QueuedJob, pool: &Arc<WorkerPool>) {
+    let mut span = klotski_telemetry::span!(
+        "service.job",
+        "kind" = queued.job.kind.label(),
+        "job" = queued.job.id,
+    );
     queued.job.set_running();
     // A same-key job may have finished while this one sat queued.
     if let Some(hit) = shared.cache.get(queued.key) {
@@ -249,6 +254,7 @@ fn run_job(shared: &Arc<Shared>, queued: &QueuedJob, pool: &Arc<WorkerPool>) {
             .fetch_add(1, Ordering::Relaxed);
         shared.metrics.latency.record(queued.job.admitted.elapsed());
         queued.job.complete(hit);
+        span.field("outcome", "cached");
         return;
     }
     let mut budget = SearchBudget::default();
@@ -271,6 +277,7 @@ fn run_job(shared: &Arc<Shared>, queued: &QueuedJob, pool: &Arc<WorkerPool>) {
                 .fetch_add(1, Ordering::Relaxed);
             shared.metrics.latency.record(queued.job.admitted.elapsed());
             queued.job.complete(artifact);
+            span.field("outcome", "done");
         }
         Err(e) => {
             let status = match &e {
@@ -280,6 +287,15 @@ fn run_job(shared: &Arc<Shared>, queued: &QueuedJob, pool: &Arc<WorkerPool>) {
                 PipelineError::Internal(_) => 500,
             };
             shared.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            if status == 504 {
+                shared
+                    .metrics
+                    .jobs_cancelled
+                    .fetch_add(1, Ordering::Relaxed);
+                span.field("outcome", "deadline");
+            } else {
+                span.field("outcome", "failed");
+            }
             queued.job.fail(status, e.to_string());
         }
     }
@@ -320,7 +336,12 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Response {
             }
         }
         ("GET", "/metrics") => {
-            Response::text(200, metrics::render(&shared.metrics, &shared.gauges()))
+            // Service-local families first (their layout is pinned by the
+            // snapshot test), then the process-wide registry: search,
+            // routing, and pool introspection counters.
+            let mut text = metrics::render(&shared.metrics, &shared.gauges());
+            text.push_str(&klotski_telemetry::registry().render_prometheus());
+            Response::text(200, text)
         }
         ("POST", "/v1/plan") => submit(request, shared, JobKind::Plan),
         ("POST", "/v1/audit") => submit(request, shared, JobKind::Audit),
@@ -604,8 +625,58 @@ mod tests {
         assert!(text.contains("klotski_audit_requests_total 1"));
         assert!(text.contains("klotski_jobs_completed_total 1"));
         assert!(text.contains("klotski_plan_latency_seconds_count 1"));
+        // The process-wide registry rides along: the plan above flushed
+        // search introspection counters.
+        assert!(text.contains("klotski_search_expansions_total"), "{text}");
+        assert!(text.contains("klotski_search_esc_hits_total"));
+        assert!(text.contains("klotski_pool_tasks_total"));
 
         service.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_cancels_job_and_traces_it() {
+        let ring = Arc::new(klotski_telemetry::RingSink::new(1 << 14));
+        let saved = klotski_telemetry::swap(Some(ring.clone()));
+
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            cache_capacity: 0,
+            default_deadline: Some(Duration::ZERO),
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let addr = service.local_addr();
+        let npd = small_npd_json();
+
+        let (status, _, body) = request(addr, "POST /v1/plan HTTP/1.1\r\nHost: t", &npd);
+        assert_eq!(status, 504, "{body}");
+        let err: ErrorResponse = serde_json::from_str(&body).unwrap();
+        assert!(err.error.contains("budget"), "{}", err.error);
+
+        let (_, _, text) = request(addr, "GET /metrics HTTP/1.1\r\nHost: t", "");
+        assert!(text.contains("klotski_jobs_cancelled_total 1"), "{text}");
+        assert!(text.contains("klotski_jobs_failed_total 1"));
+
+        service.shutdown();
+        klotski_telemetry::swap(saved);
+
+        let deadline_span = ring
+            .lines()
+            .iter()
+            .filter_map(|l| klotski_telemetry::parse_line(l).ok())
+            .find_map(|r| match r {
+                klotski_telemetry::Record::Span { name, fields, .. } if name == "service.job" => {
+                    Some(fields)
+                }
+                _ => None,
+            })
+            .expect("terminal service.job span in trace");
+        assert_eq!(
+            deadline_span.get("outcome").and_then(|v| v.as_str()),
+            Some("deadline"),
+            "{deadline_span:?}"
+        );
     }
 
     #[test]

@@ -1,89 +1,15 @@
 //! Std-only service metrics: atomic counters plus a fixed-bucket latency
 //! histogram, rendered in Prometheus text exposition format at `/metrics`.
 //!
-//! The histogram uses geometric bucket bounds (~1.47× apart) spanning
-//! 100 µs to ~2 min, so quantile estimates carry bounded relative error
-//! without any locking on the record path.
+//! The histogram itself lives in `klotski-telemetry` (re-exported here for
+//! compatibility) so the planner, routing, and service all share one
+//! implementation; this module keeps the service-specific counter set and
+//! its exposition layout, which operators' dashboards scrape.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
-/// Upper bounds of the latency buckets, in microseconds. Geometric series:
-/// `bound[i] = 100 · (1.468)^i`, 32 buckets, last bound ≈ 2.6 min; anything
-/// slower lands in the implicit overflow bucket.
-const BUCKET_BOUNDS_US: [u64; 32] = [
-    100, 147, 216, 317, 465, 683, 1_002, 1_472, 2_161, 3_172, 4_657, 6_837, 10_036, 14_733, 21_628,
-    31_750, 46_609, 68_422, 100_444, 147_452, 216_460, 317_764, 466_478, 684_789, 1_005_270,
-    1_475_737, 2_166_382, 3_180_249, 4_668_606, 6_853_514, 10_060_959, 14_769_488,
-];
-
-/// A lock-free fixed-bucket latency histogram.
-#[derive(Debug)]
-pub struct Histogram {
-    buckets: [AtomicU64; BUCKET_BOUNDS_US.len()],
-    /// Samples beyond the last bound.
-    overflow: AtomicU64,
-    count: AtomicU64,
-    sum_us: AtomicU64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Histogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Self {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            overflow: AtomicU64::new(0),
-            count: AtomicU64::new(0),
-            sum_us: AtomicU64::new(0),
-        }
-    }
-
-    /// Records one sample.
-    pub fn record(&self, sample: Duration) {
-        let us = sample.as_micros().min(u128::from(u64::MAX)) as u64;
-        match BUCKET_BOUNDS_US.iter().position(|&b| us <= b) {
-            Some(i) => self.buckets[i].fetch_add(1, Ordering::Relaxed),
-            None => self.overflow.fetch_add(1, Ordering::Relaxed),
-        };
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
-    }
-
-    /// Number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Sum of all samples, seconds.
-    pub fn sum_seconds(&self) -> f64 {
-        self.sum_us.load(Ordering::Relaxed) as f64 / 1e6
-    }
-
-    /// Estimated `q`-quantile in seconds (upper bound of the bucket holding
-    /// the quantile sample). Returns 0 with no samples.
-    pub fn quantile(&self, q: f64) -> f64 {
-        let total = self.count();
-        if total == 0 {
-            return 0.0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
-            if seen >= rank {
-                return BUCKET_BOUNDS_US[i] as f64 / 1e6;
-            }
-        }
-        // Quantile sample sits in the overflow bucket: report the max bound.
-        *BUCKET_BOUNDS_US.last().unwrap() as f64 / 1e6
-    }
-}
+pub use klotski_telemetry::Histogram;
 
 /// All service counters. Everything is relaxed-atomic: metrics never
 /// contend with the request path.
@@ -103,6 +29,9 @@ pub struct Metrics {
     pub jobs_completed: AtomicU64,
     /// Jobs that finished with an error.
     pub jobs_failed: AtomicU64,
+    /// Jobs stopped by deadline expiry or cooperative cancellation
+    /// (a subset of `jobs_failed`).
+    pub jobs_cancelled: AtomicU64,
     /// End-to-end plan/audit latency (admission to completion).
     pub latency: Histogram,
     started: Instant,
@@ -125,6 +54,7 @@ impl Metrics {
             rejected_busy: AtomicU64::new(0),
             jobs_completed: AtomicU64::new(0),
             jobs_failed: AtomicU64::new(0),
+            jobs_cancelled: AtomicU64::new(0),
             latency: Histogram::new(),
             started: Instant::now(),
         }
@@ -213,6 +143,11 @@ pub fn render(m: &Metrics, g: &Gauges) -> String {
         load(&m.jobs_failed).to_string(),
     );
     line(
+        "klotski_jobs_cancelled_total",
+        "Jobs stopped by deadline expiry or cancellation.",
+        load(&m.jobs_cancelled).to_string(),
+    );
+    line(
         "klotski_queue_depth",
         "Jobs waiting in the bounded queue.",
         g.queue_depth.to_string(),
@@ -272,6 +207,7 @@ pub fn render(m: &Metrics, g: &Gauges) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn empty_histogram_quantiles_are_zero() {
@@ -329,5 +265,98 @@ mod tests {
         ] {
             assert!(text.contains(family), "missing {family} in:\n{text}");
         }
+    }
+
+    /// The exact exposition text is an external contract — dashboards parse
+    /// it. Pin every line (modulo the uptime value, which is wall-clock).
+    #[test]
+    fn render_snapshot_is_stable() {
+        let m = Metrics::new();
+        m.http_requests.fetch_add(7, Ordering::Relaxed);
+        m.plan_requests.fetch_add(3, Ordering::Relaxed);
+        m.audit_requests.fetch_add(1, Ordering::Relaxed);
+        m.jobs_completed.fetch_add(4, Ordering::Relaxed);
+        m.jobs_failed.fetch_add(2, Ordering::Relaxed);
+        m.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+        m.latency.record(Duration::from_millis(12));
+        let g = Gauges {
+            queue_depth: 2,
+            queue_capacity: 64,
+            workers_busy: 1,
+            workers: 4,
+            cache_entries: 5,
+            cache_hits: 9,
+            cache_misses: 1,
+        };
+        let text = render(&m, &g);
+        let normalized: String = text
+            .lines()
+            .map(|l| {
+                if l.starts_with("klotski_uptime_seconds ") {
+                    "klotski_uptime_seconds <uptime>"
+                } else {
+                    l
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let expected = "\
+# HELP klotski_uptime_seconds Seconds since service start.
+# TYPE klotski_uptime_seconds gauge
+klotski_uptime_seconds <uptime>
+# HELP klotski_http_requests_total HTTP requests accepted.
+# TYPE klotski_http_requests_total gauge
+klotski_http_requests_total 7
+# HELP klotski_plan_requests_total Plan submissions.
+# TYPE klotski_plan_requests_total gauge
+klotski_plan_requests_total 3
+# HELP klotski_audit_requests_total Audit submissions.
+# TYPE klotski_audit_requests_total gauge
+klotski_audit_requests_total 1
+# HELP klotski_bad_requests_total Requests rejected 4xx.
+# TYPE klotski_bad_requests_total gauge
+klotski_bad_requests_total 0
+# HELP klotski_rejected_busy_total Submissions rejected 503 (backpressure).
+# TYPE klotski_rejected_busy_total gauge
+klotski_rejected_busy_total 0
+# HELP klotski_jobs_completed_total Jobs finished successfully.
+# TYPE klotski_jobs_completed_total gauge
+klotski_jobs_completed_total 4
+# HELP klotski_jobs_failed_total Jobs finished with an error.
+# TYPE klotski_jobs_failed_total gauge
+klotski_jobs_failed_total 2
+# HELP klotski_jobs_cancelled_total Jobs stopped by deadline expiry or cancellation.
+# TYPE klotski_jobs_cancelled_total gauge
+klotski_jobs_cancelled_total 1
+# HELP klotski_queue_depth Jobs waiting in the bounded queue.
+# TYPE klotski_queue_depth gauge
+klotski_queue_depth 2
+# HELP klotski_queue_capacity Bounded queue capacity.
+# TYPE klotski_queue_capacity gauge
+klotski_queue_capacity 64
+# HELP klotski_workers Planner worker threads.
+# TYPE klotski_workers gauge
+klotski_workers 4
+# HELP klotski_workers_busy Worker threads currently planning.
+# TYPE klotski_workers_busy gauge
+klotski_workers_busy 1
+# HELP klotski_cache_entries Entries in the shared plan cache.
+# TYPE klotski_cache_entries gauge
+klotski_cache_entries 5
+# HELP klotski_cache_hits_total Plan-cache hits.
+# TYPE klotski_cache_hits_total gauge
+klotski_cache_hits_total 9
+# HELP klotski_cache_misses_total Plan-cache misses.
+# TYPE klotski_cache_misses_total gauge
+klotski_cache_misses_total 1
+# HELP klotski_cache_hit_rate Plan-cache hit fraction.
+# TYPE klotski_cache_hit_rate gauge
+klotski_cache_hit_rate 0.9000
+klotski_plan_latency_seconds{quantile=\"0.5\"} 0.014733
+klotski_plan_latency_seconds{quantile=\"0.95\"} 0.014733
+klotski_plan_latency_seconds{quantile=\"0.99\"} 0.014733
+klotski_plan_latency_seconds_count 1
+klotski_plan_latency_seconds_sum 0.012000";
+        assert_eq!(normalized, expected);
     }
 }

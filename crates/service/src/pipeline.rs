@@ -112,6 +112,7 @@ pub fn plan_document(
     budget: SearchBudget,
     pool: Option<Arc<WorkerPool>>,
 ) -> Result<PlanArtifact, PipelineError> {
+    let _span = klotski_telemetry::span!("pipeline.plan", "npd" = npd.name.as_str());
     let (mig_options, cost, use_dp) = resolve_options(options)?;
     let cfg = npd_to_region(npd).map_err(|e| PipelineError::Invalid(e.to_string()))?;
     let (topology, handles) = build_region(&cfg);
@@ -169,7 +170,13 @@ pub fn plan_document(
         phases: outcome.plan.num_phases(),
         steps,
         states_visited: outcome.stats.states_visited,
+        states_generated: outcome.stats.states_generated,
+        states_pruned: outcome.stats.states_pruned,
+        states_deduped: outcome.stats.states_deduped,
         sat_checks: outcome.stats.sat_checks,
+        cache_hits: outcome.stats.cache_hits,
+        full_evaluations: outcome.stats.full_evaluations,
+        satcheck_ms: outcome.stats.satcheck_time.as_millis() as u64,
         planning_ms: outcome.stats.planning_time.as_millis() as u64,
         cached: false,
     };

@@ -1,0 +1,365 @@
+//! Lock-free metrics behind a process-global registry.
+//!
+//! The [`Histogram`] here is the service's former
+//! `klotski-service/src/metrics.rs` histogram, relocated so the service,
+//! the CLI, and instrumented library crates share one implementation; its
+//! bucket bounds and quantile semantics are unchanged (with the empty /
+//! `q = 1.0` edge cases pinned down by tests), so the service's Prometheus
+//! rendering stays byte-compatible.
+//!
+//! Instrumented hot paths fetch their `Arc` handles once at construction
+//! (`registry().counter("...")`) and afterwards pay one relaxed atomic op
+//! per record — the registry's mutexed map is only touched at setup and at
+//! render time.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Upper bounds of the latency buckets, in microseconds. Geometric series:
+/// `bound[i] = 100 · (1.468)^i`, 32 buckets, last bound ≈ 2.6 min; anything
+/// slower lands in the implicit overflow bucket.
+const BUCKET_BOUNDS_US: [u64; 32] = [
+    100, 147, 216, 317, 465, 683, 1_002, 1_472, 2_161, 3_172, 4_657, 6_837, 10_036, 14_733, 21_628,
+    31_750, 46_609, 68_422, 100_444, 147_452, 216_460, 317_764, 466_478, 684_789, 1_005_270,
+    1_475_737, 2_166_382, 3_180_249, 4_668_606, 6_853_514, 10_060_959, 14_769_488,
+];
+
+/// A lock-free fixed-bucket latency histogram.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_BOUNDS_US.len()],
+    /// Samples beyond the last bound.
+    overflow: AtomicU64,
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            overflow: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, sample: Duration) {
+        let us = sample.as_micros().min(u128::from(u64::MAX)) as u64;
+        match BUCKET_BOUNDS_US.iter().position(|&b| us <= b) {
+            Some(i) => self.buckets[i].fetch_add(1, Ordering::Relaxed),
+            None => self.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Times `f` and records its duration.
+    pub fn observe<T>(&self, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record(start.elapsed());
+        out
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples, seconds.
+    pub fn sum_seconds(&self) -> f64 {
+        self.sum_us.load(Ordering::Relaxed) as f64 / 1e6
+    }
+
+    /// Mean sample, seconds. 0 with no samples (never NaN).
+    pub fn mean_seconds(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.sum_seconds() / n as f64
+    }
+
+    /// Estimated `q`-quantile in seconds (upper bound of the bucket holding
+    /// the quantile sample). Edge cases are explicit: an empty histogram
+    /// returns 0 (never NaN), a NaN `q` is treated as 0, `q` is clamped to
+    /// `[0, 1]`, and `q = 1.0` clamps to the last non-empty bucket — when
+    /// only the overflow bucket is occupied that is the largest finite
+    /// bound, the tightest claim the histogram can make.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return BUCKET_BOUNDS_US[i] as f64 / 1e6;
+            }
+        }
+        // Quantile sample sits in the overflow bucket: report the max bound.
+        *BUCKET_BOUNDS_US.last().unwrap() as f64 / 1e6
+    }
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins floating-point gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// The process-global metric registry: names → shared metric handles.
+///
+/// Names may carry a Prometheus label suffix (`klotski_pool_tasks_total{lane="0"}`);
+/// series sharing the text before `{` form one family and render under one
+/// `# HELP` / `# TYPE` header. Get-or-create is idempotent, so independent
+/// subsystems can cache handles to the same series.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    help: Mutex<BTreeMap<String, String>>,
+}
+
+/// The process-global registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// The family a series belongs to: the name up to its label block.
+fn family_of(name: &str) -> &str {
+    match name.find('{') {
+        Some(brace) => &name[..brace],
+        None => name,
+    }
+}
+
+impl Registry {
+    /// Gets or creates the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap();
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Gets or creates the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().unwrap();
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Gets or creates the histogram `name` (rendered as a summary family).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap();
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Registers the `# HELP` text for a family (idempotent overwrite).
+    pub fn set_help(&self, family: &str, help: &str) {
+        self.help
+            .lock()
+            .unwrap()
+            .insert(family.to_string(), help.to_string());
+    }
+
+    /// Current value of counter `name`, 0 if it was never created. For
+    /// tests and post-run summaries; does not create the series.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters
+            .lock()
+            .unwrap()
+            .get(name)
+            .map(|c| c.get())
+            .unwrap_or(0)
+    }
+
+    /// Renders every registered series in Prometheus text format, families
+    /// sorted by name, one `# HELP`/`# TYPE` header per family.
+    pub fn render_prometheus(&self) -> String {
+        let help = self.help.lock().unwrap();
+        let mut out = String::with_capacity(2048);
+        let header = |out: &mut String, family: &str, kind: &str, last: &mut String| {
+            if family != last {
+                let text = help.get(family).map(String::as_str).unwrap_or("(no help)");
+                out.push_str(&format!("# HELP {family} {text}\n# TYPE {family} {kind}\n"));
+                last.clear();
+                last.push_str(family);
+            }
+        };
+
+        let mut last = String::new();
+        for (name, counter) in self.counters.lock().unwrap().iter() {
+            header(&mut out, family_of(name), "counter", &mut last);
+            out.push_str(&format!("{name} {}\n", counter.get()));
+        }
+        last.clear();
+        for (name, gauge) in self.gauges.lock().unwrap().iter() {
+            header(&mut out, family_of(name), "gauge", &mut last);
+            out.push_str(&format!("{name} {}\n", gauge.get()));
+        }
+        last.clear();
+        for (name, histogram) in self.histograms.lock().unwrap().iter() {
+            header(&mut out, family_of(name), "summary", &mut last);
+            for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
+                out.push_str(&format!(
+                    "{name}{{quantile=\"{label}\"}} {:.6}\n",
+                    histogram.quantile(q)
+                ));
+            }
+            out.push_str(&format!("{name}_count {}\n", histogram.count()));
+            out.push_str(&format!("{name}_sum {:.6}\n", histogram.sum_seconds()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero_not_nan() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 1.0, f64::NAN] {
+            let v = h.quantile(q);
+            assert_eq!(v, 0.0, "q={q}");
+            assert!(!v.is_nan());
+        }
+        assert_eq!(h.mean_seconds(), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn quantile_one_clamps_to_last_nonempty_bucket() {
+        let h = Histogram::new();
+        h.record(Duration::from_millis(5));
+        h.record(Duration::from_millis(5));
+        // Every quantile, including exactly 1.0, must report the 5 ms
+        // bucket's bound — never run past it.
+        let q1 = h.quantile(1.0);
+        assert_eq!(q1, h.quantile(0.5));
+        assert!((0.005..=0.008).contains(&q1), "{q1}");
+        // Out-of-range and NaN q degrade gracefully.
+        assert_eq!(h.quantile(7.5), q1);
+        assert_eq!(h.quantile(f64::NAN), h.quantile(0.0));
+    }
+
+    #[test]
+    fn overflow_only_histogram_reports_max_bound_at_q1() {
+        let h = Histogram::new();
+        h.record(Duration::from_secs(3600));
+        let bound = *BUCKET_BOUNDS_US.last().unwrap() as f64 / 1e6;
+        assert_eq!(h.quantile(1.0), bound);
+        assert_eq!(h.quantile(0.5), bound);
+    }
+
+    #[test]
+    fn quantiles_are_monotonic_and_bracket_samples() {
+        let h = Histogram::new();
+        for ms in [1u64, 2, 5, 10, 20, 50, 100, 200, 500, 1000] {
+            h.record(Duration::from_millis(ms));
+        }
+        let p50 = h.quantile(0.5);
+        let p95 = h.quantile(0.95);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!((0.02..=0.04).contains(&p50), "p50 {p50}");
+        assert!((1.0..=1.6).contains(&p99), "p99 {p99}");
+        assert_eq!(h.count(), 10);
+        assert!(h.mean_seconds() > 0.0);
+    }
+
+    #[test]
+    fn registry_get_or_create_shares_handles() {
+        let r = Registry::default();
+        let a = r.counter("test_total");
+        let b = r.counter("test_total");
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+        assert_eq!(r.counter_value("test_total"), 4);
+        assert_eq!(r.counter_value("never_created_total"), 0);
+        let g = r.gauge("test_gauge");
+        g.set(2.5);
+        assert_eq!(r.gauge("test_gauge").get(), 2.5);
+    }
+
+    #[test]
+    fn render_groups_labelled_series_into_one_family() {
+        let r = Registry::default();
+        r.set_help("pool_tasks_total", "Tasks per lane.");
+        r.counter("pool_tasks_total{lane=\"0\"}").add(5);
+        r.counter("pool_tasks_total{lane=\"1\"}").add(7);
+        r.counter("other_total").inc();
+        r.histogram("route_seconds")
+            .record(Duration::from_millis(3));
+        let text = r.render_prometheus();
+        assert_eq!(
+            text.matches("# TYPE pool_tasks_total counter").count(),
+            1,
+            "{text}"
+        );
+        assert!(text.contains("# HELP pool_tasks_total Tasks per lane."));
+        assert!(text.contains("pool_tasks_total{lane=\"0\"} 5"));
+        assert!(text.contains("pool_tasks_total{lane=\"1\"} 7"));
+        assert!(text.contains("# TYPE other_total counter"));
+        assert!(text.contains("# TYPE route_seconds summary"));
+        assert!(text.contains("route_seconds_count 1"));
+        assert!(text.contains("route_seconds{quantile=\"0.99\"}"));
+    }
+
+    #[test]
+    fn global_registry_is_one_instance() {
+        registry().counter("global_smoke_total").inc();
+        assert!(registry().counter_value("global_smoke_total") >= 1);
+    }
+}

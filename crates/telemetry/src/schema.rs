@@ -1,0 +1,299 @@
+//! The trace-line schema and its validating parser.
+//!
+//! Every line a sink receives is one JSON object of one of two shapes:
+//!
+//! ```text
+//! {"type":"span","name":S,"id":N≥1,"parent":N,"thread":S,
+//!  "start_us":N,"dur_us":N,"fields":{...}}
+//! {"type":"event","name":S,"span":N,"ts_us":N,"fields":{...}}
+//! ```
+//!
+//! [`parse_line`] checks one line structurally; [`validate_trace`] checks a
+//! whole file — unique span ids and resolvable parents. Spans are emitted
+//! on guard drop, so a child's line precedes its parent's; the validator
+//! therefore collects ids in a first pass and checks references in a
+//! second.
+
+use serde::{Map, Value};
+
+/// One parsed trace line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A closed span.
+    Span {
+        /// Span name (non-empty).
+        name: String,
+        /// Unique id (≥ 1).
+        id: u64,
+        /// Parent span id; 0 for roots.
+        parent: u64,
+        /// Emitting thread's label.
+        thread: String,
+        /// Open timestamp, µs since the telemetry epoch.
+        start_us: u64,
+        /// Open-to-close duration, µs.
+        dur_us: u64,
+        /// Attached fields.
+        fields: Map,
+    },
+    /// A point event.
+    Event {
+        /// Event name (non-empty).
+        name: String,
+        /// Enclosing span id; 0 when emitted outside any span.
+        span: u64,
+        /// Timestamp, µs since the telemetry epoch.
+        ts_us: u64,
+        /// Attached fields.
+        fields: Map,
+    },
+}
+
+/// A schema violation, locating the offending line (1-based; 0 when the
+/// error is not tied to one line).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemaError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "trace invalid: {}", self.message)
+        } else {
+            write!(f, "trace line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// What [`validate_trace`] found in a valid trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceSummary {
+    /// Span lines.
+    pub spans: usize,
+    /// Event lines.
+    pub events: usize,
+    /// Spans with parent 0.
+    pub roots: usize,
+}
+
+fn get<'a>(obj: &'a Map, key: &str) -> Result<&'a Value, String> {
+    obj.get(key).ok_or_else(|| format!("missing key {key:?}"))
+}
+
+fn uint(obj: &Map, key: &str) -> Result<u64, String> {
+    let v = get(obj, key)?;
+    let n = v
+        .as_f64()
+        .ok_or_else(|| format!("key {key:?} is not a number"))?;
+    if !(n.is_finite() && n >= 0.0 && n.fract() == 0.0) {
+        return Err(format!("key {key:?} is not a non-negative integer ({n})"));
+    }
+    Ok(n as u64)
+}
+
+fn string(obj: &Map, key: &str) -> Result<String, String> {
+    get(obj, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("key {key:?} is not a string"))
+}
+
+fn nonempty(obj: &Map, key: &str) -> Result<String, String> {
+    let s = string(obj, key)?;
+    if s.is_empty() {
+        return Err(format!("key {key:?} is empty"));
+    }
+    Ok(s)
+}
+
+fn fields(obj: &Map) -> Result<Map, String> {
+    get(obj, "fields")?
+        .as_object()
+        .cloned()
+        .ok_or_else(|| "key \"fields\" is not an object".to_string())
+}
+
+/// Parses and structurally validates one trace line.
+pub fn parse_line(line: &str) -> Result<Record, String> {
+    let value: Value = serde_json::from_str(line).map_err(|e| format!("not JSON: {e}"))?;
+    let obj = value.as_object().ok_or("line is not a JSON object")?;
+    match get(obj, "type")?.as_str() {
+        Some("span") => {
+            let id = uint(obj, "id")?;
+            if id == 0 {
+                return Err("span id must be >= 1".into());
+            }
+            Ok(Record::Span {
+                name: nonempty(obj, "name")?,
+                id,
+                parent: uint(obj, "parent")?,
+                thread: nonempty(obj, "thread")?,
+                start_us: uint(obj, "start_us")?,
+                dur_us: uint(obj, "dur_us")?,
+                fields: fields(obj)?,
+            })
+        }
+        Some("event") => Ok(Record::Event {
+            name: nonempty(obj, "name")?,
+            span: uint(obj, "span")?,
+            ts_us: uint(obj, "ts_us")?,
+            fields: fields(obj)?,
+        }),
+        Some(other) => Err(format!("unknown record type {other:?}")),
+        None => Err("key \"type\" is not a string".into()),
+    }
+}
+
+/// Validates a whole JSONL trace: every line parses, span ids are unique,
+/// and every span parent / event span reference is 0 or a span id that
+/// appears somewhere in the trace (spans emit child-before-parent, hence
+/// the two passes). Blank lines are ignored.
+pub fn validate_trace(text: &str) -> Result<TraceSummary, SchemaError> {
+    let mut records = Vec::new();
+    for (index, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = parse_line(line).map_err(|message| SchemaError {
+            line: index + 1,
+            message,
+        })?;
+        records.push((index + 1, record));
+    }
+
+    let mut ids = std::collections::HashSet::new();
+    for (line, record) in &records {
+        if let Record::Span { id, .. } = record {
+            if !ids.insert(*id) {
+                return Err(SchemaError {
+                    line: *line,
+                    message: format!("duplicate span id {id}"),
+                });
+            }
+        }
+    }
+
+    let mut summary = TraceSummary::default();
+    for (line, record) in &records {
+        match record {
+            Record::Span { parent, .. } => {
+                summary.spans += 1;
+                if *parent == 0 {
+                    summary.roots += 1;
+                } else if !ids.contains(parent) {
+                    return Err(SchemaError {
+                        line: *line,
+                        message: format!("parent span {parent} not present in trace"),
+                    });
+                }
+            }
+            Record::Event { span, .. } => {
+                summary.events += 1;
+                if *span != 0 && !ids.contains(span) {
+                    return Err(SchemaError {
+                        line: *line,
+                        message: format!("event references span {span} not present in trace"),
+                    });
+                }
+            }
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPAN: &str = r#"{"type":"span","name":"a","id":2,"parent":1,"thread":"main","start_us":10,"dur_us":5,"fields":{}}"#;
+    const ROOT: &str = r#"{"type":"span","name":"r","id":1,"parent":0,"thread":"main","start_us":0,"dur_us":30,"fields":{"k":"v"}}"#;
+    const EVENT: &str = r#"{"type":"event","name":"tick","span":1,"ts_us":12,"fields":{"n":3}}"#;
+
+    #[test]
+    fn parses_valid_span_and_event_lines() {
+        assert!(matches!(
+            parse_line(SPAN).unwrap(),
+            Record::Span {
+                id: 2,
+                parent: 1,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse_line(EVENT).unwrap(),
+            Record::Event { span: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for (line, why) in [
+            ("nonsense", "not JSON"),
+            ("[1,2]", "not a JSON object"),
+            (r#"{"type":"blob"}"#, "unknown record type"),
+            (
+                r#"{"type":"span","name":"","id":1,"parent":0,"thread":"t","start_us":0,"dur_us":0,"fields":{}}"#,
+                "empty",
+            ),
+            (
+                r#"{"type":"span","name":"a","id":0,"parent":0,"thread":"t","start_us":0,"dur_us":0,"fields":{}}"#,
+                ">= 1",
+            ),
+            (
+                r#"{"type":"span","name":"a","id":1.5,"parent":0,"thread":"t","start_us":0,"dur_us":0,"fields":{}}"#,
+                "integer",
+            ),
+            (
+                r#"{"type":"event","name":"e","span":0,"ts_us":1,"fields":[]}"#,
+                "not an object",
+            ),
+        ] {
+            let err = parse_line(line).expect_err(line);
+            assert!(err.contains(why), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn validates_child_before_parent_order() {
+        // Emission order is child first; the validator must accept it.
+        let text = format!("{SPAN}\n{EVENT}\n{ROOT}\n");
+        let summary = validate_trace(&text).unwrap();
+        assert_eq!(
+            summary,
+            TraceSummary {
+                spans: 2,
+                events: 1,
+                roots: 1
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_dangling_references_and_duplicates() {
+        let dangling = validate_trace(SPAN).unwrap_err();
+        assert!(dangling.message.contains("parent span 1"), "{dangling}");
+
+        let dup = format!("{ROOT}\n{ROOT}");
+        let err = validate_trace(&dup).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("duplicate"), "{err}");
+
+        let bad_event = r#"{"type":"event","name":"e","span":99,"ts_us":1,"fields":{}}"#;
+        let err = validate_trace(bad_event).unwrap_err();
+        assert!(err.message.contains("span 99"), "{err}");
+    }
+
+    #[test]
+    fn blank_lines_are_ignored_and_errors_carry_line_numbers() {
+        let text = format!("{ROOT}\n\nnot json\n");
+        let err = validate_trace(&text).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.to_string().contains("line 3"));
+    }
+}

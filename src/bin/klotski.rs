@@ -4,9 +4,14 @@
 //! klotski export <preset> <out.json>        # write a region as NPD
 //! klotski plan <npd.json> [-o out.json]     # plan the migration an NPD implies
 //! klotski audit <preset>                    # plan + per-phase safety audit
+//! klotski trace <trace.jsonl>               # validate a recorded trace
 //! klotski serve [--addr A] [...]            # run the planning daemon
 //! klotski presets                           # list the built-in topologies
 //! ```
+//!
+//! `plan --trace <path>` records a hierarchical JSONL trace of the run
+//! (spans and progress events, see `klotski::telemetry`); `plan --stats`
+//! prints the search-introspection counters after the plan.
 //!
 //! The `plan` subcommand mirrors the §5 EDP-Lite pipeline: NPD in, ordered
 //! phase list out (attached to the NPD document when `-o` is given). Both
@@ -48,7 +53,8 @@ impl CliError {
         Self {
             message: "usage:\n  klotski presets\n  klotski export <preset> <out.json>\n  \
                  klotski plan <npd.json> [-o out.json] [--planner astar|dp] \
-                 [--theta X] [--alpha X]\n  klotski audit <preset>\n  \
+                 [--theta X] [--alpha X] [--trace out.jsonl] [--stats]\n  \
+                 klotski audit <preset>\n  klotski trace <trace.jsonl>\n  \
                  klotski serve [--addr HOST:PORT] [--workers N] [--queue-depth N] \
                  [--cache N] [--deadline-ms N]"
                 .into(),
@@ -99,6 +105,17 @@ where
         .or_fail(format_args!("bad {flag} value {value:?}"))
 }
 
+/// Pulls a valueless `--switch` out of an argument list.
+fn take_switch(args: &mut Vec<String>, switch: &str) -> bool {
+    match args.iter().position(|a| a == switch) {
+        Some(pos) => {
+            args.remove(pos);
+            true
+        }
+        None => false,
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(args) {
@@ -119,6 +136,7 @@ fn run(mut args: Vec<String>) -> Result<(), CliError> {
             cmd_plan(args)
         }
         Some("audit") if args.len() == 2 => cmd_audit(&args[1]),
+        Some("trace") if args.len() == 2 => cmd_trace(&args[1]),
         Some("serve") => {
             args.remove(0);
             cmd_serve(args)
@@ -158,9 +176,17 @@ fn cmd_plan(mut args: Vec<String>) -> Result<(), CliError> {
         deadline_ms: take_flag(&mut args, "--deadline-ms")?,
     };
     let out = take_flag::<String>(&mut args, "-o")?;
+    let trace = take_flag::<String>(&mut args, "--trace")?;
+    let stats = take_switch(&mut args, "--stats");
     let [input] = args.as_slice() else {
         return Err(CliError::usage());
     };
+
+    if let Some(path) = &trace {
+        let sink = klotski::telemetry::FileSink::create(path)
+            .or_fail(format_args!("cannot open trace file {path}"))?;
+        klotski::telemetry::install(std::sync::Arc::new(sink));
+    }
 
     let json = std::fs::read_to_string(input).or_fail(format_args!("cannot read {input}"))?;
     let npd = Npd::from_json(&json).or_fail("invalid NPD")?;
@@ -168,8 +194,16 @@ fn cmd_plan(mut args: Vec<String>) -> Result<(), CliError> {
     if let Some(ms) = options.deadline_ms {
         budget = budget.with_deadline(std::time::Instant::now() + Duration::from_millis(ms));
     }
-    let artifact = plan_document(&npd, &options, budget, None)
-        .map_err(|e| CliError::failure(e.to_string()))?;
+    let result = {
+        let _span = klotski::telemetry::span!("cli.plan", "input" = input.as_str());
+        plan_document(&npd, &options, budget, None)
+    };
+    // Flush (and stop tracing) before reporting, so the trace file is
+    // complete even when planning failed.
+    if trace.is_some() {
+        klotski::telemetry::uninstall();
+    }
+    let artifact = result.map_err(|e| CliError::failure(e.to_string()))?;
 
     let s = &artifact.summary;
     println!(
@@ -182,10 +216,53 @@ fn cmd_plan(mut args: Vec<String>) -> Result<(), CliError> {
             phase.index, phase.action, phase.blocks
         );
     }
+    if stats {
+        print_search_stats(s);
+    }
+    if let Some(path) = trace {
+        println!("trace written to {path}");
+    }
     if let Some(out) = out {
         std::fs::write(&out, &artifact.plan_json).or_fail(format_args!("cannot write {out}"))?;
         println!("phases attached to {out}");
     }
+    Ok(())
+}
+
+/// The `--stats` search summary table.
+fn print_search_stats(s: &klotski::npd::api::PlanSummary) {
+    let hit_rate = if s.sat_checks == 0 {
+        0.0
+    } else {
+        100.0 * s.cache_hits as f64 / s.sat_checks as f64
+    };
+    println!("search statistics ({}):", s.planner);
+    println!("  states visited    {:>10}", s.states_visited);
+    println!("  states generated  {:>10}", s.states_generated);
+    println!("  states pruned     {:>10}", s.states_pruned);
+    println!("  states deduped    {:>10}", s.states_deduped);
+    println!("  sat checks        {:>10}", s.sat_checks);
+    println!(
+        "  esc cache hits    {:>10}  ({hit_rate:.1}% hit rate)",
+        s.cache_hits
+    );
+    println!("  full evaluations  {:>10}", s.full_evaluations);
+    println!("  satcheck time     {:>8}ms", s.satcheck_ms);
+    println!(
+        "  other search time {:>8}ms",
+        s.planning_ms.saturating_sub(s.satcheck_ms)
+    );
+    println!("  total planning    {:>8}ms", s.planning_ms);
+}
+
+fn cmd_trace(path: &str) -> Result<(), CliError> {
+    let text = std::fs::read_to_string(path).or_fail(format_args!("cannot read {path}"))?;
+    let summary = klotski::telemetry::validate_trace(&text)
+        .map_err(|e| CliError::failure(format!("{path}: {e}")))?;
+    println!(
+        "trace ok: {} spans, {} events, {} roots",
+        summary.spans, summary.events, summary.roots
+    );
     Ok(())
 }
 

@@ -5,5 +5,6 @@ pub use klotski_npd as npd;
 pub use klotski_parallel as parallel;
 pub use klotski_routing as routing;
 pub use klotski_service as service;
+pub use klotski_telemetry as telemetry;
 pub use klotski_topology as topology;
 pub use klotski_traffic as traffic;
