@@ -43,15 +43,19 @@ fn main() {
             match EXPERIMENTS.iter().find(|(name, _)| name == arg) {
                 Some(exp) => picked.push(exp),
                 None => {
+                    let available = EXPERIMENTS
+                        .iter()
+                        .map(|(n, _)| *n)
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    // Plain stderr too: log_event! compiles to nothing
+                    // without the `trace` feature, and this diagnostic must
+                    // reach the user unconditionally.
+                    eprintln!("unknown experiment {arg:?}; available: {available}, all");
                     log_event!(
                         "report.unknown_experiment",
                         "name" = arg.as_str(),
-                        "available" = EXPERIMENTS
-                            .iter()
-                            .map(|(n, _)| *n)
-                            .collect::<Vec<_>>()
-                            .join(", ")
-                            .as_str(),
+                        "available" = available.as_str(),
                     );
                     std::process::exit(2);
                 }

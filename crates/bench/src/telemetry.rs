@@ -6,9 +6,10 @@
 use crate::table::Table;
 use klotski_core::migration::MigrationOptions;
 use klotski_core::planner::{AStarPlanner, Planner};
-use klotski_telemetry::RingSink;
+use klotski_telemetry::{Record, RingSink};
 use klotski_topology::presets::PresetId;
 use serde::Serialize;
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -53,11 +54,15 @@ pub fn measure(preset: PresetId, runs: usize) -> TelemetryReport {
         let ring = Arc::new(RingSink::new(1 << 20));
         klotski_telemetry::swap(Some(ring.clone()));
         let t0 = Instant::now();
-        planner.plan(&spec).expect("preset plans");
+        let root_id = {
+            let root = klotski_telemetry::span!("bench.telemetry.run");
+            planner.plan(&spec).expect("preset plans");
+            root.id()
+        };
         traced_ms = traced_ms.min(t0.elapsed().as_secs_f64() * 1e3);
         klotski_telemetry::swap(None);
 
-        let lines = ring.lines();
+        let lines = subtree_lines(&ring.lines(), root_id);
         trace_lines = lines.len();
         let text = lines.join("\n");
         summary = klotski_telemetry::validate_trace(&text).expect("trace validates");
@@ -74,6 +79,51 @@ pub fn measure(preset: PresetId, runs: usize) -> TelemetryReport {
         trace_spans: summary.spans,
         trace_events: summary.events,
     }
+}
+
+/// Keeps only the lines in the span subtree rooted at `root_id`. The trace
+/// sink is process-global, so anything else planning in this process while
+/// the ring is installed (e.g. a concurrently running test) leaks its own
+/// spans into the capture — and a foreign span that closes after the ring
+/// is swapped out leaves a dangling parent id that would fail validation.
+/// With `root_id == 0` (tracing compiled out) lines pass through as-is.
+fn subtree_lines(lines: &[String], root_id: u64) -> Vec<String> {
+    if root_id == 0 {
+        return lines.to_vec();
+    }
+    let records: Vec<Option<Record>> = lines
+        .iter()
+        .map(|l| klotski_telemetry::parse_line(l).ok())
+        .collect();
+    let mut parent_of = HashMap::new();
+    for record in records.iter().flatten() {
+        if let Record::Span { id, parent, .. } = record {
+            parent_of.insert(*id, *parent);
+        }
+    }
+    let in_subtree = |mut id: u64| {
+        // Bounded walk: a corrupt parent chain must not loop forever.
+        for _ in 0..=parent_of.len() {
+            if id == root_id {
+                return true;
+            }
+            match parent_of.get(&id) {
+                Some(&parent) => id = parent,
+                None => return false,
+            }
+        }
+        false
+    };
+    lines
+        .iter()
+        .zip(&records)
+        .filter(|(_, record)| match record {
+            Some(Record::Span { id, .. }) => in_subtree(*id),
+            Some(Record::Event { span, .. }) => in_subtree(*span),
+            None => false,
+        })
+        .map(|(line, _)| line.clone())
+        .collect()
 }
 
 /// The `telemetry` experiment: overhead on preset C, written to
@@ -111,6 +161,29 @@ pub fn telemetry() -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn subtree_filter_drops_foreign_spans_and_events() {
+        let ours_child = r#"{"type":"span","name":"a","id":2,"parent":1,"thread":"t","start_us":0,"dur_us":1,"fields":{}}"#;
+        let ours_event = r#"{"type":"event","name":"tick","span":2,"ts_us":1,"fields":{}}"#;
+        // A foreign span whose parent (7) never closed before the ring was
+        // swapped out — unfiltered, validation fails on the dangling id.
+        let foreign = r#"{"type":"span","name":"f","id":9,"parent":7,"thread":"t2","start_us":0,"dur_us":1,"fields":{}}"#;
+        let foreign_event = r#"{"type":"event","name":"e","span":9,"ts_us":1,"fields":{}}"#;
+        let ours_root = r#"{"type":"span","name":"r","id":1,"parent":0,"thread":"t","start_us":0,"dur_us":2,"fields":{}}"#;
+        let lines: Vec<String> = [ours_child, ours_event, foreign, foreign_event, ours_root]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+
+        assert!(klotski_telemetry::validate_trace(&lines.join("\n")).is_err());
+        let kept = subtree_lines(&lines, 1);
+        assert_eq!(kept, [ours_child, ours_event, ours_root].map(String::from));
+        let summary = klotski_telemetry::validate_trace(&kept.join("\n")).unwrap();
+        assert_eq!((summary.spans, summary.events), (2, 1));
+        // Tracing compiled out: no root span, nothing to filter against.
+        assert_eq!(subtree_lines(&lines, 0), lines);
+    }
 
     #[test]
     fn measure_captures_a_valid_trace_and_finite_overhead() {

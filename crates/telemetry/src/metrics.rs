@@ -184,6 +184,15 @@ fn family_of(name: &str) -> &str {
     }
 }
 
+/// The label block of a series (`planner="astar"`), braces stripped;
+/// `None` for an unlabeled series (or an empty `{}` block).
+fn labels_of(name: &str) -> Option<&str> {
+    let start = name.find('{')? + 1;
+    let end = name.rfind('}')?;
+    let inner = name.get(start..end)?;
+    (!inner.is_empty()).then_some(inner)
+}
+
 impl Registry {
     /// Gets or creates the counter `name`.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
@@ -225,38 +234,65 @@ impl Registry {
     /// Renders every registered series in Prometheus text format, families
     /// sorted by name, one `# HELP`/`# TYPE` header per family.
     pub fn render_prometheus(&self) -> String {
+        // Group by family before rendering: raw map order interleaves
+        // `foo{...}` ('{' sorts after '_') with a `foo_bar` family, and
+        // Prometheus requires each family contiguous under one header.
+        fn by_family<T>(map: &BTreeMap<String, Arc<T>>) -> BTreeMap<String, Vec<(String, Arc<T>)>> {
+            let mut families: BTreeMap<String, Vec<(String, Arc<T>)>> = BTreeMap::new();
+            for (name, metric) in map {
+                families
+                    .entry(family_of(name).to_string())
+                    .or_default()
+                    .push((name.clone(), Arc::clone(metric)));
+            }
+            families
+        }
+
         let help = self.help.lock().unwrap();
         let mut out = String::with_capacity(2048);
-        let header = |out: &mut String, family: &str, kind: &str, last: &mut String| {
-            if family != last {
-                let text = help.get(family).map(String::as_str).unwrap_or("(no help)");
-                out.push_str(&format!("# HELP {family} {text}\n# TYPE {family} {kind}\n"));
-                last.clear();
-                last.push_str(family);
-            }
+        let header = |out: &mut String, family: &str, kind: &str| {
+            let text = help.get(family).map(String::as_str).unwrap_or("(no help)");
+            out.push_str(&format!("# HELP {family} {text}\n# TYPE {family} {kind}\n"));
         };
 
-        let mut last = String::new();
-        for (name, counter) in self.counters.lock().unwrap().iter() {
-            header(&mut out, family_of(name), "counter", &mut last);
-            out.push_str(&format!("{name} {}\n", counter.get()));
+        for (family, series) in by_family(&self.counters.lock().unwrap()) {
+            header(&mut out, &family, "counter");
+            for (name, counter) in series {
+                out.push_str(&format!("{name} {}\n", counter.get()));
+            }
         }
-        last.clear();
-        for (name, gauge) in self.gauges.lock().unwrap().iter() {
-            header(&mut out, family_of(name), "gauge", &mut last);
-            out.push_str(&format!("{name} {}\n", gauge.get()));
+        for (family, series) in by_family(&self.gauges.lock().unwrap()) {
+            header(&mut out, &family, "gauge");
+            for (name, gauge) in series {
+                out.push_str(&format!("{name} {}\n", gauge.get()));
+            }
         }
-        last.clear();
-        for (name, histogram) in self.histograms.lock().unwrap().iter() {
-            header(&mut out, family_of(name), "summary", &mut last);
-            for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
+        for (family, series) in by_family(&self.histograms.lock().unwrap()) {
+            header(&mut out, &family, "summary");
+            for (name, histogram) in series {
+                // A labeled series must keep one brace block per line:
+                // `quantile` joins the series' own labels, and the
+                // `_count`/`_sum` suffixes attach to the family name with
+                // the labels following.
+                let labels = labels_of(&name);
+                for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
+                    let value = histogram.quantile(q);
+                    match labels {
+                        Some(l) => out.push_str(&format!(
+                            "{family}{{{l},quantile=\"{label}\"}} {value:.6}\n"
+                        )),
+                        None => {
+                            out.push_str(&format!("{family}{{quantile=\"{label}\"}} {value:.6}\n"))
+                        }
+                    }
+                }
+                let suffix = labels.map(|l| format!("{{{l}}}")).unwrap_or_default();
+                out.push_str(&format!("{family}_count{suffix} {}\n", histogram.count()));
                 out.push_str(&format!(
-                    "{name}{{quantile=\"{label}\"}} {:.6}\n",
-                    histogram.quantile(q)
+                    "{family}_sum{suffix} {:.6}\n",
+                    histogram.sum_seconds()
                 ));
             }
-            out.push_str(&format!("{name}_count {}\n", histogram.count()));
-            out.push_str(&format!("{name}_sum {:.6}\n", histogram.sum_seconds()));
         }
         out
     }
@@ -355,6 +391,58 @@ mod tests {
         assert!(text.contains("# TYPE route_seconds summary"));
         assert!(text.contains("route_seconds_count 1"));
         assert!(text.contains("route_seconds{quantile=\"0.99\"}"));
+    }
+
+    #[test]
+    fn labeled_histogram_renders_one_brace_block_per_line() {
+        let r = Registry::default();
+        r.set_help("plan_seconds", "Search wall time.");
+        r.histogram("plan_seconds{planner=\"astar\"}")
+            .record(Duration::from_millis(5));
+        r.histogram("plan_seconds{planner=\"dp\"}")
+            .record(Duration::from_millis(7));
+        let text = r.render_prometheus();
+        assert_eq!(
+            text.matches("# TYPE plan_seconds summary").count(),
+            1,
+            "{text}"
+        );
+        assert!(
+            text.contains("plan_seconds{planner=\"astar\",quantile=\"0.5\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("plan_seconds{planner=\"dp\",quantile=\"0.99\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("plan_seconds_count{planner=\"astar\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("plan_seconds_sum{planner=\"dp\"} "), "{text}");
+        // The malformed shapes Prometheus rejects must not appear anywhere:
+        // a second brace block (`}{`) or a suffix after the labels (`}_`).
+        assert!(!text.contains("}{"), "{text}");
+        assert!(!text.contains("}_"), "{text}");
+    }
+
+    #[test]
+    fn families_render_contiguously_despite_label_byte_order() {
+        let r = Registry::default();
+        r.counter("foo").inc();
+        r.counter("foo{lane=\"0\"}").inc();
+        // '_' (0x5F) sorts before '{' (0x7B), so in raw map order foo_bar
+        // sits between foo and foo{...}; rendering must regroup them.
+        r.counter("foo_bar").inc();
+        let text = r.render_prometheus();
+        assert_eq!(text.matches("# TYPE foo counter").count(), 1, "{text}");
+        assert_eq!(text.matches("# TYPE foo_bar counter").count(), 1, "{text}");
+        let labeled_foo = text.find("foo{lane=\"0\"} 1").expect("labeled foo series");
+        let foo_bar_header = text.find("# HELP foo_bar").expect("foo_bar header");
+        assert!(
+            labeled_foo < foo_bar_header,
+            "foo family must finish before foo_bar starts:\n{text}"
+        );
     }
 
     #[test]
