@@ -10,13 +10,13 @@
 //! - `KLOTSKI_FULL_SCALE=1` — build D/E at full paper scale (slow);
 //! - `KLOTSKI_BENCH_TIMEOUT_SECS` — per-planner cap (default 120).
 
-use klotski_bench::{experiments, parallel, service, telemetry};
+use klotski_bench::{experiments, incremental, parallel, service, telemetry};
 use klotski_telemetry::log_event;
 
 /// A named experiment: label plus the function rendering its output.
 type Experiment = (&'static str, fn() -> String);
 
-const EXPERIMENTS: [Experiment; 11] = [
+const EXPERIMENTS: [Experiment; 12] = [
     ("table1", experiments::table1),
     ("table3", experiments::table3),
     ("fig8", experiments::fig8),
@@ -26,6 +26,7 @@ const EXPERIMENTS: [Experiment; 11] = [
     ("fig12", experiments::fig12),
     ("fig13", experiments::fig13),
     ("parallel", parallel::parallel),
+    ("incremental", incremental::incremental),
     ("service", service::service),
     ("telemetry", telemetry::telemetry),
 ];

@@ -1,0 +1,170 @@
+//! Incremental-vs-full satisfiability measurement: the same search run
+//! twice — once with delta-aware incremental routing (the default) and once
+//! forced to from-scratch evaluation — on presets C and E with both
+//! planners. ESC caching is off so the comparison isolates routing work;
+//! verdicts (and hence plans and costs) are bit-identical between the two
+//! runs, only the satcheck wall time moves. The `report` binary's
+//! `incremental` experiment renders a table and writes the raw numbers to
+//! `BENCH_incremental.json`.
+
+use crate::bench_timeout;
+use crate::table::Table;
+use klotski_core::migration::{MigrationOptions, MigrationSpec};
+use klotski_core::planner::{AStarPlanner, DpPlanner, PlanStats, Planner, SearchBudget};
+use klotski_core::EscMode;
+use klotski_topology::presets::PresetId;
+use serde::Serialize;
+
+/// One (preset, planner) measurement in `BENCH_incremental.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct IncrementalRow {
+    /// Preset id (C/E).
+    pub preset: String,
+    /// Planner label ("Klotski-A*" / "Klotski-DP").
+    pub planner: String,
+    /// Satisfiability queries issued (identical in both runs).
+    pub sat_checks: u64,
+    /// Satcheck wall time with from-scratch evaluation, milliseconds.
+    pub full_satcheck_ms: f64,
+    /// Satcheck wall time with incremental evaluation, milliseconds.
+    pub incremental_satcheck_ms: f64,
+    /// `full_satcheck_ms / incremental_satcheck_ms`.
+    pub satcheck_speedup: f64,
+    /// Total planning wall time, from-scratch, milliseconds.
+    pub full_plan_ms: f64,
+    /// Total planning wall time, incremental, milliseconds.
+    pub incremental_plan_ms: f64,
+    /// Fraction of destination evaluations replayed from the incremental
+    /// routing cache.
+    pub incremental_hit_rate: f64,
+    /// Both runs converged on the same plan cost.
+    pub costs_match: bool,
+}
+
+/// The JSON document written to `BENCH_incremental.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct IncrementalReport {
+    pub rows: Vec<IncrementalRow>,
+}
+
+/// Runs one planner with ESC off, returning `(cost, stats)`.
+fn run_esc_off(use_dp: bool, spec: &MigrationSpec) -> (f64, PlanStats) {
+    let budget = SearchBudget {
+        max_states: 50_000_000,
+        time_limit: bench_timeout(),
+        ..SearchBudget::default()
+    };
+    let outcome = if use_dp {
+        DpPlanner {
+            budget,
+            esc: EscMode::Off,
+            ..DpPlanner::default()
+        }
+        .plan(spec)
+    } else {
+        AStarPlanner {
+            budget,
+            esc: EscMode::Off,
+            ..AStarPlanner::default()
+        }
+        .plan(spec)
+    };
+    let o = outcome.unwrap_or_else(|e| {
+        panic!(
+            "{} on {} failed: {e}",
+            if use_dp { "dp" } else { "a*" },
+            spec.name
+        )
+    });
+    (o.cost, o.stats)
+}
+
+/// Runs the full-vs-incremental sweep and builds the JSON report.
+pub fn measure(presets: &[PresetId]) -> IncrementalReport {
+    let mut rows = Vec::new();
+    for &id in presets {
+        let incr_spec = crate::runner::spec_for(id, &MigrationOptions::default());
+        let full_spec = crate::runner::spec_for(
+            id,
+            &MigrationOptions {
+                incremental: false,
+                ..MigrationOptions::default()
+            },
+        );
+        for (use_dp, label) in [(false, "Klotski-A*"), (true, "Klotski-DP")] {
+            let (full_cost, full) = run_esc_off(use_dp, &full_spec);
+            let (incr_cost, incr) = run_esc_off(use_dp, &incr_spec);
+            rows.push(IncrementalRow {
+                preset: id.to_string(),
+                planner: label.into(),
+                sat_checks: incr.sat_checks,
+                full_satcheck_ms: full.satcheck_time.as_secs_f64() * 1e3,
+                incremental_satcheck_ms: incr.satcheck_time.as_secs_f64() * 1e3,
+                satcheck_speedup: full.satcheck_time.as_secs_f64()
+                    / incr.satcheck_time.as_secs_f64().max(1e-9),
+                full_plan_ms: full.planning_time.as_secs_f64() * 1e3,
+                incremental_plan_ms: incr.planning_time.as_secs_f64() * 1e3,
+                incremental_hit_rate: incr.incremental_hit_rate(),
+                costs_match: (full_cost - incr_cost).abs() < 1e-9,
+            });
+        }
+    }
+    IncrementalReport { rows }
+}
+
+/// The `incremental` experiment: renders the sweep as a table and writes
+/// `BENCH_incremental.json` in the working directory.
+pub fn incremental() -> String {
+    let report = measure(&[PresetId::C, PresetId::E]);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    let path = "BENCH_incremental.json";
+    let note = match std::fs::write(path, &json) {
+        Ok(()) => format!("wrote {path}"),
+        Err(e) => format!("could not write {path}: {e}"),
+    };
+    let mut t = Table::new([
+        "preset",
+        "planner",
+        "sat checks",
+        "full satcheck",
+        "incr satcheck",
+        "speedup",
+        "incr hit rate",
+        "plan time full/incr",
+    ]);
+    for r in &report.rows {
+        t.row([
+            r.preset.clone(),
+            r.planner.clone(),
+            r.sat_checks.to_string(),
+            format!("{:.0}ms", r.full_satcheck_ms),
+            format!("{:.0}ms", r.incremental_satcheck_ms),
+            format!("{:.2}x", r.satcheck_speedup),
+            format!("{:.1}%", 100.0 * r.incremental_hit_rate),
+            format!("{:.0}/{:.0}ms", r.full_plan_ms, r.incremental_plan_ms),
+        ]);
+    }
+    format!(
+        "== Incremental vs full satisfiability (ESC off) ==\n{}\n[{note}]",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_is_consistent_on_preset_a() {
+        // Correctness of the plumbing on the smallest preset: both runs
+        // must agree on cost and produce positive timings.
+        let report = measure(&[PresetId::A]);
+        assert_eq!(report.rows.len(), 2);
+        for r in &report.rows {
+            assert!(r.costs_match, "{}/{} diverged", r.preset, r.planner);
+            assert!(r.sat_checks > 0);
+            assert!(r.full_satcheck_ms >= 0.0 && r.incremental_satcheck_ms >= 0.0);
+            assert!((0.0..=1.0).contains(&r.incremental_hit_rate));
+        }
+    }
+}

@@ -98,7 +98,17 @@ pub fn measure(min_time: Duration) -> ParallelReport {
     let batch = 16;
     let mut rows = Vec::new();
     for id in [PresetId::B, PresetId::C, PresetId::E] {
-        let spec = crate::runner::spec_for(id, &MigrationOptions::default());
+        // From-scratch evaluation: this experiment measures parallel
+        // routing throughput; repeated batches would otherwise degenerate
+        // into incremental replays (measured by the `incremental`
+        // experiment instead).
+        let spec = crate::runner::spec_for(
+            id,
+            &MigrationOptions {
+                incremental: false,
+                ..MigrationOptions::default()
+            },
+        );
         let states = sample_batch(&spec, batch);
         let seq = throughput(&spec, &states, 1, min_time);
         let par = throughput(&spec, &states, threads, min_time);

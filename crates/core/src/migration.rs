@@ -114,6 +114,17 @@ pub struct MigrationOptions {
     /// checker exactly (results are bit-identical at every thread count —
     /// only wall-clock differs).
     pub threads: usize,
+    /// Delta-aware incremental satisfiability: planners hand the checker the
+    /// parent state each child was expanded from, and routing re-runs only
+    /// for destinations whose paths a block's circuit toggles can touch.
+    /// Verdicts and loads stay bit-identical to full evaluation; disable to
+    /// fall back to from-scratch routing on every check.
+    pub incremental: bool,
+    /// Maximum number of entries retained in the evaluated-state cache
+    /// (ESC); oldest entries are evicted FIFO beyond this. The default is
+    /// generous — far above what any preset search visits — so eviction only
+    /// matters for deliberately capped memory budgets.
+    pub esc_cache_cap: usize,
 }
 
 impl Default for MigrationOptions {
@@ -132,6 +143,8 @@ impl Default for MigrationOptions {
             normalize_capacity: true,
             space_headroom: 0.2,
             threads: klotski_parallel::default_lanes(),
+            incremental: true,
+            esc_cache_cap: 1 << 20,
         }
     }
 }
@@ -170,6 +183,10 @@ pub struct MigrationSpec {
     pub split: SplitPolicy,
     /// Execution lanes for parallel satisfiability evaluation (≥ 1).
     pub threads: usize,
+    /// Whether checkers evaluate incrementally from the parent state.
+    pub incremental: bool,
+    /// Entry cap for the evaluated-state cache (≥ 1).
+    pub esc_cache_cap: usize,
 }
 
 impl MigrationSpec {
@@ -277,6 +294,8 @@ impl MigrationSpec {
             space: self.space.as_ref().map(|m| m.residual(progress)),
             split: self.split,
             threads: self.threads,
+            incremental: self.incremental,
+            esc_cache_cap: self.esc_cache_cap,
         }
     }
 
@@ -873,6 +892,8 @@ fn finish_spec(
         space,
         split,
         threads: opts.threads.max(1),
+        incremental: opts.incremental,
+        esc_cache_cap: opts.esc_cache_cap.max(1),
     };
     spec.validate()?;
     Ok(spec)

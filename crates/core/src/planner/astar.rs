@@ -226,7 +226,9 @@ impl AStarPlanner {
             let verdicts = {
                 let refs: Vec<_> = cand.iter().map(|(a, nv, ns)| (nv, ns, Some(*a))).collect();
                 let t0 = Instant::now();
-                let verdicts = checker.check_batch(spec, &refs);
+                // Handing over the popped state lets the incremental checker
+                // re-route only the destinations each block's toggles touch.
+                let verdicts = checker.check_batch_from(spec, Some((&v, &state)), &refs);
                 stats.satcheck_time += t0.elapsed();
                 verdicts
             };

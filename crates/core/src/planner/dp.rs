@@ -150,7 +150,9 @@ impl DpPlanner {
                 let verdicts = {
                     let refs: Vec<_> = types.iter().map(|a| (v, &state, Some(*a))).collect();
                     let t0 = Instant::now();
-                    let verdicts = checker.check_batch(spec, &refs);
+                    // The swept state is its own evaluation base: after the
+                    // first item primes it, the rest replay with no delta.
+                    let verdicts = checker.check_batch_from(spec, Some((v, &state)), &refs);
                     stats.satcheck_time += t0.elapsed();
                     verdicts
                 };

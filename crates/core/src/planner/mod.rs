@@ -46,6 +46,18 @@ pub struct PlanStats {
     pub cache_hits: u64,
     /// Queries that ran the full evaluation.
     pub full_evaluations: u64,
+    /// Destinations replayed from the incremental routing cache.
+    #[serde(default)]
+    pub incremental_clean: u64,
+    /// Destinations re-routed because a circuit toggle touched them.
+    #[serde(default)]
+    pub incremental_dirty: u64,
+    /// Entries resident in the ESC cache at the end of the search.
+    #[serde(default)]
+    pub esc_entries: u64,
+    /// Estimated ESC cache footprint in bytes at the end of the search.
+    #[serde(default)]
+    pub esc_bytes: u64,
     /// Wall time spent inside satisfiability checks.
     #[serde(default)]
     pub satcheck_time: Duration,
@@ -59,6 +71,10 @@ impl PlanStats {
         self.sat_checks = s.checks;
         self.cache_hits = s.cache_hits;
         self.full_evaluations = s.full_evaluations;
+        self.incremental_clean = s.incremental_clean;
+        self.incremental_dirty = s.incremental_dirty;
+        self.esc_entries = s.esc_entries;
+        self.esc_bytes = s.esc_bytes;
     }
 
     /// ESC cache hit rate over all satisfiability queries, in `[0, 1]`.
@@ -67,6 +83,17 @@ impl PlanStats {
             0.0
         } else {
             self.cache_hits as f64 / self.sat_checks as f64
+        }
+    }
+
+    /// Fraction of destination evaluations served by replaying the
+    /// incremental routing cache instead of re-running BFS + sweep.
+    pub fn incremental_hit_rate(&self) -> f64 {
+        let total = self.incremental_clean + self.incremental_dirty;
+        if total == 0 {
+            0.0
+        } else {
+            self.incremental_clean as f64 / total as f64
         }
     }
 }
@@ -100,6 +127,14 @@ pub(crate) fn flush_search_metrics(planner: &str, stats: &PlanStats) {
             "Queries that ran the full evaluation",
         ),
         (
+            "klotski_search_incremental_clean_total",
+            "Destinations replayed from the incremental routing cache",
+        ),
+        (
+            "klotski_search_incremental_dirty_total",
+            "Destinations re-routed after a circuit toggle",
+        ),
+        (
             "klotski_search_satcheck_us_total",
             "Microseconds spent inside satisfiability checks",
         ),
@@ -119,6 +154,14 @@ pub(crate) fn flush_search_metrics(planner: &str, stats: &PlanStats) {
         (
             "klotski_search_full_evaluations_total",
             stats.full_evaluations,
+        ),
+        (
+            "klotski_search_incremental_clean_total",
+            stats.incremental_clean,
+        ),
+        (
+            "klotski_search_incremental_dirty_total",
+            stats.incremental_dirty,
         ),
         (
             "klotski_search_satcheck_us_total",
@@ -275,6 +318,7 @@ mod tests {
             checks: 10,
             cache_hits: 4,
             full_evaluations: 6,
+            ..Default::default()
         });
         assert_eq!(stats.sat_checks, 10);
         assert_eq!(stats.cache_hits, 4);

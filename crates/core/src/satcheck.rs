@@ -34,11 +34,13 @@ use crate::compact::CompactState;
 use crate::migration::MigrationSpec;
 use klotski_parallel::WorkerPool;
 use klotski_routing::{
-    ecmp::RouteOutcome, evaluate::summarize, EcmpRouter, LoadMap, ParallelRouter, UsableMask,
+    ecmp::RouteOutcome, evaluate::summarize, EcmpRouter, IncrementalRouter, LoadMap,
+    ParallelRouter, UsableMask,
 };
-use klotski_topology::NetState;
+use klotski_telemetry::{registry, Gauge};
+use klotski_topology::{CircuitId, NetState};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Cache strategy for satisfiability results.
@@ -62,6 +64,32 @@ pub struct SatStats {
     pub cache_hits: u64,
     /// Queries that ran the full routing + port evaluation.
     pub full_evaluations: u64,
+    /// Destination groups replayed from the incremental routing cache
+    /// (zero when `MigrationOptions.incremental` is off).
+    #[serde(default)]
+    pub incremental_clean: u64,
+    /// Destination groups the incremental engine had to re-route.
+    #[serde(default)]
+    pub incremental_dirty: u64,
+    /// ESC cache entries currently resident.
+    #[serde(default)]
+    pub esc_entries: u64,
+    /// Estimated resident bytes of the ESC cache (keys + verdicts +
+    /// eviction queue).
+    #[serde(default)]
+    pub esc_bytes: u64,
+}
+
+impl SatStats {
+    /// Fraction of incremental destination evaluations served by replay.
+    pub fn incremental_hit_rate(&self) -> f64 {
+        let total = self.incremental_clean + self.incremental_dirty;
+        if total == 0 {
+            0.0
+        } else {
+            self.incremental_clean as f64 / total as f64
+        }
+    }
 }
 
 /// ESC cache key. Compact mode packs the dense index of `V` into a `u64`
@@ -80,6 +108,96 @@ struct LaneEval {
     router: EcmpRouter,
     loads: LoadMap,
     mask: UsableMask,
+    outcome: RouteOutcome,
+}
+
+/// Delta-evaluation context: the incremental routing engine plus the base
+/// `(V, state)` its cached structures correspond to.
+///
+/// The toggled-circuit set between base and child is derived *from the
+/// block lists of the compact diff* — the circuits a block drains plus the
+/// circuits incident to its switches are exactly the bits
+/// `OperationBlock::apply` can flip — so no full-topology rescan happens on
+/// the delta path. This (like the ESC cache itself) relies on states being
+/// the canonical overlay of their compact vector.
+#[derive(Debug)]
+struct IncrementalEval {
+    engine: IncrementalRouter,
+    base_v: Option<CompactState>,
+    base_state: NetState,
+    /// Parent context staged by [`SatChecker::check_batch_from`]; the
+    /// engine rebases onto it lazily, on the first cache miss, so
+    /// fully-cached batches pay nothing.
+    pending_parent: Option<(CompactState, NetState)>,
+    /// Toggle scratch: exact changed circuits, deduplicated by stamp.
+    toggles: Vec<CircuitId>,
+    seen: Vec<u32>,
+    epoch: u32,
+}
+
+/// Give up on delta derivation beyond this many blocks of compact-state
+/// diff: the candidate scan would approach full-rescan cost, and a full
+/// rebuild bounds the worst case.
+const MAX_DELTA_BLOCKS: usize = 64;
+
+impl IncrementalEval {
+    /// Fills `self.toggles` with the exact set of circuits whose usability
+    /// differs between `self.base_*` and `(v, state)`. Returns false when
+    /// there is no base yet or the diff spans too many blocks (callers then
+    /// fall back to a full rebuild).
+    fn compute_toggles(
+        &mut self,
+        spec: &MigrationSpec,
+        v: &CompactState,
+        state: &NetState,
+    ) -> bool {
+        let Some(base_v) = &self.base_v else {
+            return false;
+        };
+        let mut span = 0usize;
+        for a in spec.actions.ids() {
+            span += base_v.count(a).abs_diff(v.count(a)) as usize;
+        }
+        if span > MAX_DELTA_BLOCKS {
+            return false;
+        }
+        self.toggles.clear();
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.seen.fill(0);
+            self.epoch = 1;
+        }
+        let topo = &spec.topology;
+        let base_state = &self.base_state;
+        let seen = &mut self.seen;
+        let toggles = &mut self.toggles;
+        let epoch = self.epoch;
+        let mut consider = |c: CircuitId| {
+            let ci = c.index();
+            if seen[ci] != epoch {
+                seen[ci] = epoch;
+                if base_state.circuit_usable(topo, c) != state.circuit_usable(topo, c) {
+                    toggles.push(c);
+                }
+            }
+        };
+        for a in spec.actions.ids() {
+            let (b, n) = (base_v.count(a), v.count(a));
+            let (lo, hi) = (b.min(n), b.max(n));
+            for i in lo..hi {
+                let block = spec.block_for(a, i);
+                for &c in &block.circuits {
+                    consider(c);
+                }
+                for &s in &block.switches {
+                    for &(c, _) in topo.neighbors(s) {
+                        consider(c);
+                    }
+                }
+            }
+        }
+        true
+    }
 }
 
 /// The satisfiability checker with its ESC cache, worker pool, and reusable
@@ -94,14 +212,37 @@ pub struct SatChecker {
     router: ParallelRouter,
     loads: LoadMap,
     mask: UsableMask,
+    /// Reused routing-outcome buffer (no per-evaluation reallocation).
+    outcome: RouteOutcome,
     /// Lazily sized per-lane scratch for `check_batch`.
     lane_scratch: Vec<LaneEval>,
+    /// Delta evaluation engine (`MigrationOptions.incremental`).
+    incremental: Option<IncrementalEval>,
     cache: HashMap<CacheKey, bool>,
+    /// Insertion order of cached keys, for FIFO eviction at `cache_cap`.
+    fifo: VecDeque<CacheKey>,
+    cache_cap: usize,
+    cache_bytes: u64,
+    /// Estimated heap bytes of one `CacheKey::Full` activation bitset.
+    full_key_bytes: u64,
     stats: SatStats,
+    esc_entries_gauge: Arc<Gauge>,
+    esc_bytes_gauge: Arc<Gauge>,
 }
 
 /// Cache-key discriminant when the last action type is irrelevant.
 const NO_LAST: u8 = u8::MAX;
+
+/// Estimated resident bytes of one cached verdict: the key in the map, its
+/// FIFO copy, and the verdict itself (a coarse but monotone estimate).
+fn key_bytes(key: &CacheKey, full_key_bytes: u64) -> u64 {
+    let heap = match key {
+        CacheKey::Dense(..) => 0,
+        CacheKey::Counts(counts, _) => 2 * counts.len() as u64,
+        CacheKey::Full(..) => full_key_bytes,
+    };
+    2 * (std::mem::size_of::<CacheKey>() as u64 + heap) + 1
+}
 
 impl SatChecker {
     /// Creates a checker for one migration instance, with the lane count
@@ -122,6 +263,24 @@ impl SatChecker {
     /// jobs instead of spawning threads per plan; verdicts are identical to
     /// a privately-owned pool of the same lane count.
     pub fn with_pool(spec: &MigrationSpec, mode: EscMode, pool: Arc<WorkerPool>) -> Self {
+        let reg = registry();
+        reg.set_help(
+            "klotski_esc_cache_entries",
+            "Resident ESC cache entries of the most recent checker",
+        );
+        reg.set_help(
+            "klotski_esc_cache_bytes",
+            "Estimated resident bytes of the ESC cache",
+        );
+        let incremental = spec.incremental.then(|| IncrementalEval {
+            engine: IncrementalRouter::new(&spec.topology, &spec.demands, pool.lanes(), spec.split),
+            base_v: None,
+            base_state: spec.initial.clone(),
+            pending_parent: None,
+            toggles: Vec::new(),
+            seen: vec![0; spec.topology.num_circuits()],
+            epoch: 0,
+        });
         Self {
             mode,
             dense_ok: box_fits_u64(&spec.target_counts),
@@ -129,15 +288,46 @@ impl SatChecker {
             pool,
             loads: LoadMap::new(&spec.topology),
             mask: UsableMask::new(),
+            outcome: RouteOutcome::new(),
             lane_scratch: Vec::new(),
+            incremental,
             cache: HashMap::new(),
+            fifo: VecDeque::new(),
+            cache_cap: spec.esc_cache_cap.max(1),
+            cache_bytes: 0,
+            full_key_bytes: ((spec.topology.num_switches() + spec.topology.num_circuits())
+                .div_ceil(8)) as u64,
             stats: SatStats::default(),
+            esc_entries_gauge: reg.gauge("klotski_esc_cache_entries"),
+            esc_bytes_gauge: reg.gauge("klotski_esc_cache_bytes"),
         }
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot, folding in the incremental engine's destination
+    /// counters and the current ESC cache footprint.
     pub fn stats(&self) -> SatStats {
-        self.stats
+        let mut s = self.stats;
+        if let Some(incr) = &self.incremental {
+            let es = incr.engine.stats();
+            s.incremental_clean = es.clean_destinations;
+            s.incremental_dirty = es.dirty_destinations;
+        }
+        s.esc_entries = self.cache.len() as u64;
+        s.esc_bytes = self.cache_bytes;
+        s
+    }
+
+    /// True when this checker evaluates child states incrementally.
+    pub fn is_incremental(&self) -> bool {
+        self.incremental.is_some()
+    }
+
+    /// Loads produced by the most recent full evaluation on the checker's
+    /// own buffers (diagnostic/test hook — meaningful right after a
+    /// sequential cache-missing [`check`](Self::check)).
+    #[doc(hidden)]
+    pub fn last_loads(&self) -> &LoadMap {
+        &self.loads
     }
 
     /// Execution lanes available to this checker.
@@ -173,8 +363,34 @@ impl SatChecker {
         }
         self.stats.full_evaluations += 1;
         let result = self.evaluate(spec, v, state, last);
-        self.cache.insert(key, result);
+        self.cache_insert(key, result);
         result
+    }
+
+    /// Inserts a verdict, evicting the oldest entries past the cap (FIFO:
+    /// planners revisit recent expansions far more often than old ones, and
+    /// FIFO needs no per-hit bookkeeping on the fast path).
+    fn cache_insert(&mut self, key: CacheKey, verdict: bool) {
+        match self.cache.entry(key) {
+            std::collections::hash_map::Entry::Occupied(_) => return,
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                self.cache_bytes += key_bytes(slot.key(), self.full_key_bytes);
+                self.fifo.push_back(slot.key().clone());
+                slot.insert(verdict);
+            }
+        }
+        while self.cache.len() > self.cache_cap {
+            let Some(old) = self.fifo.pop_front() else {
+                break;
+            };
+            if self.cache.remove(&old).is_some() {
+                self.cache_bytes = self
+                    .cache_bytes
+                    .saturating_sub(key_bytes(&old, self.full_key_bytes));
+            }
+        }
+        self.esc_entries_gauge.set(self.cache.len() as f64);
+        self.esc_bytes_gauge.set(self.cache_bytes as f64);
     }
 
     /// Checks a batch of candidate states (planner expansions), answering
@@ -191,7 +407,32 @@ impl SatChecker {
         spec: &MigrationSpec,
         items: &[(&CompactState, &NetState, Option<ActionTypeId>)],
     ) -> Vec<bool> {
-        if self.pool.lanes() == 1 || items.len() <= 1 {
+        self.check_batch_from(spec, None, items)
+    }
+
+    /// [`check_batch`](Self::check_batch) with parent context: planners
+    /// pass the `(V, state)` the candidate states were expanded from, so an
+    /// incremental checker rebases its routing cache onto the parent and
+    /// each child evaluation diffs by exactly the one applied block. The
+    /// rebase is lazy — staged here, performed on the first cache miss —
+    /// and verdicts are identical to [`check_batch`] with any parent.
+    pub fn check_batch_from(
+        &mut self,
+        spec: &MigrationSpec,
+        parent: Option<(&CompactState, &NetState)>,
+        items: &[(&CompactState, &NetState, Option<ActionTypeId>)],
+    ) -> Vec<bool> {
+        if let (Some(incr), Some((pv, ps))) = (&mut self.incremental, parent) {
+            if incr.base_v.as_ref() != Some(pv) {
+                incr.pending_parent = Some((pv.clone(), ps.clone()));
+            } else {
+                incr.pending_parent = None;
+            }
+        }
+        // The incremental engine chains deltas state-to-state, which is
+        // inherently sequential across items; each evaluation still fans
+        // its destinations out over the pool's lanes.
+        if self.incremental.is_some() || self.pool.lanes() == 1 || items.len() <= 1 {
             return items
                 .iter()
                 .map(|&(v, state, last)| self.check(spec, v, state, last))
@@ -246,6 +487,7 @@ impl SatChecker {
                         router: EcmpRouter::with_policy(&spec.topology, spec.split),
                         loads: LoadMap::new(&spec.topology),
                         mask: UsableMask::new(),
+                        outcome: RouteOutcome::new(),
                     })
                     .collect();
             }
@@ -268,7 +510,7 @@ impl SatChecker {
         // Cache inserts merged after the batch, in item order.
         for (i, key) in keys.into_iter().enumerate() {
             if let (Some(k), Some(slot)) = (key, resolve[i]) {
-                self.cache.entry(k).or_insert(verdicts[slot]);
+                self.cache_insert(k, verdicts[slot]);
             }
         }
         results
@@ -310,24 +552,53 @@ impl SatChecker {
         last: Option<ActionTypeId>,
     ) -> bool {
         // Space/power footprint (§7.2) is the cheapest constraint: O(|A|).
+        // Checked before routing, so it leaves the incremental base alone.
         if let Some(space) = &spec.space {
             if !space.fits(v) {
                 return false;
             }
         }
-        let mut mask = std::mem::take(&mut self.mask);
-        mask.compute(&spec.topology, state);
-        self.loads.clear();
-        let route = self.router.route_with_mask(
-            &self.pool,
-            &spec.topology,
-            state,
-            &mask,
-            &spec.demands,
-            &mut self.loads,
-        );
-        self.mask = mask;
-        finish_evaluate(spec, v, state, last, &mut self.loads, &route)
+        if let Some(incr) = &mut self.incremental {
+            // Apply a staged parent rebase first, so this child's delta is
+            // the one block the planner applied.
+            if let Some((pv, ps)) = incr.pending_parent.take() {
+                if incr.base_v.as_ref() != Some(&pv) {
+                    let delta = incr.compute_toggles(spec, &pv, &ps);
+                    let toggles = delta.then_some(&incr.toggles[..]);
+                    incr.engine.rebase(&self.pool, &spec.topology, &ps, toggles);
+                    incr.base_v = Some(pv);
+                    incr.base_state = ps;
+                }
+            }
+            let delta = incr.compute_toggles(spec, v, state);
+            let toggles = delta.then_some(&incr.toggles[..]);
+            self.loads.clear();
+            incr.engine.evaluate(
+                &self.pool,
+                &spec.topology,
+                state,
+                toggles,
+                &mut self.loads,
+                &mut self.outcome,
+            );
+            incr.base_v = Some(v.clone());
+            incr.base_state.clone_from(state);
+        } else {
+            let mut mask = std::mem::take(&mut self.mask);
+            mask.compute(&spec.topology, state);
+            self.loads.clear();
+            self.router.route_with_mask_into(
+                &self.pool,
+                &spec.topology,
+                state,
+                &mask,
+                &spec.demands,
+                &mut self.loads,
+                &mut self.outcome,
+            );
+            self.mask = mask;
+        }
+        finish_evaluate(spec, v, state, last, &mut self.loads, &self.outcome)
     }
 }
 
@@ -346,14 +617,15 @@ fn evaluate_on_lane(
     }
     lane.mask.compute(&spec.topology, state);
     lane.loads.clear();
-    let route = lane.router.route_with_mask(
+    lane.router.route_with_mask_into(
         &spec.topology,
         state,
         &lane.mask,
         &spec.demands,
         &mut lane.loads,
+        &mut lane.outcome,
     );
-    finish_evaluate(spec, v, state, last, &mut lane.loads, &route)
+    finish_evaluate(spec, v, state, last, &mut lane.loads, &lane.outcome)
 }
 
 /// Shared tail of every evaluation: funneling headroom, θ comparison, and

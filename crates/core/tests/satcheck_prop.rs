@@ -48,6 +48,10 @@ proptest! {
         };
         let spec = MigrationBuilder::hgrid_v1_to_v2(&presets::build(PresetId::A), &opts)
             .unwrap();
+        // The same instance with incremental evaluation disabled: verdicts
+        // must be identical whichever engine answers.
+        let mut spec_full = spec.clone();
+        spec_full.incremental = false;
         let target = spec.target_counts.clone();
 
         // A handful of walk states plus origin and target.
@@ -69,25 +73,33 @@ proptest! {
             })
             .collect();
 
-        // Reference: single-threaded, uncached, per-item checks.
-        let mut reference = SatChecker::with_threads(&spec, EscMode::Off, 1);
+        // Reference: single-threaded, uncached, from-scratch per-item checks.
+        let mut reference = SatChecker::with_threads(&spec_full, EscMode::Off, 1);
         let expected: Vec<bool> = items
             .iter()
-            .map(|&(v, s, l)| reference.check(&spec, v, s, l))
+            .map(|&(v, s, l)| reference.check(&spec_full, v, s, l))
             .collect();
 
         for threads in [1usize, 2, 4] {
             for mode in [EscMode::Compact, EscMode::FullTopology, EscMode::Off] {
-                let mut per_item = SatChecker::with_threads(&spec, mode, threads);
-                let got: Vec<bool> = items
-                    .iter()
-                    .map(|&(v, s, l)| per_item.check(&spec, v, s, l))
-                    .collect();
-                prop_assert_eq!(&got, &expected, "check {:?} x{}", mode, threads);
+                for sp in [&spec, &spec_full] {
+                    let mut per_item = SatChecker::with_threads(sp, mode, threads);
+                    let got: Vec<bool> = items
+                        .iter()
+                        .map(|&(v, s, l)| per_item.check(sp, v, s, l))
+                        .collect();
+                    prop_assert_eq!(
+                        &got, &expected,
+                        "check {:?} x{} incremental={}", mode, threads, sp.incremental
+                    );
 
-                let mut batched = SatChecker::with_threads(&spec, mode, threads);
-                let got = batched.check_batch(&spec, &items);
-                prop_assert_eq!(&got, &expected, "batch {:?} x{}", mode, threads);
+                    let mut batched = SatChecker::with_threads(sp, mode, threads);
+                    let got = batched.check_batch(sp, &items);
+                    prop_assert_eq!(
+                        &got, &expected,
+                        "batch {:?} x{} incremental={}", mode, threads, sp.incremental
+                    );
+                }
             }
         }
     }

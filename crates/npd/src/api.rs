@@ -63,13 +63,22 @@ pub struct PlanRequestOptions {
     /// cancelled once it expires. Defaults to the service-wide deadline.
     #[serde(default)]
     pub deadline_ms: Option<u64>,
+    /// Delta-aware incremental satisfiability toggle (default on). Results
+    /// are bit-identical either way; this only trades evaluation speed.
+    #[serde(default)]
+    pub incremental: Option<bool>,
+    /// Entry cap for the evaluated-state cache (FIFO eviction beyond it).
+    #[serde(default)]
+    pub esc_cache_cap: Option<usize>,
 }
 
 impl PlanRequestOptions {
     /// Digest of the *plan-affecting* options. `deadline_ms` is excluded:
     /// it bounds how long the service may search, never which plan a
     /// finished search returns, so requests differing only in deadline
-    /// share a cache entry.
+    /// share a cache entry. `incremental` and `esc_cache_cap` are excluded
+    /// for the same reason: both are evaluation-speed knobs whose verdicts
+    /// (and hence plans) are bit-identical across settings.
     pub fn digest(&self) -> u64 {
         let canonical = format!(
             "theta={:?};alpha={:?};planner={:?}",
@@ -116,6 +125,18 @@ pub struct PlanSummary {
     /// Queries that ran the full evaluation.
     #[serde(default)]
     pub full_evaluations: u64,
+    /// Destinations replayed from the incremental routing cache.
+    #[serde(default)]
+    pub incremental_clean: u64,
+    /// Destinations re-routed because a circuit toggle touched them.
+    #[serde(default)]
+    pub incremental_dirty: u64,
+    /// Entries resident in the ESC cache when the search finished.
+    #[serde(default)]
+    pub esc_entries: u64,
+    /// Estimated ESC cache footprint in bytes when the search finished.
+    #[serde(default)]
+    pub esc_bytes: u64,
     /// Wall-clock spent inside satisfiability checks, milliseconds.
     #[serde(default)]
     pub satcheck_ms: u64,
@@ -229,6 +250,16 @@ mod tests {
             ..base.clone()
         };
         assert_eq!(base.digest(), with_deadline.digest());
+        let with_speed_knobs = PlanRequestOptions {
+            incremental: Some(false),
+            esc_cache_cap: Some(64),
+            ..base.clone()
+        };
+        assert_eq!(
+            base.digest(),
+            with_speed_knobs.digest(),
+            "speed knobs never change the plan, so they share a cache entry"
+        );
         let with_theta = PlanRequestOptions {
             theta: Some(0.8),
             ..base.clone()
@@ -266,6 +297,10 @@ mod tests {
                 sat_checks: 200,
                 cache_hits: 120,
                 full_evaluations: 80,
+                incremental_clean: 60,
+                incremental_dirty: 20,
+                esc_entries: 80,
+                esc_bytes: 2_048,
                 satcheck_ms: 6,
                 planning_ms: 12,
                 cached: false,

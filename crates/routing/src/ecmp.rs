@@ -21,7 +21,18 @@ use klotski_topology::{NetState, SwitchId, Topology};
 use klotski_traffic::{Demand, DemandMatrix};
 
 /// Distance label for unreachable switches.
-const UNREACHED: u32 = u32::MAX;
+pub(crate) const UNREACHED: u32 = u32::MAX;
+
+/// Sorts a BFS visit order into the canonical `(distance, switch index)`
+/// order. Every routing path — sequential, parallel lanes, and the
+/// incremental engine's patched orders — must produce exactly this order,
+/// because the reverse sweep adds f64 shares in it and f64 addition is not
+/// associative. Equal-distance switches never exchange flow (hop weights are
+/// ≥ 1), so any permutation of ties is *correct*; pinning one makes every
+/// evaluation path bit-identical.
+pub(crate) fn canonical_order(order: &mut [u32], dist: &[u32]) {
+    order.sort_unstable_by_key(|&u| (dist[u as usize], u));
+}
 
 /// How flow splits across a switch's shortest-path next hops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -48,9 +59,30 @@ pub struct RouteOutcome {
 }
 
 impl RouteOutcome {
+    /// An empty outcome (no demands seen yet).
+    pub fn new() -> Self {
+        Self {
+            unreachable: Vec::new(),
+            routed_gbps: 0.0,
+        }
+    }
+
     /// True if every demand found a path.
     pub fn all_reachable(&self) -> bool {
         self.unreachable.is_empty()
+    }
+
+    /// Resets to the empty outcome, keeping the `unreachable` allocation so
+    /// a caller-held buffer can be reused across evaluations.
+    pub fn clear(&mut self) {
+        self.unreachable.clear();
+        self.routed_gbps = 0.0;
+    }
+}
+
+impl Default for RouteOutcome {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -166,18 +198,28 @@ impl EcmpRouter {
         matrix: &DemandMatrix,
         loads: &mut LoadMap,
     ) -> RouteOutcome {
-        let mut outcome = RouteOutcome {
-            unreachable: Vec::new(),
-            routed_gbps: 0.0,
-        };
-        let mut sink = DirectSink {
-            loads,
-            outcome: &mut outcome,
-        };
+        let mut outcome = RouteOutcome::new();
+        self.route_with_mask_into(topo, state, mask, matrix, loads, &mut outcome);
+        outcome
+    }
+
+    /// Like [`route_with_mask`](Self::route_with_mask), but writes into a
+    /// caller-held `outcome` buffer (cleared first) so repeated evaluations
+    /// do not reallocate the unreachable list.
+    pub fn route_with_mask_into(
+        &mut self,
+        topo: &Topology,
+        state: &NetState,
+        mask: &UsableMask,
+        matrix: &DemandMatrix,
+        loads: &mut LoadMap,
+        outcome: &mut RouteOutcome,
+    ) {
+        outcome.clear();
+        let mut sink = DirectSink { loads, outcome };
         for (dst, group) in matrix.by_destination() {
             self.route_group(topo, state, mask, dst, &group, &mut sink);
         }
-        outcome
     }
 
     /// Routes the demands of one destination group into `sink`.
@@ -310,6 +352,11 @@ impl EcmpRouter {
             }
             current += 1;
         }
+        // Bucket pops are LIFO, so the raw visit order of equal-distance
+        // switches depends on relaxation history (and hence on the usable
+        // mask). Canonicalize so every evaluation path sweeps — and sums
+        // f64 shares — in the same order.
+        canonical_order(&mut self.order, &self.dist);
     }
 
     /// Hop distance from `s` to the destination of the most recent

@@ -1,0 +1,978 @@
+//! Delta-aware ECMP re-routing across nearby network states.
+//!
+//! A planner child state differs from its parent by exactly one
+//! drained/undrained operation block, yet a from-scratch satisfiability
+//! check re-runs BFS + flow sweep for *every* demand destination over the
+//! *whole* topology. [`IncrementalRouter`] makes the cost proportional to
+//! the delta instead: it caches, per destination group,
+//!
+//! - the BFS distance labels and canonical visit order,
+//! - the shortest-path DAG (each switch's downhill circuits with split
+//!   weights, in neighbor-scan order),
+//! - the *relevant circuit footprint* — circuits incident to switches
+//!   reached by that destination's BFS, and
+//! - the ordered flow edit list `(slot, gbps)` plus routed/unreachable
+//!   outcome the sweep produced.
+//!
+//! Given the set of circuits whose usability *toggled* between the cached
+//! base state and a new state, each destination classifies every toggle
+//! against its cached labels:
+//!
+//! - toggles outside the footprint cannot affect the destination (an
+//!   unusable→usable circuit between two unreached switches connects
+//!   nothing to the reached region; anything incident to a reached switch
+//!   is in the footprint by construction) — the destination is *clean* and
+//!   replays its cached edit list verbatim;
+//! - a removed DAG edge marks its uphill endpoint for a downhill-list
+//!   rebuild; a switch left with no usable circuit at all becomes
+//!   unreachable (every edge that previously supported it is itself a
+//!   toggle, so no stale support can survive unmarked);
+//! - a new usable circuit into the unreached region seeds a bounded
+//!   Dijkstra that extends distance labels without touching the (much
+//!   larger) already-reached region;
+//! - anything that would *shorten* an existing label — or a marked switch
+//!   whose rebuilt downhill list comes out empty (its shortest path got
+//!   longer, not just narrower) — falls back to a full per-destination
+//!   rebuild. Fallbacks are exact, just slower; classification only ever
+//!   errs toward them.
+//!
+//! Determinism: the sweep adds f64 shares in canonical `(distance, switch
+//! index)` order with downhill lists kept in neighbor-scan order, and the
+//! final `LoadMap`/`RouteOutcome` are rebuilt by replaying per-destination
+//! lists in fixed ascending-destination order. That is the exact addition
+//! sequence a from-scratch sequential evaluation produces (see
+//! [`crate::ecmp::canonical_order`]), so verdicts and loads are
+//! bit-identical to full evaluation at any thread count.
+
+use crate::ecmp::{canonical_order, RouteOutcome, SplitPolicy, UNREACHED};
+use crate::loads::LoadMap;
+use crate::mask::UsableMask;
+use klotski_parallel::WorkerPool;
+use klotski_telemetry::{registry, Counter};
+use klotski_topology::{BitSet, CircuitId, NetState, SwitchId, Topology};
+use klotski_traffic::{Demand, DemandMatrix};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// Running totals of incremental-evaluation effort.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Completed [`evaluate`](IncrementalRouter::evaluate) calls.
+    pub evaluations: u64,
+    /// Structure-only [`rebase`](IncrementalRouter::rebase) calls.
+    pub rebases: u64,
+    /// Destinations that replayed their cached edit list unchanged.
+    pub clean_destinations: u64,
+    /// Destinations that re-ran patching and/or the flow sweep.
+    pub dirty_destinations: u64,
+    /// Destinations that fell back to a full BFS + DAG rebuild.
+    pub full_rebuilds: u64,
+    /// Total toggled circuits across all delta evaluations.
+    pub toggled_circuits: u64,
+}
+
+impl IncrementalStats {
+    /// Fraction of destination evaluations served by cached replay.
+    pub fn clean_rate(&self) -> f64 {
+        let total = self.clean_destinations + self.dirty_destinations;
+        if total == 0 {
+            0.0
+        } else {
+            self.clean_destinations as f64 / total as f64
+        }
+    }
+}
+
+/// `klotski_routing_incremental_*` registry handles, resolved once.
+#[derive(Debug)]
+struct IncrMetrics {
+    evaluations: Arc<Counter>,
+    clean: Arc<Counter>,
+    dirty: Arc<Counter>,
+    full: Arc<Counter>,
+    toggled: Arc<Counter>,
+}
+
+impl IncrMetrics {
+    fn new() -> Self {
+        let reg = registry();
+        reg.set_help(
+            "klotski_routing_incremental_evaluations_total",
+            "Delta-aware routing evaluations",
+        );
+        reg.set_help(
+            "klotski_routing_incremental_clean_total",
+            "Destinations replayed from the incremental cache",
+        );
+        reg.set_help(
+            "klotski_routing_incremental_dirty_total",
+            "Destinations re-routed because a toggle touched their footprint",
+        );
+        reg.set_help(
+            "klotski_routing_incremental_full_rebuilds_total",
+            "Destinations that fell back to a full BFS rebuild",
+        );
+        reg.set_help(
+            "klotski_routing_incremental_toggled_total",
+            "Toggled circuits summed over delta evaluations (divide by evaluations for the mean toggle-set size)",
+        );
+        Self {
+            evaluations: reg.counter("klotski_routing_incremental_evaluations_total"),
+            clean: reg.counter("klotski_routing_incremental_clean_total"),
+            dirty: reg.counter("klotski_routing_incremental_dirty_total"),
+            full: reg.counter("klotski_routing_incremental_full_rebuilds_total"),
+            toggled: reg.counter("klotski_routing_incremental_toggled_total"),
+        }
+    }
+}
+
+/// Cached routing structure and outcome of one destination group.
+#[derive(Debug)]
+struct DestEntry {
+    dst: SwitchId,
+    /// Demands of this group, in matrix order.
+    demands: Vec<Demand>,
+    /// Hop distance to `dst` for every switch, exact for the engine's base
+    /// state (`UNREACHED` when no usable path exists).
+    dist: Vec<u32>,
+    /// Reached switches in canonical `(dist, index)` order.
+    order: Vec<u32>,
+    /// Per-switch downhill list `(directional slot, far index, weight)` in
+    /// neighbor-scan order — the shortest-path DAG the sweep splits over.
+    dag: Vec<Vec<(u32, u32, f64)>>,
+    /// Circuits incident to reached switches; a conservative superset
+    /// (bits are added when the reached region grows, recomputed exactly on
+    /// full rebuilds).
+    footprint: BitSet,
+    /// Ordered `(slot, gbps)` flow additions of the last sweep.
+    edits: Vec<(u32, f64)>,
+    /// Routed-demand rate terms, in demand order (kept as terms so replay
+    /// preserves the summation order of `RouteOutcome::routed_gbps`).
+    routed_terms: Vec<f64>,
+    /// Unreachable `(src, dst)` pairs, in demand order.
+    unreachable: Vec<(SwitchId, SwitchId)>,
+    /// Whether `edits`/`routed_terms`/`unreachable` match the base state
+    /// (false after a structure-only rebase touched this destination).
+    edits_valid: bool,
+    /// Introspection: last evaluation replayed the cache unchanged.
+    last_clean: bool,
+    /// Introspection: last evaluation fell back to a full rebuild.
+    last_full: bool,
+}
+
+/// Per-lane scratch shared by every destination a lane processes.
+#[derive(Debug, Default)]
+struct LaneScratch {
+    /// Sparse inflow accumulator for the sweep.
+    inflow: Vec<f64>,
+    touched: Vec<u32>,
+    /// Epoch stamps: `marked` membership, new-region membership, and
+    /// settled-in-partial-BFS membership.
+    mark_stamp: Vec<u32>,
+    new_stamp: Vec<u32>,
+    settle_stamp: Vec<u32>,
+    epoch: u32,
+    /// Base-reached switches whose downhill list must be rebuilt.
+    marked: Vec<u32>,
+    /// `(dist, switch)` entry points into the unreached region.
+    seeds: Vec<(u32, u32)>,
+    /// Switches newly reached by the partial BFS.
+    settled: Vec<u32>,
+    heap: BinaryHeap<Reverse<(u32, u32)>>,
+    /// Dial buckets for full per-destination rebuilds.
+    buckets: [Vec<u32>; 3],
+    order_buf: Vec<u32>,
+}
+
+impl LaneScratch {
+    fn sized(n: usize) -> Self {
+        Self {
+            inflow: vec![0.0; n],
+            mark_stamp: vec![0; n],
+            new_stamp: vec![0; n],
+            settle_stamp: vec![0; n],
+            ..Self::default()
+        }
+    }
+
+    fn bump_epoch(&mut self) -> u32 {
+        if self.epoch == u32::MAX {
+            self.epoch = 0;
+            self.mark_stamp.fill(0);
+            self.new_stamp.fill(0);
+            self.settle_stamp.fill(0);
+        }
+        self.epoch += 1;
+        self.epoch
+    }
+}
+
+/// Delta-aware routing engine over one `(Topology, DemandMatrix)` pair.
+///
+/// The engine tracks a *base* state: the state of the most recent
+/// [`evaluate`](Self::evaluate) or [`rebase`](Self::rebase) call. The next
+/// call must pass the exact set of circuits whose usability differs between
+/// that base and the new state (`toggles`), or `None` to force a full
+/// rebuild (also the only option for the first, priming call).
+#[derive(Debug)]
+pub struct IncrementalRouter {
+    policy: SplitPolicy,
+    mask: UsableMask,
+    entries: Vec<DestEntry>,
+    scratch: Vec<LaneScratch>,
+    primed: bool,
+    stats: IncrementalStats,
+    metrics: IncrMetrics,
+}
+
+impl IncrementalRouter {
+    /// An engine for `lanes` pool lanes routing `matrix` over `topo`.
+    pub fn new(topo: &Topology, matrix: &DemandMatrix, lanes: usize, policy: SplitPolicy) -> Self {
+        let n = topo.num_switches();
+        let entries = matrix
+            .by_destination()
+            .into_iter()
+            .map(|(dst, group)| DestEntry {
+                dst,
+                demands: group.into_iter().cloned().collect(),
+                dist: vec![UNREACHED; n],
+                order: Vec::new(),
+                dag: vec![Vec::new(); n],
+                footprint: BitSet::new(topo.num_circuits()),
+                edits: Vec::new(),
+                routed_terms: Vec::new(),
+                unreachable: Vec::new(),
+                edits_valid: false,
+                last_clean: false,
+                last_full: false,
+            })
+            .collect();
+        Self {
+            policy,
+            mask: UsableMask::new(),
+            entries,
+            scratch: (0..lanes.max(1)).map(|_| LaneScratch::sized(n)).collect(),
+            primed: false,
+            stats: IncrementalStats::default(),
+            metrics: IncrMetrics::new(),
+        }
+    }
+
+    /// Number of pool lanes this engine can serve.
+    pub fn lanes(&self) -> usize {
+        self.scratch.len()
+    }
+
+    /// Number of destination groups tracked.
+    pub fn num_destinations(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True once a priming evaluation/rebase has populated the cache.
+    pub fn is_primed(&self) -> bool {
+        self.primed
+    }
+
+    /// Effort totals since construction.
+    pub fn stats(&self) -> IncrementalStats {
+        self.stats
+    }
+
+    /// Estimated resident bytes of the per-destination caches.
+    pub fn approx_bytes(&self) -> u64 {
+        let mut bytes = 0usize;
+        for e in &self.entries {
+            bytes += e.dist.capacity() * 4 + e.order.capacity() * 4;
+            bytes += e.dag.iter().map(|l| l.capacity() * 16 + 24).sum::<usize>();
+            bytes += e.footprint.len().div_ceil(8);
+            bytes += e.edits.capacity() * 16 + e.routed_terms.capacity() * 8;
+            bytes += e.unreachable.capacity() * 8;
+        }
+        bytes as u64
+    }
+
+    /// Routes every demand over `state`, accumulating into `loads` (NOT
+    /// cleared, matching [`crate::EcmpRouter::route`]) and writing the
+    /// outcome into the caller-held buffer.
+    ///
+    /// `toggles` must be exactly the circuits whose usability differs
+    /// between the engine's base state and `state`; pass `None` when that
+    /// set is unknown (first call, or a delta too large to be worth it) to
+    /// rebuild everything. Either way the result is bit-identical to a
+    /// from-scratch sequential evaluation, and `state` becomes the new base.
+    pub fn evaluate(
+        &mut self,
+        pool: &WorkerPool,
+        topo: &Topology,
+        state: &NetState,
+        toggles: Option<&[CircuitId]>,
+        loads: &mut LoadMap,
+        outcome: &mut RouteOutcome,
+    ) {
+        self.advance(pool, topo, state, toggles, true);
+        self.stats.evaluations += 1;
+        self.metrics.evaluations.inc();
+        outcome.clear();
+        // Fixed replay order — ascending destination — reproduces the exact
+        // f64 addition sequence of a sequential full evaluation.
+        for e in &self.entries {
+            for &(slot, gbps) in &e.edits {
+                loads.add_slot(slot, gbps);
+            }
+            for &term in &e.routed_terms {
+                outcome.routed_gbps += term;
+            }
+            outcome.unreachable.extend_from_slice(&e.unreachable);
+        }
+    }
+
+    /// Moves the base to `state` updating routing *structures* only, without
+    /// sweeping flows. Destinations whose structure changed have their edit
+    /// lists marked stale and re-swept on the next [`evaluate`]. Planners
+    /// call this with a parent state so each child evaluation diffs against
+    /// its parent (one applied block) rather than an arbitrary cousin.
+    ///
+    /// [`evaluate`]: Self::evaluate
+    pub fn rebase(
+        &mut self,
+        pool: &WorkerPool,
+        topo: &Topology,
+        state: &NetState,
+        toggles: Option<&[CircuitId]>,
+    ) {
+        self.advance(pool, topo, state, toggles, false);
+        self.stats.rebases += 1;
+    }
+
+    /// Shared delta engine: updates the usable mask and every destination's
+    /// cached structures for `state`; sweeps flows when `sweep` is set.
+    fn advance(
+        &mut self,
+        pool: &WorkerPool,
+        topo: &Topology,
+        state: &NetState,
+        toggles: Option<&[CircuitId]>,
+        sweep: bool,
+    ) {
+        let full_all = !self.primed || toggles.is_none();
+        if full_all {
+            self.mask.compute(topo, state);
+        } else {
+            // Flip exactly the changed bits — no full-topology rescan.
+            for &c in toggles.unwrap() {
+                self.mask.set(c, state.circuit_usable(topo, c));
+            }
+        }
+        let toggle_set: &[CircuitId] = if full_all { &[] } else { toggles.unwrap() };
+        let Self {
+            ref mut entries,
+            ref mut scratch,
+            ref mask,
+            policy,
+            ..
+        } = *self;
+        assert!(
+            scratch.len() >= pool.lanes(),
+            "engine sized for {} lanes, pool has {}",
+            scratch.len(),
+            pool.lanes()
+        );
+        // One independent task per destination; every task writes only its
+        // own entry, so results cannot depend on lane assignment.
+        pool.run_scratch_tasks_into(scratch, entries, |lane, _task, entry| {
+            advance_entry(
+                entry, lane, topo, state, mask, toggle_set, full_all, policy, sweep,
+            );
+        });
+        self.primed = true;
+
+        let (mut clean, mut dirty, mut full) = (0u64, 0u64, 0u64);
+        for e in &self.entries {
+            if e.last_clean {
+                clean += 1;
+            } else {
+                dirty += 1;
+            }
+            if e.last_full {
+                full += 1;
+            }
+        }
+        self.stats.clean_destinations += clean;
+        self.stats.dirty_destinations += dirty;
+        self.stats.full_rebuilds += full;
+        self.stats.toggled_circuits += toggle_set.len() as u64;
+        self.metrics.clean.add(clean);
+        self.metrics.dirty.add(dirty);
+        self.metrics.full.add(full);
+        self.metrics.toggled.add(toggle_set.len() as u64);
+    }
+}
+
+/// Split weight of one circuit under `policy` (must match
+/// `EcmpRouter::route_group` exactly).
+#[inline]
+fn split_weight(topo: &Topology, c: CircuitId, policy: SplitPolicy) -> f64 {
+    match policy {
+        SplitPolicy::Ecmp => 1.0,
+        SplitPolicy::Wcmp => {
+            let ck = topo.circuit(c);
+            ck.routing_weight.unwrap_or(ck.capacity_gbps)
+        }
+    }
+}
+
+/// Updates one destination's cached structures for the child state and
+/// (when `sweep`) refreshes its edit list. See the module docs for the
+/// classification rules and why each shortcut is sound.
+#[allow(clippy::too_many_arguments)]
+fn advance_entry(
+    entry: &mut DestEntry,
+    scratch: &mut LaneScratch,
+    topo: &Topology,
+    state: &NetState,
+    mask: &UsableMask,
+    toggles: &[CircuitId],
+    full_all: bool,
+    policy: SplitPolicy,
+    sweep: bool,
+) {
+    let epoch = scratch.bump_epoch();
+    scratch.marked.clear();
+    scratch.seeds.clear();
+    scratch.settled.clear();
+
+    let dst_i = entry.dst.index();
+    // The cached BFS roots at the destination: dist[dst] == 0 iff the
+    // destination switch was up in the base state.
+    let mut full = full_all || ((entry.dist[dst_i] == 0) != state.switch_up(entry.dst));
+
+    if !full {
+        for &c in toggles {
+            // Footprint rule: a toggle not incident to any reached switch
+            // cannot change this destination's routing.
+            if !entry.footprint.get(c.index()) {
+                continue;
+            }
+            let ck = topo.circuit(c);
+            let (ai, bi) = (ck.a.index(), ck.b.index());
+            let (da, db) = (entry.dist[ai], entry.dist[bi]);
+            let w = ck.hop_weight as u32;
+            if mask.usable(c) {
+                // Toggled ON.
+                match (da != UNREACHED, db != UNREACHED) {
+                    (true, true) => {
+                        if da.saturating_add(w) < db || db.saturating_add(w) < da {
+                            full = true; // shortcut: labels would shrink
+                            break;
+                        } else if da + w == db {
+                            mark(scratch, epoch, bi); // b gains a DAG edge
+                        } else if db + w == da {
+                            mark(scratch, epoch, ai);
+                        }
+                        // |da - db| < w (or da == db): not a DAG edge.
+                    }
+                    (true, false) => scratch.seeds.push((da + w, bi as u32)),
+                    (false, true) => scratch.seeds.push((db + w, ai as u32)),
+                    // Both unreached: connects nothing to the reached
+                    // region by itself; if a chain of new circuits does,
+                    // some circuit of the chain has a reached endpoint and
+                    // seeds the partial BFS that walks the rest.
+                    (false, false) => {}
+                }
+            } else {
+                // Toggled OFF. A base-usable circuit with one endpoint
+                // reached always has both reached, so only the both-reached
+                // case can carry a DAG edge.
+                if da != UNREACHED && db != UNREACHED {
+                    if db + w == da {
+                        mark(scratch, epoch, ai); // a loses a DAG edge
+                    } else if da + w == db {
+                        mark(scratch, epoch, bi);
+                    }
+                }
+            }
+        }
+    }
+
+    // Fast victim pass: a marked switch with no usable circuit left is
+    // unreachable (the common case for a freshly drained switch). Partial
+    // loss of support is caught below when a rebuilt downhill list comes
+    // out empty.
+    if !full {
+        for i in 0..scratch.marked.len() {
+            let ui = scratch.marked[i] as usize;
+            let uid = SwitchId::from_index(ui);
+            if topo.neighbors(uid).iter().all(|&(c, _)| !mask.usable(c)) {
+                entry.dist[ui] = UNREACHED;
+                entry.dag[ui].clear();
+            }
+        }
+    }
+
+    // Partial BFS: bounded Dijkstra from the seed entry points over the
+    // previously-unreached region only. Seeds span an arbitrary distance
+    // range, so this uses a heap rather than Dial buckets.
+    if !full && !scratch.seeds.is_empty() {
+        scratch.heap.clear();
+        for &(d, x) in &scratch.seeds {
+            let xi = x as usize;
+            // Seed endpoints were unreached in the base; victims cannot
+            // appear here (all their circuits are unusable, while a seed's
+            // toggled-on circuit is usable and incident).
+            if d < entry.dist[xi] {
+                entry.dist[xi] = d;
+                scratch.new_stamp[xi] = epoch;
+                scratch.heap.push(Reverse((d, x)));
+            }
+        }
+        'dijkstra: while let Some(Reverse((d, x))) = scratch.heap.pop() {
+            let xi = x as usize;
+            if d > entry.dist[xi] || scratch.settle_stamp[xi] == epoch {
+                continue; // stale or already settled
+            }
+            scratch.settle_stamp[xi] = epoch;
+            scratch.settled.push(x);
+            for &(c, far) in topo.neighbors(SwitchId(x)) {
+                if !mask.usable(c) {
+                    continue;
+                }
+                let nd = d + topo.circuit(c).hop_weight as u32;
+                let fi = far.index();
+                if scratch.new_stamp[fi] == epoch || entry.dist[fi] == UNREACHED {
+                    // Still inside the new region.
+                    if nd < entry.dist[fi] {
+                        entry.dist[fi] = nd;
+                        scratch.new_stamp[fi] = epoch;
+                        scratch.heap.push(Reverse((nd, far.0)));
+                    }
+                } else if nd < entry.dist[fi] {
+                    // The new region shortcuts into the old one: labels
+                    // there would shrink — rebuild from scratch.
+                    full = true;
+                    break 'dijkstra;
+                } else if nd == entry.dist[fi] {
+                    // A base-reached switch gains a DAG edge through the
+                    // new region.
+                    mark(scratch, epoch, fi);
+                }
+            }
+        }
+        // Newly reached switches need downhill lists, order slots, and
+        // footprint coverage.
+        if !full {
+            for i in 0..scratch.settled.len() {
+                let x = scratch.settled[i];
+                mark(scratch, epoch, x as usize);
+                for &(c, _) in topo.neighbors(SwitchId(x)) {
+                    entry.footprint.set(c.index(), true);
+                }
+            }
+        }
+    }
+
+    // Rebuild downhill lists for every marked survivor by rescanning its
+    // neighbors — the list must stay in neighbor-scan order for the sweep's
+    // f64 additions to stay bit-identical, so no in-place splicing.
+    if !full {
+        for i in 0..scratch.marked.len() {
+            let ui = scratch.marked[i] as usize;
+            let du = entry.dist[ui];
+            if du == UNREACHED || du == 0 {
+                continue; // victim, or the destination itself
+            }
+            let uid = SwitchId::from_index(ui);
+            let list = &mut entry.dag[ui];
+            list.clear();
+            for &(c, far) in topo.neighbors(uid) {
+                if mask.usable(c)
+                    && entry.dist[far.index()].saturating_add(topo.circuit(c).hop_weight as u32)
+                        == du
+                {
+                    list.push((
+                        LoadMap::directed_slot(topo, c, uid),
+                        far.0,
+                        split_weight(topo, c, policy),
+                    ));
+                }
+            }
+            if list.is_empty() {
+                // Lost its last shortest path: its true label grew, and
+                // labels downstream of it may be stale too.
+                full = true;
+                break;
+            }
+        }
+    }
+
+    let structure_changed = !scratch.marked.is_empty();
+    entry.last_full = full;
+    if full {
+        rebuild_full(entry, scratch, topo, state, mask, policy);
+    } else if structure_changed {
+        // Patch the canonical order: drop victims (removing elements keeps
+        // it sorted) and merge the newly settled switches.
+        if scratch.settled.is_empty() {
+            entry.order.retain(|&u| entry.dist[u as usize] != UNREACHED);
+        } else {
+            let dist = &entry.dist;
+            scratch
+                .settled
+                .sort_unstable_by_key(|&u| (dist[u as usize], u));
+            scratch.order_buf.clear();
+            let mut next = 0usize;
+            for &u in &entry.order {
+                let du = dist[u as usize];
+                if du == UNREACHED {
+                    continue;
+                }
+                while next < scratch.settled.len() {
+                    let x = scratch.settled[next];
+                    if (dist[x as usize], x) < (du, u) {
+                        scratch.order_buf.push(x);
+                        next += 1;
+                    } else {
+                        break;
+                    }
+                }
+                scratch.order_buf.push(u);
+            }
+            scratch
+                .order_buf
+                .extend_from_slice(&scratch.settled[next..]);
+            std::mem::swap(&mut entry.order, &mut scratch.order_buf);
+        }
+    }
+
+    let clean = !full && !structure_changed;
+    entry.last_clean = clean && entry.edits_valid;
+    if sweep {
+        if !clean || !entry.edits_valid {
+            sweep_entry(entry, scratch, state);
+        }
+    } else if !clean {
+        entry.edits_valid = false;
+    }
+}
+
+/// Adds `ui` to the marked set once per epoch.
+#[inline]
+fn mark(scratch: &mut LaneScratch, epoch: u32, ui: usize) {
+    if scratch.mark_stamp[ui] != epoch {
+        scratch.mark_stamp[ui] = epoch;
+        scratch.marked.push(ui as u32);
+    }
+}
+
+/// From-scratch BFS + DAG + footprint rebuild for one destination —
+/// Dial's algorithm exactly as `EcmpRouter::bfs_from`, plus the cached
+/// structures the incremental paths patch.
+fn rebuild_full(
+    entry: &mut DestEntry,
+    scratch: &mut LaneScratch,
+    topo: &Topology,
+    state: &NetState,
+    mask: &UsableMask,
+    policy: SplitPolicy,
+) {
+    const MAX_W: usize = 2;
+    for d in &mut entry.dist {
+        *d = UNREACHED;
+    }
+    entry.order.clear();
+    entry.footprint.clear_all();
+    if state.switch_up(entry.dst) {
+        for b in &mut scratch.buckets {
+            b.clear();
+        }
+        entry.dist[entry.dst.index()] = 0;
+        scratch.buckets[0].push(entry.dst.0);
+        let mut current = 0u32;
+        let mut remaining = 1usize;
+        while remaining > 0 {
+            let slot = (current as usize) % (MAX_W + 1);
+            while let Some(u) = scratch.buckets[slot].pop() {
+                remaining -= 1;
+                let ui = u as usize;
+                if entry.dist[ui] != current {
+                    continue;
+                }
+                entry.order.push(u);
+                for &(c, far) in topo.neighbors(SwitchId(u)) {
+                    if !mask.usable(c) {
+                        continue;
+                    }
+                    let nd = current + topo.circuit(c).hop_weight as u32;
+                    let fi = far.index();
+                    if nd < entry.dist[fi] {
+                        entry.dist[fi] = nd;
+                        scratch.buckets[(nd as usize) % (MAX_W + 1)].push(far.0);
+                        remaining += 1;
+                    }
+                }
+            }
+            current += 1;
+        }
+        canonical_order(&mut entry.order, &entry.dist);
+    }
+    for &u in &entry.order {
+        let ui = u as usize;
+        let uid = SwitchId(u);
+        let du = entry.dist[ui];
+        let list = &mut entry.dag[ui];
+        list.clear();
+        for &(c, far) in topo.neighbors(uid) {
+            entry.footprint.set(c.index(), true);
+            if du > 0
+                && mask.usable(c)
+                && entry.dist[far.index()].saturating_add(topo.circuit(c).hop_weight as u32) == du
+            {
+                list.push((
+                    LoadMap::directed_slot(topo, c, uid),
+                    far.0,
+                    split_weight(topo, c, policy),
+                ));
+            }
+        }
+    }
+}
+
+/// Re-runs injection + reverse sweep from the cached structures, recording
+/// the ordered edit list. Mirrors `EcmpRouter::route_group` operation for
+/// operation so the recorded f64 additions are bit-identical to it.
+fn sweep_entry(entry: &mut DestEntry, scratch: &mut LaneScratch, state: &NetState) {
+    entry.edits.clear();
+    entry.routed_terms.clear();
+    entry.unreachable.clear();
+    for d in &entry.demands {
+        let src = d.src.index();
+        if entry.dist[src] == UNREACHED || !state.switch_up(d.src) {
+            entry.unreachable.push((d.src, d.dst));
+            continue;
+        }
+        if scratch.inflow[src] == 0.0 {
+            scratch.touched.push(src as u32);
+        }
+        scratch.inflow[src] += d.gbps;
+        entry.routed_terms.push(d.gbps);
+    }
+    for i in (0..entry.order.len()).rev() {
+        let u = entry.order[i] as usize;
+        let flow = scratch.inflow[u];
+        if flow == 0.0 {
+            continue;
+        }
+        if entry.dist[u] == 0 {
+            continue; // the destination absorbs its inflow
+        }
+        let list = &entry.dag[u];
+        let mut total_weight = 0.0_f64;
+        for &(_, _, weight) in list {
+            total_weight += weight;
+        }
+        debug_assert!(
+            total_weight > 0.0,
+            "a reachable non-destination switch must have a downhill circuit"
+        );
+        for &(slot, far, weight) in list {
+            let share = flow * weight / total_weight;
+            entry.edits.push((slot, share));
+            let fi = far as usize;
+            if scratch.inflow[fi] == 0.0 {
+                scratch.touched.push(far);
+            }
+            scratch.inflow[fi] += share;
+        }
+    }
+    for &u in &scratch.touched {
+        scratch.inflow[u as usize] = 0.0;
+    }
+    scratch.touched.clear();
+    entry.edits_valid = true;
+}
+
+/// Convenience for tests and callers without an external toggle source:
+/// diffs two states' usability over the whole topology.
+pub fn usability_toggles(topo: &Topology, a: &NetState, b: &NetState) -> Vec<CircuitId> {
+    (0..topo.num_circuits())
+        .map(CircuitId::from_index)
+        .filter(|&c| a.circuit_usable(topo, c) != b.circuit_usable(topo, c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ecmp::EcmpRouter;
+    use klotski_topology::presets::{self, PresetId};
+    use klotski_traffic::{generate, DemandGenConfig};
+
+    fn preset_world() -> (Topology, NetState, DemandMatrix) {
+        let p = presets::build(PresetId::A);
+        let t = p.topology;
+        let mut state = NetState::all_up(&t);
+        for s in p.handles.hgrid_v2_switches() {
+            state.drain_switch(&t, s);
+        }
+        let demands = generate(&t, &DemandGenConfig::default());
+        (t, state, demands)
+    }
+
+    fn full_reference(
+        topo: &Topology,
+        state: &NetState,
+        demands: &DemandMatrix,
+        policy: SplitPolicy,
+    ) -> (LoadMap, RouteOutcome) {
+        let mut loads = LoadMap::new(topo);
+        let out = EcmpRouter::with_policy(topo, policy).route(topo, state, demands, &mut loads);
+        (loads, out)
+    }
+
+    fn assert_bit_identical(a: &LoadMap, b: &LoadMap, topo: &Topology, what: &str) {
+        for i in 0..topo.num_circuits() {
+            let c = CircuitId::from_index(i);
+            assert_eq!(
+                a.forward(c).to_bits(),
+                b.forward(c).to_bits(),
+                "{what}: forward {c}"
+            );
+            assert_eq!(
+                a.reverse(c).to_bits(),
+                b.reverse(c).to_bits(),
+                "{what}: reverse {c}"
+            );
+        }
+    }
+
+    /// Deterministic xorshift for reproducible knockout sequences.
+    fn splitmix(seed: &mut u64) -> u64 {
+        *seed = seed.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = *seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn primed_evaluation_matches_full() {
+        let (t, state, demands) = preset_world();
+        let pool = WorkerPool::new(2);
+        let mut engine = IncrementalRouter::new(&t, &demands, pool.lanes(), SplitPolicy::Ecmp);
+        let mut loads = LoadMap::new(&t);
+        let mut out = RouteOutcome::new();
+        engine.evaluate(&pool, &t, &state, None, &mut loads, &mut out);
+        let (ref_loads, ref_out) = full_reference(&t, &state, &demands, SplitPolicy::Ecmp);
+        assert_eq!(out, ref_out);
+        assert_eq!(out.routed_gbps.to_bits(), ref_out.routed_gbps.to_bits());
+        assert_bit_identical(&loads, &ref_loads, &t, "priming");
+    }
+
+    #[test]
+    fn random_toggle_walk_stays_bit_identical_to_full() {
+        let (t, state, demands) = preset_world();
+        for (threads, policy) in [
+            (1, SplitPolicy::Ecmp),
+            (3, SplitPolicy::Ecmp),
+            (2, SplitPolicy::Wcmp),
+        ] {
+            let pool = WorkerPool::new(threads);
+            let mut engine = IncrementalRouter::new(&t, &demands, pool.lanes(), policy);
+            let mut prev = state.clone();
+            let mut loads = LoadMap::new(&t);
+            let mut out = RouteOutcome::new();
+            engine.evaluate(&pool, &t, &prev, None, &mut loads, &mut out);
+            let mut seed = 0x5eed ^ threads as u64;
+            for step in 0..12 {
+                // Random knockouts and restorations of switches/circuits.
+                let mut next = prev.clone();
+                for _ in 0..(1 + splitmix(&mut seed) % 3) {
+                    if splitmix(&mut seed).is_multiple_of(2) {
+                        let c = CircuitId::from_index(
+                            (splitmix(&mut seed) % t.num_circuits() as u64) as usize,
+                        );
+                        let up = next.circuit_up(c);
+                        next.set_circuit(c, !up);
+                    } else {
+                        let s = SwitchId::from_index(
+                            (splitmix(&mut seed) % t.num_switches() as u64) as usize,
+                        );
+                        if next.switch_up(s) {
+                            next.drain_switch(&t, s);
+                        } else {
+                            next.undrain_switch(&t, s);
+                        }
+                    }
+                }
+                let toggles = usability_toggles(&t, &prev, &next);
+                loads.clear();
+                engine.evaluate(&pool, &t, &next, Some(&toggles), &mut loads, &mut out);
+                let (ref_loads, ref_out) = full_reference(&t, &next, &demands, policy);
+                assert_eq!(out, ref_out, "step {step} ({threads} threads)");
+                assert_eq!(
+                    out.routed_gbps.to_bits(),
+                    ref_out.routed_gbps.to_bits(),
+                    "step {step}"
+                );
+                assert_bit_identical(&loads, &ref_loads, &t, &format!("step {step}"));
+                prev = next;
+            }
+            let s = engine.stats();
+            assert_eq!(s.evaluations, 13);
+            assert_eq!(
+                s.clean_destinations + s.dirty_destinations,
+                13 * engine.num_destinations() as u64
+            );
+        }
+    }
+
+    #[test]
+    fn rebase_then_evaluate_matches_direct_evaluation() {
+        let (t, state, demands) = preset_world();
+        let pool = WorkerPool::new(2);
+        let mut engine = IncrementalRouter::new(&t, &demands, pool.lanes(), SplitPolicy::Ecmp);
+        let mut loads = LoadMap::new(&t);
+        let mut out = RouteOutcome::new();
+        engine.evaluate(&pool, &t, &state, None, &mut loads, &mut out);
+
+        // Drain one switch, rebase (structure only), then evaluate a child
+        // that drains another switch on top.
+        let mut parent = state.clone();
+        parent.drain_switch(&t, SwitchId::from_index(0));
+        let toggles = usability_toggles(&t, &state, &parent);
+        engine.rebase(&pool, &t, &parent, Some(&toggles));
+        assert_eq!(engine.stats().rebases, 1);
+
+        let mut child = parent.clone();
+        child.drain_switch(&t, SwitchId::from_index(5));
+        let toggles = usability_toggles(&t, &parent, &child);
+        loads.clear();
+        engine.evaluate(&pool, &t, &child, Some(&toggles), &mut loads, &mut out);
+        let (ref_loads, ref_out) = full_reference(&t, &child, &demands, SplitPolicy::Ecmp);
+        assert_eq!(out, ref_out);
+        assert_bit_identical(&loads, &ref_loads, &t, "child after rebase");
+    }
+
+    #[test]
+    fn clean_destinations_replay_without_resweep() {
+        let (t, state, demands) = preset_world();
+        let pool = WorkerPool::new(1);
+        let mut engine = IncrementalRouter::new(&t, &demands, pool.lanes(), SplitPolicy::Ecmp);
+        let mut loads = LoadMap::new(&t);
+        let mut out = RouteOutcome::new();
+        engine.evaluate(&pool, &t, &state, None, &mut loads, &mut out);
+        let before = engine.stats();
+        // Empty delta: every destination must replay from cache.
+        loads.clear();
+        engine.evaluate(&pool, &t, &state, Some(&[]), &mut loads, &mut out);
+        let after = engine.stats();
+        assert_eq!(
+            after.clean_destinations - before.clean_destinations,
+            engine.num_destinations() as u64
+        );
+        assert_eq!(after.dirty_destinations, before.dirty_destinations);
+        let (ref_loads, _) = full_reference(&t, &state, &demands, SplitPolicy::Ecmp);
+        assert_bit_identical(&loads, &ref_loads, &t, "replay");
+        assert!(engine.approx_bytes() > 0);
+    }
+}

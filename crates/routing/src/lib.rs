@@ -24,22 +24,26 @@
 //! - [`evaluate`]: the Eq. 4–5 evaluation combining reachability and
 //!   utilization, plus demand calibration helpers;
 //! - [`funneling`]: the traffic-funneling stress factor (§2.2, §7.2);
+//! - [`incremental`]: delta-aware re-routing that caches per-destination
+//!   routing structure across nearby states, bit-identical to from-scratch;
 //! - [`reachability`]: standalone reachability queries.
 
 pub mod ecmp;
 pub mod evaluate;
 pub mod funneling;
+pub mod incremental;
 pub mod loads;
 pub mod mask;
 pub mod parallel;
 pub mod reachability;
 
-pub use ecmp::{EcmpRouter, RouteSink, SplitPolicy};
+pub use ecmp::{EcmpRouter, RouteOutcome, RouteSink, SplitPolicy};
 pub use evaluate::{
     evaluate, evaluate_policy, evaluate_with, scale_to_target_utilization,
     scale_to_target_utilization_on, SafetyOutcome, UtilizationReport,
 };
 pub use funneling::FunnelingModel;
+pub use incremental::{usability_toggles, IncrementalRouter, IncrementalStats};
 pub use loads::LoadMap;
 pub use mask::UsableMask;
 pub use parallel::{route_parallel, ParallelRouter};

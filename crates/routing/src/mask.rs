@@ -58,6 +58,14 @@ impl UsableMask {
         }
     }
 
+    /// Overwrites the usability bit of one circuit. The incremental engine
+    /// flips exactly the circuits whose usability changed between two
+    /// states, skipping the full O(|C|) rescan of [`compute`](Self::compute).
+    #[inline]
+    pub fn set(&mut self, c: CircuitId, usable: bool) {
+        self.bits.set(c.index(), usable);
+    }
+
     /// True if circuit `c` was usable in the state last computed.
     #[inline]
     pub fn usable(&self, c: CircuitId) -> bool {

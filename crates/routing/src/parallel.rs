@@ -166,6 +166,25 @@ impl ParallelRouter {
         matrix: &DemandMatrix,
         loads: &mut LoadMap,
     ) -> RouteOutcome {
+        let mut outcome = RouteOutcome::new();
+        self.route_with_mask_into(pool, topo, state, mask, matrix, loads, &mut outcome);
+        outcome
+    }
+
+    /// [`route_with_mask`](Self::route_with_mask) writing into a caller-held
+    /// `outcome` buffer (cleared first), so long-lived checkers reuse one
+    /// unreachable-list allocation across evaluations.
+    #[allow(clippy::too_many_arguments)]
+    pub fn route_with_mask_into(
+        &mut self,
+        pool: &WorkerPool,
+        topo: &Topology,
+        state: &NetState,
+        mask: &UsableMask,
+        matrix: &DemandMatrix,
+        loads: &mut LoadMap,
+        outcome: &mut RouteOutcome,
+    ) {
         assert!(
             self.engines.len() >= pool.lanes(),
             "router sized for {} lanes, pool has {}",
@@ -177,9 +196,9 @@ impl ParallelRouter {
         self.metrics.demands.add(matrix.len() as u64);
         // One lane: skip the edit-list indirection entirely.
         if pool.lanes() == 1 {
-            let outcome = self.engines[0].route_with_mask(topo, state, mask, matrix, loads);
+            self.engines[0].route_with_mask_into(topo, state, mask, matrix, loads, outcome);
             self.metrics.route_seconds.record(started.elapsed());
-            return outcome;
+            return;
         }
 
         let groups: Vec<_> = matrix.by_destination().into_iter().collect();
@@ -200,10 +219,7 @@ impl ParallelRouter {
 
         // Replay in chunk order: this is the exact operation sequence a
         // sequential run would have applied.
-        let mut outcome = RouteOutcome {
-            unreachable: Vec::new(),
-            routed_gbps: 0.0,
-        };
+        outcome.clear();
         for buf in chunks.iter() {
             for &(slot, gbps) in &buf.edits {
                 loads.add_slot(slot, gbps);
@@ -214,7 +230,6 @@ impl ParallelRouter {
             outcome.unreachable.extend_from_slice(&buf.unreachable);
         }
         self.metrics.route_seconds.record(started.elapsed());
-        outcome
     }
 }
 

@@ -210,6 +210,10 @@ mod tests {
                 sat_checks: 1,
                 cache_hits: 0,
                 full_evaluations: 1,
+                incremental_clean: 0,
+                incremental_dirty: 0,
+                esc_entries: 0,
+                esc_bytes: 0,
                 satcheck_ms: 0,
                 planning_ms: 0,
                 cached: false,

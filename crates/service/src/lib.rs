@@ -376,6 +376,24 @@ fn options_from_query(request: &Request) -> Result<PlanRequestOptions, String> {
                         .map_err(|_| format!("bad deadline_ms {value:?}"))?,
                 )
             }
+            "incremental" => {
+                options.incremental = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad incremental {value:?}"))?,
+                )
+            }
+            "esc_cache_cap" => {
+                // Rejected here, not just in the pipeline: a warm plan cache
+                // would otherwise answer before the pipeline ever validates.
+                let cap: usize = value
+                    .parse()
+                    .map_err(|_| format!("bad esc_cache_cap {value:?}"))?;
+                if cap == 0 {
+                    return Err("esc_cache_cap must be at least 1".into());
+                }
+                options.esc_cache_cap = Some(cap)
+            }
             "wait" => {} // handled by the caller
             other => return Err(format!("unknown query parameter {other:?}")),
         }

@@ -85,6 +85,17 @@ fn resolve_options(
             "alpha {alpha} outside [0, 1]"
         )));
     }
+    if let Some(incremental) = options.incremental {
+        mig.incremental = incremental;
+    }
+    if let Some(cap) = options.esc_cache_cap {
+        if cap == 0 {
+            return Err(PipelineError::Invalid(
+                "esc_cache_cap must be at least 1".into(),
+            ));
+        }
+        mig.esc_cache_cap = cap;
+    }
     let use_dp = match options.planner.as_deref() {
         None | Some("astar") | Some("a*") => false,
         Some("dp") => true,
@@ -176,6 +187,10 @@ pub fn plan_document(
         sat_checks: outcome.stats.sat_checks,
         cache_hits: outcome.stats.cache_hits,
         full_evaluations: outcome.stats.full_evaluations,
+        incremental_clean: outcome.stats.incremental_clean,
+        incremental_dirty: outcome.stats.incremental_dirty,
+        esc_entries: outcome.stats.esc_entries,
+        esc_bytes: outcome.stats.esc_bytes,
         satcheck_ms: outcome.stats.satcheck_time.as_millis() as u64,
         planning_ms: outcome.stats.planning_time.as_millis() as u64,
         cached: false,

@@ -53,7 +53,8 @@ impl CliError {
         Self {
             message: "usage:\n  klotski presets\n  klotski export <preset> <out.json>\n  \
                  klotski plan <npd.json> [-o out.json] [--planner astar|dp] \
-                 [--theta X] [--alpha X] [--trace out.jsonl] [--stats]\n  \
+                 [--theta X] [--alpha X] [--trace out.jsonl] [--stats] \
+                 [--no-incremental] [--esc-cache-cap N]\n  \
                  klotski audit <preset>\n  klotski trace <trace.jsonl>\n  \
                  klotski serve [--addr HOST:PORT] [--workers N] [--queue-depth N] \
                  [--cache N] [--deadline-ms N]"
@@ -174,6 +175,8 @@ fn cmd_plan(mut args: Vec<String>) -> Result<(), CliError> {
         alpha: take_flag(&mut args, "--alpha")?,
         planner: take_flag(&mut args, "--planner")?,
         deadline_ms: take_flag(&mut args, "--deadline-ms")?,
+        incremental: take_switch(&mut args, "--no-incremental").then_some(false),
+        esc_cache_cap: take_flag(&mut args, "--esc-cache-cap")?,
     };
     let out = take_flag::<String>(&mut args, "-o")?;
     let trace = take_flag::<String>(&mut args, "--trace")?;
@@ -247,6 +250,20 @@ fn print_search_stats(s: &klotski::npd::api::PlanSummary) {
         s.cache_hits
     );
     println!("  full evaluations  {:>10}", s.full_evaluations);
+    let dests = s.incremental_clean + s.incremental_dirty;
+    if dests > 0 {
+        let incr_rate = 100.0 * s.incremental_clean as f64 / dests as f64;
+        println!(
+            "  incr clean dests  {:>10}  ({incr_rate:.1}% replayed)",
+            s.incremental_clean
+        );
+        println!("  incr dirty dests  {:>10}", s.incremental_dirty);
+    }
+    println!(
+        "  esc cache size    {:>10}  (~{} KiB)",
+        s.esc_entries,
+        s.esc_bytes / 1024
+    );
     println!("  satcheck time     {:>8}ms", s.satcheck_ms);
     println!(
         "  other search time {:>8}ms",
