@@ -6,17 +6,22 @@
 //! cargo run -p klotski-bench --release --bin report -- fig11 fig12
 //! ```
 //!
+//! Flags:
+//! - `--threads N` — override the lane count of every experiment's specs.
+//!
 //! Environment:
 //! - `KLOTSKI_FULL_SCALE=1` — build D/E at full paper scale (slow);
-//! - `KLOTSKI_BENCH_TIMEOUT_SECS` — per-planner cap (default 120).
+//! - `KLOTSKI_BENCH_TIMEOUT_SECS` — per-planner cap (default 120);
+//! - `KLOTSKI_FULL_SCALE_STEPS` / `KLOTSKI_FULL_SCALE_MIN_TIME_MS` —
+//!   walk length and per-arm window of the `full-scale` experiment.
 
-use klotski_bench::{experiments, incremental, parallel, service, telemetry};
+use klotski_bench::{experiments, full_scale, incremental, parallel, runner, service, telemetry};
 use klotski_telemetry::log_event;
 
 /// A named experiment: label plus the function rendering its output.
 type Experiment = (&'static str, fn() -> String);
 
-const EXPERIMENTS: [Experiment; 12] = [
+const EXPERIMENTS: [Experiment; 13] = [
     ("table1", experiments::table1),
     ("table3", experiments::table3),
     ("fig8", experiments::fig8),
@@ -27,6 +32,7 @@ const EXPERIMENTS: [Experiment; 12] = [
     ("fig13", experiments::fig13),
     ("parallel", parallel::parallel),
     ("incremental", incremental::incremental),
+    ("full-scale", full_scale::full_scale),
     ("service", service::service),
     ("telemetry", telemetry::telemetry),
 ];
@@ -35,7 +41,18 @@ fn main() {
     // Progress goes to stderr as structured one-per-line JSON events, so
     // stdout stays pure experiment output (tables and figures).
     klotski_telemetry::install(std::sync::Arc::new(klotski_telemetry::StderrSink));
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        let threads = args.get(i + 1).and_then(|v| v.parse::<usize>().ok());
+        match threads {
+            Some(t) if t >= 1 => runner::set_thread_override(t),
+            _ => {
+                eprintln!("--threads requires a positive integer");
+                std::process::exit(2);
+            }
+        }
+        args.drain(i..=i + 1);
+    }
     let selected: Vec<&Experiment> = if args.is_empty() || args[0] == "all" {
         EXPERIMENTS.iter().collect()
     } else {

@@ -1,0 +1,349 @@
+//! Composed parallel × incremental satisfiability measurement: a recorded
+//! deterministic planner-style walk (batched expansions with parent
+//! hand-over) replayed under three configurations — incremental-only
+//! (1 thread), parallel-only (from-scratch at N lanes), and the combined
+//! mode (incremental at N lanes) — plus a wall-time row for preset E,
+//! which runs at full paper scale under `KLOTSKI_FULL_SCALE=1`. The
+//! `report` binary's `full-scale` experiment renders a table and writes
+//! the raw numbers to `BENCH_full_scale.json`.
+//!
+//! Environment:
+//! - `KLOTSKI_FULL_SCALE_STEPS` — walk length (default 3; CI smoke uses 1);
+//! - `KLOTSKI_FULL_SCALE_MIN_TIME_MS` — per-arm measuring window
+//!   (default 1500).
+
+use crate::table::Table;
+use klotski_core::migration::{MigrationOptions, MigrationSpec};
+use klotski_core::satcheck::{EscMode, SatChecker};
+use klotski_core::{ActionTypeId, CompactState};
+use klotski_parallel::default_lanes;
+use klotski_topology::presets::{self, PresetId};
+use klotski_topology::NetState;
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+/// One thread count's three-way comparison in `BENCH_full_scale.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ComboRow {
+    /// Preset id.
+    pub preset: String,
+    /// Lanes used by the parallel-only and combined arms.
+    pub threads: usize,
+    /// Checks per second: incremental on, 1 thread.
+    pub incremental_only_checks_per_sec: f64,
+    /// Checks per second: from-scratch routing at `threads` lanes.
+    pub parallel_only_checks_per_sec: f64,
+    /// Checks per second: incremental on at `threads` lanes.
+    pub combined_checks_per_sec: f64,
+    /// `combined / incremental_only`.
+    pub combined_vs_incremental: f64,
+    /// `combined / parallel_only`.
+    pub combined_vs_parallel: f64,
+}
+
+/// The preset E wall-time measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct WallRow {
+    /// Preset id ("E").
+    pub preset: String,
+    /// Whether the topology was built at full paper scale
+    /// (`KLOTSKI_FULL_SCALE=1`) or bench-shrunk.
+    pub full_scale: bool,
+    /// Lanes used.
+    pub threads: usize,
+    /// Walk steps replayed.
+    pub steps: usize,
+    /// Satisfiability checks issued by the replay.
+    pub checks: u64,
+    /// Wall-clock time for the replay, milliseconds.
+    pub wall_ms: f64,
+}
+
+/// The JSON document written to `BENCH_full_scale.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct FullScaleReport {
+    /// `available_parallelism()` on the measuring machine.
+    pub available_parallelism: usize,
+    pub rows: Vec<ComboRow>,
+    pub wall: WallRow,
+}
+
+/// One recorded expansion: the parent (handed to `check_batch_from`
+/// planner-style) and its candidate children.
+struct Step {
+    v: CompactState,
+    state: NetState,
+    cand: Vec<(ActionTypeId, CompactState, NetState)>,
+}
+
+/// Expands every applicable successor of `(v, state)`.
+fn expand(
+    spec: &MigrationSpec,
+    v: &CompactState,
+    state: &NetState,
+) -> Vec<(ActionTypeId, CompactState, NetState)> {
+    let mut cand = Vec::new();
+    for a in spec.actions.ids() {
+        if v.count(a) >= spec.target_counts.count(a) {
+            continue;
+        }
+        let mut ns = state.clone();
+        spec.apply_next(&mut ns, v, a);
+        cand.push((a, v.advanced(a), ns));
+    }
+    cand
+}
+
+/// Records a deterministic walk of up to `max_steps` batched expansions,
+/// advancing along the first feasible edge of each batch. All arms replay
+/// this identical work list.
+fn record_walk(spec: &MigrationSpec, max_steps: usize) -> Vec<Step> {
+    let mut scout = SatChecker::with_threads(spec, EscMode::Off, 1);
+    let mut v = CompactState::origin(spec.num_types());
+    let mut state = spec.initial.clone();
+    let mut steps = Vec::new();
+    for _ in 0..max_steps {
+        let cand = expand(spec, &v, &state);
+        if cand.is_empty() {
+            break;
+        }
+        let refs: Vec<_> = cand.iter().map(|(a, nv, ns)| (nv, ns, Some(*a))).collect();
+        let verdicts = scout.check_batch_from(spec, Some((&v, &state)), &refs);
+        steps.push(Step {
+            v: v.clone(),
+            state: state.clone(),
+            cand: cand.clone(),
+        });
+        match verdicts.iter().position(|&ok| ok) {
+            Some(i) => {
+                v = steps.last().unwrap().cand[i].1.clone();
+                state = steps.last().unwrap().cand[i].2.clone();
+            }
+            None => break,
+        }
+    }
+    steps
+}
+
+/// Replays the recorded walk once through `checker`, returning the number
+/// of checks issued.
+fn replay(checker: &mut SatChecker, spec: &MigrationSpec, steps: &[Step]) -> u64 {
+    let mut checks = 0u64;
+    for s in steps {
+        let refs: Vec<_> = s
+            .cand
+            .iter()
+            .map(|(a, nv, ns)| (nv, ns, Some(*a)))
+            .collect();
+        checker.check_batch_from(spec, Some((&s.v, &s.state)), &refs);
+        checks += refs.len() as u64;
+    }
+    checks
+}
+
+/// Interleaved three-arm measurement at one lane count: one replay per
+/// arm per round, round-robin until `min_time` of measurement has
+/// elapsed, timing each arm's replays individually. Interleaving cancels
+/// slow machine drift (frequency scaling, page-cache warm-up) that
+/// arm-at-a-time measurement folds entirely into whichever arm runs
+/// last, and rotating which arm starts each round spreads the cache
+/// state each arm inherits from its predecessor evenly — the arm that
+/// runs right after the cache-hungry from-scratch arm would otherwise
+/// pay a systematic penalty.
+fn measure_row(
+    incr_spec: &MigrationSpec,
+    full_spec: &MigrationSpec,
+    steps: &[Step],
+    threads: usize,
+    min_time: Duration,
+) -> ComboRow {
+    let mut arms = [
+        (
+            incr_spec,
+            SatChecker::with_threads(incr_spec, EscMode::Off, 1),
+        ),
+        (
+            incr_spec,
+            SatChecker::with_threads(incr_spec, EscMode::Off, threads),
+        ),
+        (
+            full_spec,
+            SatChecker::with_threads(full_spec, EscMode::Off, threads),
+        ),
+    ];
+    for (spec, checker) in arms.iter_mut() {
+        replay(checker, spec, steps); // warm-up: lane scratch + routing caches
+    }
+    let mut samples: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    let start = Instant::now();
+    let mut round = 0usize;
+    while start.elapsed() < min_time {
+        for k in 0..arms.len() {
+            let i = (round + k) % arms.len();
+            let (spec, checker) = &mut arms[i];
+            let t0 = Instant::now();
+            let checks = replay(checker, spec, steps);
+            samples[i].push(checks as f64 / t0.elapsed().as_secs_f64().max(1e-9));
+        }
+        round += 1;
+    }
+    // Median round rate per arm (see `parallel::median`): one preempted
+    // round cannot drag an arm's reported throughput.
+    let mut rate = |i: usize| crate::parallel::median(&mut samples[i]);
+    let (incr_only, comb, par) = (rate(0), rate(1), rate(2));
+    ComboRow {
+        preset: String::new(), // filled by the caller
+        threads,
+        incremental_only_checks_per_sec: incr_only,
+        parallel_only_checks_per_sec: par,
+        combined_checks_per_sec: comb,
+        combined_vs_incremental: comb / incr_only,
+        combined_vs_parallel: comb / par,
+    }
+}
+
+/// Runs the three-way sweep on `combo_preset` and the wall-time replay on
+/// `wall_preset`, building the JSON report.
+pub fn measure(
+    combo_preset: PresetId,
+    wall_preset: PresetId,
+    thread_counts: &[usize],
+    walk_steps: usize,
+    min_time: Duration,
+) -> FullScaleReport {
+    let incr_spec = crate::runner::spec_for(combo_preset, &MigrationOptions::default());
+    let full_spec = crate::runner::spec_for(
+        combo_preset,
+        &MigrationOptions {
+            incremental: false,
+            ..MigrationOptions::default()
+        },
+    );
+    let walk = record_walk(&incr_spec, walk_steps);
+    let mut rows = Vec::new();
+    for &t in thread_counts {
+        let mut row = measure_row(&incr_spec, &full_spec, &walk, t, min_time);
+        row.preset = combo_preset.to_string();
+        rows.push(row);
+    }
+
+    // Wall-time row: the combined mode on the big preset, full paper scale
+    // when the environment requests it.
+    let wall_spec = crate::runner::spec_for(wall_preset, &MigrationOptions::default());
+    let wall_threads = crate::runner::thread_override().unwrap_or_else(|| default_lanes().max(2));
+    let wall_walk = record_walk(&wall_spec, walk_steps);
+    let mut checker = SatChecker::with_threads(&wall_spec, EscMode::Off, wall_threads);
+    replay(&mut checker, &wall_spec, &wall_walk); // warm-up
+    let start = Instant::now();
+    let checks = replay(&mut checker, &wall_spec, &wall_walk);
+    let wall = WallRow {
+        preset: wall_preset.to_string(),
+        full_scale: presets::full_scale_requested(),
+        threads: wall_threads,
+        steps: wall_walk.len(),
+        checks,
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+    };
+    FullScaleReport {
+        available_parallelism: default_lanes(),
+        rows,
+        wall,
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(default)
+}
+
+/// The `full-scale` experiment: renders the sweep as a table and writes
+/// `BENCH_full_scale.json` in the working directory.
+pub fn full_scale() -> String {
+    let steps = env_usize("KLOTSKI_FULL_SCALE_STEPS", 3);
+    let min_ms = env_usize("KLOTSKI_FULL_SCALE_MIN_TIME_MS", 1500);
+    let report = measure(
+        PresetId::C,
+        PresetId::E,
+        &[2, 4, 8],
+        steps,
+        Duration::from_millis(min_ms as u64),
+    );
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    let path = "BENCH_full_scale.json";
+    let note = match std::fs::write(path, &json) {
+        Ok(()) => format!("wrote {path}"),
+        Err(e) => format!("could not write {path}: {e}"),
+    };
+    let mut t = Table::new([
+        "preset",
+        "threads",
+        "incr-only checks/s",
+        "par-only checks/s",
+        "combined checks/s",
+        "vs incr",
+        "vs par",
+    ]);
+    for r in &report.rows {
+        t.row([
+            r.preset.clone(),
+            r.threads.to_string(),
+            format!("{:.1}", r.incremental_only_checks_per_sec),
+            format!("{:.1}", r.parallel_only_checks_per_sec),
+            format!("{:.1}", r.combined_checks_per_sec),
+            format!("{:.2}x", r.combined_vs_incremental),
+            format!("{:.2}x", r.combined_vs_parallel),
+        ]);
+    }
+    let w = &report.wall;
+    format!(
+        "== Combined parallel x incremental satcheck ({} lanes available) ==\n{}\n\
+         preset {} wall time: {:.0}ms for {} checks over {} steps \
+         ({} lanes, full scale: {})\n[{note}]",
+        report.available_parallelism,
+        t.render(),
+        w.preset,
+        w.wall_ms,
+        w.checks,
+        w.steps,
+        w.threads,
+        w.full_scale,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_produces_finite_rates_on_preset_a() {
+        // Correctness of the plumbing, not the numbers: tiny walk and
+        // budget on the smallest preset.
+        let report = measure(PresetId::A, PresetId::A, &[2], 2, Duration::from_millis(10));
+        assert_eq!(report.rows.len(), 1);
+        let r = &report.rows[0];
+        assert!(
+            r.incremental_only_checks_per_sec.is_finite()
+                && r.incremental_only_checks_per_sec > 0.0
+        );
+        assert!(r.parallel_only_checks_per_sec.is_finite() && r.parallel_only_checks_per_sec > 0.0);
+        assert!(r.combined_checks_per_sec.is_finite() && r.combined_checks_per_sec > 0.0);
+        assert!(report.wall.checks > 0 && report.wall.wall_ms >= 0.0);
+        assert!(report.wall.steps <= 2);
+    }
+
+    #[test]
+    fn recorded_walk_advances_distinct_states() {
+        let spec = crate::runner::spec_for(PresetId::A, &MigrationOptions::default());
+        let walk = record_walk(&spec, 4);
+        assert!(!walk.is_empty());
+        for w in windows2(&walk) {
+            assert_ne!(w.0.v.counts(), w.1.v.counts(), "walk must advance");
+        }
+    }
+
+    fn windows2(steps: &[Step]) -> impl Iterator<Item = (&Step, &Step)> {
+        steps.iter().zip(steps.iter().skip(1))
+    }
+}

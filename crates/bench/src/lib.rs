@@ -17,6 +17,7 @@
 //! identical at both scales.
 
 pub mod experiments;
+pub mod full_scale;
 pub mod incremental;
 pub mod parallel;
 pub mod runner;

@@ -72,24 +72,52 @@ pub fn sample_batch(spec: &MigrationSpec, n: usize) -> Vec<(CompactState, NetSta
 }
 
 /// Measures `check_batch` throughput (full evaluations per second, cache
-/// off) at a given lane count, iterating until `min_time` has elapsed.
-fn throughput(
+/// off) for the sequential and `threads`-lane checkers together:
+/// interleaved rounds with per-arm timers, so slow machine drift
+/// (frequency scaling, cache warm-up) lands on both arms evenly instead
+/// of on whichever is measured last. Returns `(seq, par)` rates.
+fn throughput_pair(
     spec: &MigrationSpec,
     states: &[(CompactState, NetState)],
     threads: usize,
     min_time: Duration,
-) -> f64 {
+) -> (f64, f64) {
     let items: Vec<(&CompactState, &NetState, Option<ActionTypeId>)> =
         states.iter().map(|(v, s)| (v, s, None)).collect();
-    let mut checker = SatChecker::with_threads(spec, EscMode::Off, threads);
-    checker.check_batch(spec, &items); // warm-up: allocate lane scratch
-    let start = Instant::now();
-    let mut checks = 0usize;
-    while start.elapsed() < min_time {
-        checker.check_batch(spec, &items);
-        checks += items.len();
+    let mut arms = [
+        SatChecker::with_threads(spec, EscMode::Off, 1),
+        SatChecker::with_threads(spec, EscMode::Off, threads),
+    ];
+    for checker in arms.iter_mut() {
+        checker.check_batch(spec, &items); // warm-up: allocate lane scratch
     }
-    checks as f64 / start.elapsed().as_secs_f64()
+    let mut samples: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+    let start = Instant::now();
+    let mut round = 0usize;
+    while start.elapsed() < min_time {
+        for k in 0..arms.len() {
+            let i = (round + k) % arms.len();
+            let t0 = Instant::now();
+            arms[i].check_batch(spec, &items);
+            samples[i].push(items.len() as f64 / t0.elapsed().as_secs_f64().max(1e-9));
+        }
+        round += 1;
+    }
+    // Median round rate per arm: robust to the occasional round inflated
+    // by a timer interrupt or scheduler preemption landing in one arm.
+    (median(&mut samples[0]), median(&mut samples[1]))
+}
+
+/// Median of a sample set (mean of the middle two for even counts).
+pub(crate) fn median(samples: &mut [f64]) -> f64 {
+    assert!(!samples.is_empty());
+    samples.sort_by(f64::total_cmp);
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        (samples[mid - 1] + samples[mid]) / 2.0
+    }
 }
 
 /// Runs the seq-vs-parallel sweep and builds the JSON report.
@@ -110,8 +138,16 @@ pub fn measure(min_time: Duration) -> ParallelReport {
             },
         );
         let states = sample_batch(&spec, batch);
-        let seq = throughput(&spec, &states, 1, min_time);
-        let par = throughput(&spec, &states, threads, min_time);
+        // With one available lane the "parallel" checker *is* the
+        // sequential checker — same lane count, same code path — so one
+        // measurement serves both arms; a second run would only report a
+        // noise draw as a phantom (de)speedup.
+        let (seq, par) = if threads == 1 {
+            let (seq, _) = throughput_pair(&spec, &states, threads, min_time);
+            (seq, seq)
+        } else {
+            throughput_pair(&spec, &states, threads, min_time)
+        };
         rows.push(ParallelRow {
             preset: id.to_string(),
             batch: states.len(),
@@ -130,7 +166,7 @@ pub fn measure(min_time: Duration) -> ParallelReport {
 /// The `parallel` experiment: renders the sweep as a table and writes
 /// `BENCH_parallel.json` next to the working directory.
 pub fn parallel() -> String {
-    let report = measure(Duration::from_secs(2));
+    let report = measure(Duration::from_secs(4));
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     let path = "BENCH_parallel.json";
     let note = match std::fs::write(path, &json) {

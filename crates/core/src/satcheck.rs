@@ -34,7 +34,7 @@ use crate::compact::CompactState;
 use crate::migration::MigrationSpec;
 use klotski_parallel::WorkerPool;
 use klotski_routing::{
-    ecmp::RouteOutcome, evaluate::summarize, EcmpRouter, IncrementalRouter, LoadMap,
+    ecmp::RouteOutcome, evaluate::summarize, CsrGraph, EcmpRouter, IncrementalRouter, LoadMap,
     ParallelRouter, UsableMask,
 };
 use klotski_telemetry::{registry, Gauge};
@@ -78,6 +78,10 @@ pub struct SatStats {
     /// eviction queue).
     #[serde(default)]
     pub esc_bytes: u64,
+    /// Resident bytes of the incremental engine's interned per-destination
+    /// circuit footprints (zero when incremental evaluation is off).
+    #[serde(default)]
+    pub footprint_bytes: u64,
 }
 
 impl SatStats {
@@ -210,6 +214,8 @@ pub struct SatChecker {
     dense_ok: bool,
     pool: Arc<WorkerPool>,
     router: ParallelRouter,
+    /// Flattened topology view shared by all routing engines and lanes.
+    csr: Arc<CsrGraph>,
     loads: LoadMap,
     mask: UsableMask,
     /// Reused routing-outcome buffer (no per-evaluation reallocation).
@@ -272,8 +278,17 @@ impl SatChecker {
             "klotski_esc_cache_bytes",
             "Estimated resident bytes of the ESC cache",
         );
+        // One flattened CSR view of the topology, shared read-only by the
+        // parallel router's lanes, the incremental engine, and the per-lane
+        // batch evaluators.
+        let csr = Arc::new(CsrGraph::build(&spec.topology));
         let incremental = spec.incremental.then(|| IncrementalEval {
-            engine: IncrementalRouter::new(&spec.topology, &spec.demands, pool.lanes(), spec.split),
+            engine: IncrementalRouter::with_csr(
+                csr.clone(),
+                &spec.demands,
+                pool.lanes(),
+                spec.split,
+            ),
             base_v: None,
             base_state: spec.initial.clone(),
             pending_parent: None,
@@ -284,7 +299,8 @@ impl SatChecker {
         Self {
             mode,
             dense_ok: box_fits_u64(&spec.target_counts),
-            router: ParallelRouter::new(&spec.topology, pool.lanes(), spec.split),
+            router: ParallelRouter::with_csr(csr.clone(), pool.lanes(), spec.split),
+            csr,
             pool,
             loads: LoadMap::new(&spec.topology),
             mask: UsableMask::new(),
@@ -311,6 +327,7 @@ impl SatChecker {
             let es = incr.engine.stats();
             s.incremental_clean = es.clean_destinations;
             s.incremental_dirty = es.dirty_destinations;
+            s.footprint_bytes = incr.engine.footprint_bytes();
         }
         s.esc_entries = self.cache.len() as u64;
         s.esc_bytes = self.cache_bytes;
@@ -481,25 +498,42 @@ impl SatChecker {
             let (v, state, last) = items[miss_items[0]];
             verdicts[0] = self.evaluate(spec, v, state, last);
         } else {
-            if self.lane_scratch.len() < self.pool.lanes() {
-                self.lane_scratch = (0..self.pool.lanes())
+            // On a single-core machine the lanes cannot run concurrently,
+            // so the batch evaluates inline on one lane's scratch instead
+            // of waking parked workers. Items are independent full
+            // evaluations, so execution mode is unobservable.
+            let eff_lanes = if klotski_parallel::default_lanes() > 1 {
+                self.pool.lanes()
+            } else {
+                1
+            };
+            if self.lane_scratch.len() < eff_lanes {
+                self.lane_scratch = (0..eff_lanes)
                     .map(|_| LaneEval {
-                        router: EcmpRouter::with_policy(&spec.topology, spec.split),
+                        router: EcmpRouter::from_csr(self.csr.clone(), spec.split),
                         loads: LoadMap::new(&spec.topology),
                         mask: UsableMask::new(),
                         outcome: RouteOutcome::new(),
                     })
                     .collect();
             }
-            let miss_ref = &miss_items;
-            self.pool.run_scratch_tasks_into(
-                &mut self.lane_scratch,
-                &mut verdicts,
-                |lane, slot, out| {
-                    let (v, state, last) = items[miss_ref[slot]];
+            if eff_lanes == 1 {
+                let lane = &mut self.lane_scratch[0];
+                for (slot, out) in verdicts.iter_mut().enumerate() {
+                    let (v, state, last) = items[miss_items[slot]];
                     *out = evaluate_on_lane(lane, spec, v, state, last);
-                },
-            );
+                }
+            } else {
+                let miss_ref = &miss_items;
+                self.pool.run_scratch_tasks_into(
+                    &mut self.lane_scratch,
+                    &mut verdicts,
+                    |lane, slot, out| {
+                        let (v, state, last) = items[miss_ref[slot]];
+                        *out = evaluate_on_lane(lane, spec, v, state, last);
+                    },
+                );
+            }
         }
 
         for (i, slot) in resolve.iter().enumerate() {

@@ -1,0 +1,168 @@
+//! Differential property tests for the *combined* evaluation modes: the
+//! same random block-application walks as `incremental_prop`, but sweeping
+//! the full cross product of thread count × incremental {on,off} × batched
+//! {`check_batch_from` vs per-item `check`}. Every configuration must
+//! produce bit-identical verdicts AND per-circuit loads against a
+//! single-threaded from-scratch per-item reference — parallel lanes,
+//! dirty-destination replay, and batch funnels are throughput knobs, never
+//! semantics knobs.
+
+use klotski_core::migration::{MigrationBuilder, MigrationOptions, MigrationSpec};
+use klotski_core::satcheck::{EscMode, SatChecker};
+use klotski_core::{ActionTypeId, CompactState};
+use klotski_topology::presets::{self, PresetId};
+use klotski_topology::{CircuitId, NetState};
+use proptest::prelude::*;
+
+/// Builds the preset's spec with incremental evaluation forced on or off.
+fn spec_with(id: PresetId, incremental: bool) -> MigrationSpec {
+    let opts = MigrationOptions::default();
+    let mut spec = MigrationBuilder::for_preset(&presets::build(id), &opts).unwrap();
+    spec.incremental = incremental;
+    spec
+}
+
+/// Splitmix-style step of the walk's deterministic RNG.
+fn next_rand(x: &mut u64) -> u64 {
+    *x = x.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(29);
+    *x
+}
+
+/// One random walk under a single configuration: expand every applicable
+/// successor, check the batch either planner-style (`check_batch_from` with
+/// parent hand-over) or one call at a time, compare verdicts against the
+/// reference, spot-check one candidate's per-circuit loads bit-for-bit,
+/// then advance along a random feasible edge. The ESC cache stays off so
+/// every check exercises the routing path under test.
+fn combined_walk(
+    spec: &MigrationSpec,
+    spec_ref: &MigrationSpec,
+    threads: usize,
+    batched: bool,
+    seed: u64,
+    steps: usize,
+) {
+    let target = spec.target_counts.clone();
+    let mut dut = SatChecker::with_threads(spec, EscMode::Off, threads);
+    let mut reference = SatChecker::with_threads(spec_ref, EscMode::Off, 1);
+    assert!(!reference.is_incremental());
+
+    let mut v = CompactState::origin(spec.num_types());
+    let mut state = spec.initial.clone();
+    let mut x = seed | 1;
+    for step in 0..steps {
+        let mut cand: Vec<(ActionTypeId, CompactState, NetState)> = Vec::new();
+        for a in spec.actions.ids() {
+            if v.count(a) >= target.count(a) {
+                continue;
+            }
+            let mut ns = state.clone();
+            spec.apply_next(&mut ns, &v, a);
+            cand.push((a, v.advanced(a), ns));
+        }
+        if cand.is_empty() {
+            break;
+        }
+
+        let got: Vec<bool> = if batched {
+            let refs: Vec<_> = cand.iter().map(|(a, nv, ns)| (nv, ns, Some(*a))).collect();
+            dut.check_batch_from(spec, Some((&v, &state)), &refs)
+        } else {
+            cand.iter()
+                .map(|(a, nv, ns)| dut.check(spec, nv, ns, Some(*a)))
+                .collect()
+        };
+        let expected: Vec<bool> = cand
+            .iter()
+            .map(|(a, nv, ns)| reference.check(spec_ref, nv, ns, Some(*a)))
+            .collect();
+        assert_eq!(
+            got, expected,
+            "verdicts diverged at step {step} (threads={threads} incremental={} batched={batched})",
+            spec.incremental
+        );
+
+        // Spot-check one candidate's loads via a dedicated per-item check,
+        // so `last_loads` is unambiguous regardless of the batch path. Only
+        // comparable when routing ran to completion on both sides.
+        let pick = (next_rand(&mut x) % cand.len() as u64) as usize;
+        let (pa, pv, ps) = &cand[pick];
+        let before = dut.stats().full_evaluations;
+        let ok = dut.check(spec, pv, ps, Some(*pa));
+        let evaluated = dut.stats().full_evaluations > before;
+        let ok_ref = reference.check(spec_ref, pv, ps, Some(*pa));
+        assert_eq!(ok, ok_ref, "spot-check verdict at step {step}");
+        if ok && evaluated {
+            for i in 0..spec.topology.num_circuits() {
+                let c = CircuitId::from_index(i);
+                assert_eq!(
+                    dut.last_loads().forward(c).to_bits(),
+                    reference.last_loads().forward(c).to_bits(),
+                    "forward load of {c} at step {step} (threads={threads} batched={batched})"
+                );
+                assert_eq!(
+                    dut.last_loads().reverse(c).to_bits(),
+                    reference.last_loads().reverse(c).to_bits(),
+                    "reverse load of {c} at step {step} (threads={threads} batched={batched})"
+                );
+            }
+        }
+
+        let feasible: Vec<usize> = (0..cand.len()).filter(|&i| got[i]).collect();
+        if feasible.is_empty() {
+            break;
+        }
+        let step_pick = feasible[(next_rand(&mut x) % feasible.len() as u64) as usize];
+        let (_, nv, ns) = cand.swap_remove(step_pick);
+        v = nv;
+        state = ns;
+    }
+}
+
+/// Preset A: one deterministic walk through the complete 16-way matrix —
+/// threads {1,2,4,8} × incremental {on,off} × batched {on,off}.
+#[test]
+fn combined_matrix_matches_reference_on_preset_a() {
+    let spec_ref = spec_with(PresetId::A, false);
+    for incremental in [true, false] {
+        let spec = spec_with(PresetId::A, incremental);
+        for threads in [1usize, 2, 4, 8] {
+            for batched in [true, false] {
+                combined_walk(&spec, &spec_ref, threads, batched, 0xA11CE, 6);
+            }
+        }
+    }
+}
+
+/// Preset C (full Table 3 scale, ~8k circuits): shorter walks through a
+/// reduced matrix, threads {1,4} × incremental {on,off} × batched {on,off}.
+#[test]
+fn combined_matrix_matches_reference_on_preset_c() {
+    let spec_ref = spec_with(PresetId::C, false);
+    for incremental in [true, false] {
+        let spec = spec_with(PresetId::C, incremental);
+        for threads in [1usize, 4] {
+            for batched in [true, false] {
+                combined_walk(&spec, &spec_ref, threads, batched, 0xC0DE, 2);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Preset A under random seeds and randomly drawn configurations.
+    #[test]
+    fn prop_combined_walk_matches_reference_on_preset_a(
+        seed in 0u64..1_000_000,
+        incremental in proptest::bool::ANY,
+        batched in proptest::bool::ANY,
+        threads_idx in 0usize..4,
+    ) {
+        let threads = [1usize, 2, 4, 8][threads_idx];
+        let spec = spec_with(PresetId::A, incremental);
+        let spec_ref = spec_with(PresetId::A, false);
+        combined_walk(&spec, &spec_ref, threads, batched, seed, 8);
+    }
+}

@@ -397,11 +397,16 @@ impl<T> SharedPtr<T> {
 unsafe impl<T: Send> Send for SharedPtr<T> {}
 unsafe impl<T: Send> Sync for SharedPtr<T> {}
 
-/// The machine's available parallelism (≥ 1).
+/// The machine's available parallelism (≥ 1), memoized: callers gate
+/// per-evaluation dispatch decisions on it, and the underlying
+/// `available_parallelism` re-reads cgroup quota files on every call.
 pub fn default_lanes() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+    static LANES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *LANES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
 }
 
 /// Splits `0..total` into at most `chunks` contiguous ranges of

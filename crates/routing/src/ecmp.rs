@@ -17,8 +17,9 @@
 
 use crate::loads::LoadMap;
 use crate::mask::UsableMask;
-use klotski_topology::{NetState, SwitchId, Topology};
+use klotski_topology::{CsrGraph, NetState, SwitchId, Topology};
 use klotski_traffic::{Demand, DemandMatrix};
+use std::sync::Arc;
 
 /// Distance label for unreachable switches.
 pub(crate) const UNREACHED: u32 = u32::MAX;
@@ -101,10 +102,11 @@ pub trait RouteSink {
     fn demand_unreachable(&mut self, src: SwitchId, dst: SwitchId);
 }
 
-/// Sequential sink: applies events directly.
-struct DirectSink<'a> {
-    loads: &'a mut LoadMap,
-    outcome: &'a mut RouteOutcome,
+/// Sequential sink: applies events directly. Shared with the parallel
+/// router's below-break-even sequential fallback.
+pub(crate) struct DirectSink<'a> {
+    pub(crate) loads: &'a mut LoadMap,
+    pub(crate) outcome: &'a mut RouteOutcome,
 }
 
 impl RouteSink for DirectSink<'_> {
@@ -123,10 +125,14 @@ impl RouteSink for DirectSink<'_> {
     }
 }
 
-/// Reusable ECMP routing engine. Holds scratch buffers sized to one
-/// topology so repeated satisfiability checks do not allocate.
+/// Reusable ECMP routing engine over a flattened [`CsrGraph`]. Holds
+/// scratch buffers sized to one topology so repeated satisfiability checks
+/// do not allocate.
 #[derive(Debug, Clone)]
 pub struct EcmpRouter {
+    /// Flattened adjacency shared (read-only) by every engine and lane
+    /// built over the same topology.
+    csr: Arc<CsrGraph>,
     dist: Vec<u32>,
     /// BFS visit order (ascending distance); swept in reverse to propagate.
     order: Vec<u32>,
@@ -138,6 +144,9 @@ pub struct EcmpRouter {
     /// once per switch so the weight normalization and the share emission
     /// share a single scan.
     downhill: Vec<(u32, u32, f64)>,
+    /// Dial buckets for the BFS, persistent so per-destination BFS runs do
+    /// not allocate (a full check runs one BFS per distinct destination).
+    buckets: [Vec<u32>; 3],
     /// Usable-circuit mask storage for [`route`](Self::route); taken out
     /// and restored around each call so the borrow does not alias `self`.
     mask: UsableMask,
@@ -148,23 +157,35 @@ pub struct EcmpRouter {
 impl EcmpRouter {
     /// Creates a router sized for `topo`.
     pub fn new(topo: &Topology) -> Self {
-        let n = topo.num_switches();
+        Self::from_csr(Arc::new(CsrGraph::build(topo)), SplitPolicy::Ecmp)
+    }
+
+    /// Creates a router with an explicit split policy.
+    pub fn with_policy(topo: &Topology, policy: SplitPolicy) -> Self {
+        Self::from_csr(Arc::new(CsrGraph::build(topo)), policy)
+    }
+
+    /// Creates a router over an already-flattened graph. Checkers that hold
+    /// several engines (parallel lanes, the incremental engine) build the
+    /// CSR view once and share it here.
+    pub fn from_csr(csr: Arc<CsrGraph>, policy: SplitPolicy) -> Self {
+        let n = csr.num_switches();
         Self {
+            csr,
             dist: vec![UNREACHED; n],
             order: Vec::with_capacity(n),
             inflow: vec![0.0; n],
             touched: Vec::new(),
             downhill: Vec::new(),
+            buckets: [Vec::new(), Vec::new(), Vec::new()],
             mask: UsableMask::new(),
-            policy: SplitPolicy::Ecmp,
+            policy,
         }
     }
 
-    /// Creates a router with an explicit split policy.
-    pub fn with_policy(topo: &Topology, policy: SplitPolicy) -> Self {
-        let mut r = Self::new(topo);
-        r.policy = policy;
-        r
+    /// The shared flattened graph this router routes over.
+    pub fn csr(&self) -> &Arc<CsrGraph> {
+        &self.csr
     }
 
     /// Routes every demand of `matrix` over the usable subgraph of
@@ -215,96 +236,100 @@ impl EcmpRouter {
         loads: &mut LoadMap,
         outcome: &mut RouteOutcome,
     ) {
+        debug_assert_eq!(self.csr.num_switches(), topo.num_switches());
         outcome.clear();
         let mut sink = DirectSink { loads, outcome };
         for (dst, group) in matrix.by_destination() {
-            self.route_group(topo, state, mask, dst, &group, &mut sink);
+            self.route_group(state, mask, dst, &group, &mut sink);
         }
     }
 
     /// Routes the demands of one destination group into `sink`.
     pub(crate) fn route_group<S: RouteSink>(
         &mut self,
-        topo: &Topology,
         state: &NetState,
         mask: &UsableMask,
         dst: SwitchId,
         group: &[&Demand],
         sink: &mut S,
     ) {
-        self.bfs_from(topo, state, mask, dst);
+        self.bfs_from(state, mask, dst);
+        let Self {
+            ref csr,
+            ref dist,
+            ref order,
+            ref mut inflow,
+            ref mut touched,
+            ref mut downhill,
+            policy,
+            ..
+        } = *self;
 
         // Inject demand rates at their sources; remember touched switches so
         // the inflow reset stays sparse.
         for d in group {
             let src = d.src.index();
-            if self.dist[src] == UNREACHED || !state.switch_up(d.src) {
+            if dist[src] == UNREACHED || !state.switch_up(d.src) {
                 sink.demand_unreachable(d.src, d.dst);
                 continue;
             }
-            if self.inflow[src] == 0.0 {
-                self.touched.push(src as u32);
+            if inflow[src] == 0.0 {
+                touched.push(src as u32);
             }
-            self.inflow[src] += d.gbps;
+            inflow[src] += d.gbps;
             sink.demand_routed(d.gbps);
         }
 
         // Sweep in decreasing-distance order: every switch forwards its
         // accumulated inflow equally over its downhill usable circuits.
         // BFS order is ascending in distance, so iterate it reversed.
-        for i in (0..self.order.len()).rev() {
-            let u = self.order[i] as usize;
-            let flow = self.inflow[u];
+        for i in (0..order.len()).rev() {
+            let u = order[i] as usize;
+            let flow = inflow[u];
             if flow == 0.0 {
                 continue;
             }
-            let du = self.dist[u];
+            let du = dist[u];
             if du == 0 {
                 continue; // the destination absorbs its inflow
             }
-            let uid = SwitchId::from_index(u);
             // One scan collects the downhill circuits (shortest-path DAG
             // edges) with their split weights — circuit count for ECMP,
             // capacity for WCMP — normalized by the weight total below.
-            self.downhill.clear();
+            downhill.clear();
             let mut total_weight = 0.0_f64;
-            for &(c, far) in topo.neighbors(uid) {
-                if mask.usable(c)
-                    && self.dist[far.index()].saturating_add(topo.circuit(c).hop_weight as u32)
-                        == du
+            for e in csr.neighbors(u as u32) {
+                if mask.usable_idx(e.circuit as usize)
+                    && dist[e.far as usize].saturating_add(e.hop) == du
                 {
-                    let weight = match self.policy {
+                    let weight = match policy {
                         SplitPolicy::Ecmp => 1.0,
-                        SplitPolicy::Wcmp => {
-                            let ck = topo.circuit(c);
-                            ck.routing_weight.unwrap_or(ck.capacity_gbps)
-                        }
+                        SplitPolicy::Wcmp => csr.wcmp_weight(e.circuit),
                     };
                     total_weight += weight;
-                    self.downhill
-                        .push((LoadMap::directed_slot(topo, c, uid), far.0, weight));
+                    downhill.push((e.slot, e.far, weight));
                 }
             }
             debug_assert!(
                 total_weight > 0.0,
                 "a reachable non-destination switch must have a downhill circuit"
             );
-            for &(slot, far, weight) in &self.downhill {
+            for &(slot, far, weight) in downhill.iter() {
                 let fi = far as usize;
                 let share = flow * weight / total_weight;
                 sink.add_flow(slot, share);
-                if self.inflow[fi] == 0.0 {
-                    self.touched.push(far);
+                if inflow[fi] == 0.0 {
+                    touched.push(far);
                 }
-                self.inflow[fi] += share;
+                inflow[fi] += share;
             }
         }
 
         // Sparse reset for the next group.
-        for &u in &self.touched {
-            self.inflow[u as usize] = 0.0;
+        for &u in touched.iter() {
+            inflow[u as usize] = 0.0;
         }
-        self.touched.clear();
+        touched.clear();
     }
 
     /// Weighted shortest-path labeling over usable circuits from `root`,
@@ -312,19 +337,29 @@ impl EcmpRouter {
     ///
     /// Circuits carry small integer hop weights (ordinary hop = 2,
     /// transparent relay = 1, see `Circuit::hop_weight`), so this is Dial's
-    /// algorithm with a tiny circular bucket array — still Θ(|S|+|C|).
-    fn bfs_from(&mut self, topo: &Topology, state: &NetState, mask: &UsableMask, root: SwitchId) {
+    /// algorithm over the flattened adjacency with a tiny circular bucket
+    /// array — still Θ(|S|+|C|).
+    fn bfs_from(&mut self, state: &NetState, mask: &UsableMask, root: SwitchId) {
         const MAX_W: usize = 2;
-        for d in &mut self.dist {
+        let Self {
+            ref csr,
+            ref mut dist,
+            ref mut order,
+            ref mut buckets,
+            ..
+        } = *self;
+        for d in dist.iter_mut() {
             *d = UNREACHED;
         }
-        self.order.clear();
+        order.clear();
         if !state.switch_up(root) {
             return;
         }
         // Circular buckets indexed by distance mod (MAX_W + 1).
-        let mut buckets: [Vec<u32>; MAX_W + 1] = [Vec::new(), Vec::new(), Vec::new()];
-        self.dist[root.index()] = 0;
+        for b in buckets.iter_mut() {
+            b.clear();
+        }
+        dist[root.index()] = 0;
         buckets[0].push(root.0);
         let mut current = 0u32;
         let mut remaining = 1usize;
@@ -333,19 +368,19 @@ impl EcmpRouter {
             while let Some(u) = buckets[slot].pop() {
                 remaining -= 1;
                 let ui = u as usize;
-                if self.dist[ui] != current {
+                if dist[ui] != current {
                     continue; // stale entry, settled at a smaller distance
                 }
-                self.order.push(u);
-                for &(c, far) in topo.neighbors(SwitchId(u)) {
-                    if !mask.usable(c) {
+                order.push(u);
+                for e in csr.neighbors(u) {
+                    if !mask.usable_idx(e.circuit as usize) {
                         continue;
                     }
-                    let nd = current + topo.circuit(c).hop_weight as u32;
-                    let fi = far.index();
-                    if nd < self.dist[fi] {
-                        self.dist[fi] = nd;
-                        buckets[(nd as usize) % (MAX_W + 1)].push(far.0);
+                    let nd = current + e.hop;
+                    let fi = e.far as usize;
+                    if nd < dist[fi] {
+                        dist[fi] = nd;
+                        buckets[(nd as usize) % (MAX_W + 1)].push(e.far);
                         remaining += 1;
                     }
                 }
@@ -356,7 +391,7 @@ impl EcmpRouter {
         // switches depends on relaxation history (and hence on the usable
         // mask). Canonicalize so every evaluation path sweeps — and sums
         // f64 shares — in the same order.
-        canonical_order(&mut self.order, &self.dist);
+        canonical_order(order, dist);
     }
 
     /// Hop distance from `s` to the destination of the most recent
@@ -521,7 +556,7 @@ mod tests {
         let state = NetState::all_up(&t);
         let mut router = EcmpRouter::new(&t);
         let mask = UsableMask::for_state(&t, &state);
-        router.bfs_from(&t, &state, &mask, sw[3]);
+        router.bfs_from(&state, &mask, sw[3]);
         assert_eq!(router.last_dist(sw[3]), Some(0));
         assert_eq!(
             router.last_dist(sw[1]),

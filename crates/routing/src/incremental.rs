@@ -47,13 +47,17 @@
 use crate::ecmp::{canonical_order, RouteOutcome, SplitPolicy, UNREACHED};
 use crate::loads::LoadMap;
 use crate::mask::UsableMask;
-use klotski_parallel::WorkerPool;
-use klotski_telemetry::{registry, Counter};
-use klotski_topology::{BitSet, CircuitId, NetState, SwitchId, Topology};
+use klotski_parallel::{chunk_ranges, WorkerPool};
+use klotski_telemetry::{registry, Counter, Gauge};
+use klotski_topology::{BitSet, CircuitId, CsrGraph, NetState, SwitchId, Topology};
 use klotski_traffic::{Demand, DemandMatrix};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
+
+/// Chunks per lane for the lane-partitioned destination advance — matching
+/// the parallel router's oversubscription so fast lanes steal the tail.
+const CHUNKS_PER_LANE: usize = 4;
 
 /// Running totals of incremental-evaluation effort.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -92,6 +96,7 @@ struct IncrMetrics {
     dirty: Arc<Counter>,
     full: Arc<Counter>,
     toggled: Arc<Counter>,
+    footprint_bytes: Arc<Gauge>,
 }
 
 impl IncrMetrics {
@@ -117,12 +122,17 @@ impl IncrMetrics {
             "klotski_routing_incremental_toggled_total",
             "Toggled circuits summed over delta evaluations (divide by evaluations for the mean toggle-set size)",
         );
+        reg.set_help(
+            "klotski_routing_footprint_bytes",
+            "Resident bytes of per-destination circuit footprints after interning",
+        );
         Self {
             evaluations: reg.counter("klotski_routing_incremental_evaluations_total"),
             clean: reg.counter("klotski_routing_incremental_clean_total"),
             dirty: reg.counter("klotski_routing_incremental_dirty_total"),
             full: reg.counter("klotski_routing_incremental_full_rebuilds_total"),
             toggled: reg.counter("klotski_routing_incremental_toggled_total"),
+            footprint_bytes: reg.gauge("klotski_routing_footprint_bytes"),
         }
     }
 }
@@ -143,8 +153,12 @@ struct DestEntry {
     dag: Vec<Vec<(u32, u32, f64)>>,
     /// Circuits incident to reached switches; a conservative superset
     /// (bits are added when the reached region grows, recomputed exactly on
-    /// full rebuilds).
-    footprint: BitSet,
+    /// full rebuilds). Shared storage: destinations that reach the same
+    /// region — the common case, since an all-reachable state gives every
+    /// destination the same incident-circuit set — are interned onto one
+    /// allocation after each advance, and copy-on-write (`Arc::make_mut`)
+    /// keeps incremental growth sound.
+    footprint: Arc<BitSet>,
     /// Ordered `(slot, gbps)` flow additions of the last sweep.
     edits: Vec<(u32, f64)>,
     /// Routed-demand rate terms, in demand order (kept as terms so replay
@@ -159,6 +173,49 @@ struct DestEntry {
     last_clean: bool,
     /// Introspection: last evaluation fell back to a full rebuild.
     last_full: bool,
+}
+
+/// Replay buffer of one contiguous destination chunk: the concatenated
+/// edit lists of its entries, gathered on the owning lane. [`evaluate`]
+/// replays chunks in fixed ascending order, so the merged f64 addition
+/// sequence is identical to a per-entry replay — and to a sequential full
+/// evaluation — at every thread count. A chunk whose entries all replayed
+/// clean keeps its buffer from the previous evaluation, making the serial
+/// merge a flat `memcpy`-style pass with no per-entry pointer chasing.
+///
+/// [`evaluate`]: IncrementalRouter::evaluate
+#[derive(Debug, Default)]
+struct ChunkReplay {
+    /// Concatenated `(slot, gbps)` additions of the chunk's entries.
+    edits: Vec<(u32, f64)>,
+    /// Concatenated routed-demand terms.
+    routed_terms: Vec<f64>,
+    /// Concatenated unreachable pairs.
+    unreachable: Vec<(SwitchId, SwitchId)>,
+    /// Entry range `[start, end)` this buffer was gathered from.
+    start: usize,
+    end: usize,
+    /// False until gathered; invalidated by rebases and chunk-boundary
+    /// changes.
+    valid: bool,
+}
+
+impl ChunkReplay {
+    /// Regathers the buffer from `entries` (the chunk's slice) covering
+    /// entry indices `[start, end)`.
+    fn gather(&mut self, entries: &[DestEntry], start: usize, end: usize) {
+        self.edits.clear();
+        self.routed_terms.clear();
+        self.unreachable.clear();
+        for e in entries {
+            self.edits.extend_from_slice(&e.edits);
+            self.routed_terms.extend_from_slice(&e.routed_terms);
+            self.unreachable.extend_from_slice(&e.unreachable);
+        }
+        self.start = start;
+        self.end = end;
+        self.valid = true;
+    }
 }
 
 /// Per-lane scratch shared by every destination a lane processes.
@@ -218,9 +275,21 @@ impl LaneScratch {
 #[derive(Debug)]
 pub struct IncrementalRouter {
     policy: SplitPolicy,
+    /// Flattened adjacency shared read-only by every lane.
+    csr: Arc<CsrGraph>,
     mask: UsableMask,
     entries: Vec<DestEntry>,
     scratch: Vec<LaneScratch>,
+    /// Per-chunk replay buffers; `replay_chunks` of them are live.
+    replays: Vec<ChunkReplay>,
+    replay_chunks: usize,
+    /// Word-level masks of the current toggle set, `(word index, bits)` —
+    /// a destination whose footprint misses every word is clean without
+    /// walking the toggle list.
+    toggle_words: Vec<(u32, u64)>,
+    /// Footprint intern table: content hash → shared allocations. Buckets
+    /// hold strong refs; dead ones (refcount 1) are purged on touch.
+    intern: HashMap<u64, Vec<Arc<BitSet>>>,
     primed: bool,
     stats: IncrementalStats,
     metrics: IncrMetrics,
@@ -229,7 +298,24 @@ pub struct IncrementalRouter {
 impl IncrementalRouter {
     /// An engine for `lanes` pool lanes routing `matrix` over `topo`.
     pub fn new(topo: &Topology, matrix: &DemandMatrix, lanes: usize, policy: SplitPolicy) -> Self {
-        let n = topo.num_switches();
+        Self::with_csr(Arc::new(CsrGraph::build(topo)), matrix, lanes, policy)
+    }
+
+    /// An engine over an already-flattened graph (shared with the other
+    /// routing engines of a checker). `lanes` is a capacity hint only —
+    /// per-lane scratch is allocated lazily on the first pooled advance.
+    pub fn with_csr(
+        csr: Arc<CsrGraph>,
+        matrix: &DemandMatrix,
+        lanes: usize,
+        policy: SplitPolicy,
+    ) -> Self {
+        let _ = lanes;
+        let n = csr.num_switches();
+        // All entries start on one shared empty footprint; the priming
+        // rebuild copy-on-writes each entry its own before interning merges
+        // the equal ones back together.
+        let empty_footprint = Arc::new(BitSet::new(csr.num_circuits()));
         let entries = matrix
             .by_destination()
             .into_iter()
@@ -239,7 +325,7 @@ impl IncrementalRouter {
                 dist: vec![UNREACHED; n],
                 order: Vec::new(),
                 dag: vec![Vec::new(); n],
-                footprint: BitSet::new(topo.num_circuits()),
+                footprint: empty_footprint.clone(),
                 edits: Vec::new(),
                 routed_terms: Vec::new(),
                 unreachable: Vec::new(),
@@ -250,16 +336,22 @@ impl IncrementalRouter {
             .collect();
         Self {
             policy,
+            csr,
             mask: UsableMask::new(),
             entries,
-            scratch: (0..lanes.max(1)).map(|_| LaneScratch::sized(n)).collect(),
+            scratch: vec![LaneScratch::sized(n)],
+            replays: Vec::new(),
+            replay_chunks: 0,
+            toggle_words: Vec::new(),
+            intern: HashMap::new(),
             primed: false,
             stats: IncrementalStats::default(),
             metrics: IncrMetrics::new(),
         }
     }
 
-    /// Number of pool lanes this engine can serve.
+    /// Number of per-lane scratch slots currently allocated (grows to the
+    /// pool's lane count on first pooled advance).
     pub fn lanes(&self) -> usize {
         self.scratch.len()
     }
@@ -285,11 +377,23 @@ impl IncrementalRouter {
         for e in &self.entries {
             bytes += e.dist.capacity() * 4 + e.order.capacity() * 4;
             bytes += e.dag.iter().map(|l| l.capacity() * 16 + 24).sum::<usize>();
-            bytes += e.footprint.len().div_ceil(8);
             bytes += e.edits.capacity() * 16 + e.routed_terms.capacity() * 8;
             bytes += e.unreachable.capacity() * 8;
         }
-        bytes as u64
+        bytes as u64 + self.footprint_bytes()
+    }
+
+    /// Resident bytes of the per-destination circuit footprints, counting
+    /// each interned (shared) allocation once.
+    pub fn footprint_bytes(&self) -> u64 {
+        let mut seen = std::collections::HashSet::with_capacity(self.entries.len());
+        let mut bytes = 0u64;
+        for e in &self.entries {
+            if seen.insert(Arc::as_ptr(&e.footprint)) {
+                bytes += (e.footprint.words().len() * 8) as u64;
+            }
+        }
+        bytes
     }
 
     /// Routes every demand over `state`, accumulating into `loads` (NOT
@@ -314,16 +418,18 @@ impl IncrementalRouter {
         self.stats.evaluations += 1;
         self.metrics.evaluations.inc();
         outcome.clear();
-        // Fixed replay order — ascending destination — reproduces the exact
-        // f64 addition sequence of a sequential full evaluation.
-        for e in &self.entries {
-            for &(slot, gbps) in &e.edits {
+        // Fixed replay order — chunks ascending, which concatenate to the
+        // ascending-destination entry order — reproduces the exact f64
+        // addition sequence of a sequential full evaluation.
+        debug_assert!(self.replays[..self.replay_chunks].iter().all(|r| r.valid));
+        for r in &self.replays[..self.replay_chunks] {
+            for &(slot, gbps) in &r.edits {
                 loads.add_slot(slot, gbps);
             }
-            for &term in &e.routed_terms {
+            for &term in &r.routed_terms {
                 outcome.routed_gbps += term;
             }
-            outcome.unreachable.extend_from_slice(&e.unreachable);
+            outcome.unreachable.extend_from_slice(&r.unreachable);
         }
     }
 
@@ -365,26 +471,118 @@ impl IncrementalRouter {
             }
         }
         let toggle_set: &[CircuitId] = if full_all { &[] } else { toggles.unwrap() };
+
+        // Word-level masks over the toggle set for the footprint prefilter:
+        // most destinations reject the whole delta with a handful of
+        // bitwise ANDs instead of a per-toggle bit probe.
+        self.toggle_words.clear();
+        for &c in toggle_set {
+            let wi = (c.index() / 64) as u32;
+            let bit = 1u64 << (c.index() % 64);
+            match self.toggle_words.iter_mut().find(|(w, _)| *w == wi) {
+                Some((_, m)) => *m |= bit,
+                None => self.toggle_words.push((wi, bit)),
+            }
+        }
+
+        // Lane-partitioned advance: contiguous destination chunks (same
+        // oversubscription as the parallel router) instead of one task per
+        // destination — fewer claim round-trips, and each chunk owns a
+        // replay buffer its lane can refresh in place.
+        let lanes = pool.lanes();
+        // Fan out only when the machine can actually run lanes
+        // concurrently: on a single-core host (or a 1-lane pool) waking
+        // workers is pure context-switch overhead, so the same chunk tasks
+        // run inline on the caller. Chunks are disjoint and merged in
+        // fixed order, so execution mode is unobservable in the results.
+        let use_pool = lanes > 1 && klotski_parallel::default_lanes() > 1;
+        if use_pool && self.scratch.len() < lanes {
+            // Per-lane scratch is allocated on first pooled dispatch, so a
+            // checker that never fans out (1-core host) carries exactly one
+            // lane's worth of scratch regardless of its configured width.
+            let n = self.csr.num_switches();
+            self.scratch.resize_with(lanes, || LaneScratch::sized(n));
+        }
+        // Inline execution needs no load balancing across lanes, so it
+        // keeps the chunk count at the floor; the chunk count is stable
+        // for a given engine (both gate inputs are fixed), so replay
+        // buffers stay valid across advances either way.
+        let fan = if use_pool { lanes } else { 1 };
+        let ranges = chunk_ranges(self.entries.len(), fan * CHUNKS_PER_LANE);
+        if self.replays.len() < ranges.len() {
+            self.replays.resize_with(ranges.len(), ChunkReplay::default);
+        }
+        self.replay_chunks = ranges.len();
         let Self {
             ref mut entries,
             ref mut scratch,
+            ref mut replays,
             ref mask,
+            ref csr,
+            ref toggle_words,
             policy,
             ..
         } = *self;
-        assert!(
-            scratch.len() >= pool.lanes(),
-            "engine sized for {} lanes, pool has {}",
-            scratch.len(),
-            pool.lanes()
-        );
-        // One independent task per destination; every task writes only its
-        // own entry, so results cannot depend on lane assignment.
-        pool.run_scratch_tasks_into(scratch, entries, |lane, _task, entry| {
-            advance_entry(
-                entry, lane, topo, state, mask, toggle_set, full_all, policy, sweep,
-            );
-        });
+        // Split the entries into per-chunk mutable slices, paired with each
+        // chunk's replay buffer. Tasks write only their own pair, so results
+        // cannot depend on lane assignment.
+        let mut tasks: Vec<(&mut [DestEntry], &mut ChunkReplay)> = Vec::with_capacity(ranges.len());
+        {
+            let mut rest: &mut [DestEntry] = entries;
+            let mut replay_rest: &mut [ChunkReplay] = &mut replays[..ranges.len()];
+            for r in &ranges {
+                let (chunk, tail) = rest.split_at_mut(r.len());
+                let (rep, rep_tail) = replay_rest.split_at_mut(1);
+                tasks.push((chunk, &mut rep[0]));
+                rest = tail;
+                replay_rest = rep_tail;
+            }
+        }
+        let work = |lane: &mut LaneScratch,
+                    task: usize,
+                    out: &mut (&mut [DestEntry], &mut ChunkReplay)| {
+            let chunk: &mut [DestEntry] = out.0;
+            let replay: &mut ChunkReplay = out.1;
+            let range = &ranges[task];
+            let mut all_clean = true;
+            for entry in chunk.iter_mut() {
+                advance_entry(
+                    entry,
+                    lane,
+                    csr,
+                    state,
+                    mask,
+                    toggle_set,
+                    toggle_words,
+                    full_all,
+                    policy,
+                    sweep,
+                );
+                all_clean &= entry.last_clean;
+            }
+            if sweep {
+                // Keep the previous buffer only if it covers exactly this
+                // entry range and every entry replayed clean; otherwise
+                // regather from the (fresh) per-entry lists.
+                let reusable = replay.valid
+                    && replay.start == range.start
+                    && replay.end == range.end
+                    && all_clean;
+                if !reusable {
+                    replay.gather(chunk, range.start, range.end);
+                }
+            } else {
+                // Structure-only rebase: edit lists may be stale.
+                replay.valid = false;
+            }
+        };
+        if use_pool {
+            pool.run_scratch_tasks_into(scratch, &mut tasks, work);
+        } else {
+            for (task, out) in tasks.iter_mut().enumerate() {
+                work(&mut scratch[0], task, out);
+            }
+        }
         self.primed = true;
 
         let (mut clean, mut dirty, mut full) = (0u64, 0u64, 0u64);
@@ -406,19 +604,54 @@ impl IncrementalRouter {
         self.metrics.dirty.add(dirty);
         self.metrics.full.add(full);
         self.metrics.toggled.add(toggle_set.len() as u64);
+        if full > 0 {
+            // Full rebuilds recompute footprints from scratch on private
+            // allocations; merge equal ones back onto shared storage.
+            self.intern_footprints();
+        }
+        if full > 0 || dirty > 0 {
+            self.metrics
+                .footprint_bytes
+                .set(self.footprint_bytes() as f64);
+        }
     }
+
+    /// Re-interns the footprints of entries that just did a full rebuild:
+    /// equal contents collapse onto one shared allocation. Buckets are
+    /// keyed by content hash; allocations no longer referenced by any entry
+    /// (refcount 1 = the bucket's own ref) are purged as they are touched.
+    fn intern_footprints(&mut self) {
+        for e in self.entries.iter_mut().filter(|e| e.last_full) {
+            let bucket = self.intern.entry(hash_words(&e.footprint)).or_default();
+            bucket.retain(|fp| Arc::strong_count(fp) > 1 || Arc::ptr_eq(fp, &e.footprint));
+            if bucket.iter().any(|fp| Arc::ptr_eq(fp, &e.footprint)) {
+                continue; // already the shared allocation
+            }
+            if let Some(shared) = bucket.iter().find(|fp| ***fp == *e.footprint) {
+                e.footprint = Arc::clone(shared);
+            } else {
+                bucket.push(Arc::clone(&e.footprint));
+            }
+        }
+    }
+}
+
+/// Content hash of a bit set's words (FNV-1a over the backing u64s).
+fn hash_words(bits: &BitSet) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &w in bits.words() {
+        h = (h ^ w).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// Split weight of one circuit under `policy` (must match
 /// `EcmpRouter::route_group` exactly).
 #[inline]
-fn split_weight(topo: &Topology, c: CircuitId, policy: SplitPolicy) -> f64 {
+fn split_weight(csr: &CsrGraph, c: u32, policy: SplitPolicy) -> f64 {
     match policy {
         SplitPolicy::Ecmp => 1.0,
-        SplitPolicy::Wcmp => {
-            let ck = topo.circuit(c);
-            ck.routing_weight.unwrap_or(ck.capacity_gbps)
-        }
+        SplitPolicy::Wcmp => csr.wcmp_weight(c),
     }
 }
 
@@ -429,10 +662,11 @@ fn split_weight(topo: &Topology, c: CircuitId, policy: SplitPolicy) -> f64 {
 fn advance_entry(
     entry: &mut DestEntry,
     scratch: &mut LaneScratch,
-    topo: &Topology,
+    csr: &CsrGraph,
     state: &NetState,
     mask: &UsableMask,
     toggles: &[CircuitId],
+    toggle_words: &[(u32, u64)],
     full_all: bool,
     policy: SplitPolicy,
     sweep: bool,
@@ -447,17 +681,28 @@ fn advance_entry(
     // destination switch was up in the base state.
     let mut full = full_all || ((entry.dist[dst_i] == 0) != state.switch_up(entry.dst));
 
-    if !full {
+    // Word-level prefilter: if the footprint intersects no toggle word, no
+    // toggle can be in the footprint — the whole classification loop is
+    // skipped. This is the common case (most destinations are far from a
+    // one-block delta), so the per-destination delta cost collapses to a
+    // few ANDs over shared footprint words.
+    let delta_touches = !full && {
+        let fp = entry.footprint.words();
+        toggle_words.iter().any(|&(w, m)| fp[w as usize] & m != 0)
+    };
+
+    if !full && delta_touches {
         for &c in toggles {
             // Footprint rule: a toggle not incident to any reached switch
             // cannot change this destination's routing.
             if !entry.footprint.get(c.index()) {
                 continue;
             }
-            let ck = topo.circuit(c);
-            let (ai, bi) = (ck.a.index(), ck.b.index());
+            let ci = c.index() as u32;
+            let (a32, b32) = csr.ends(ci);
+            let (ai, bi) = (a32 as usize, b32 as usize);
             let (da, db) = (entry.dist[ai], entry.dist[bi]);
-            let w = ck.hop_weight as u32;
+            let w = csr.hop(ci);
             if mask.usable(c) {
                 // Toggled ON.
                 match (da != UNREACHED, db != UNREACHED) {
@@ -502,8 +747,11 @@ fn advance_entry(
     if !full {
         for i in 0..scratch.marked.len() {
             let ui = scratch.marked[i] as usize;
-            let uid = SwitchId::from_index(ui);
-            if topo.neighbors(uid).iter().all(|&(c, _)| !mask.usable(c)) {
+            if csr
+                .neighbors(ui as u32)
+                .iter()
+                .all(|e| !mask.usable_idx(e.circuit as usize))
+            {
                 entry.dist[ui] = UNREACHED;
                 entry.dag[ui].clear();
             }
@@ -533,18 +781,18 @@ fn advance_entry(
             }
             scratch.settle_stamp[xi] = epoch;
             scratch.settled.push(x);
-            for &(c, far) in topo.neighbors(SwitchId(x)) {
-                if !mask.usable(c) {
+            for e in csr.neighbors(x) {
+                if !mask.usable_idx(e.circuit as usize) {
                     continue;
                 }
-                let nd = d + topo.circuit(c).hop_weight as u32;
-                let fi = far.index();
+                let nd = d + e.hop;
+                let fi = e.far as usize;
                 if scratch.new_stamp[fi] == epoch || entry.dist[fi] == UNREACHED {
                     // Still inside the new region.
                     if nd < entry.dist[fi] {
                         entry.dist[fi] = nd;
                         scratch.new_stamp[fi] = epoch;
-                        scratch.heap.push(Reverse((nd, far.0)));
+                        scratch.heap.push(Reverse((nd, e.far)));
                     }
                 } else if nd < entry.dist[fi] {
                     // The new region shortcuts into the old one: labels
@@ -559,13 +807,16 @@ fn advance_entry(
             }
         }
         // Newly reached switches need downhill lists, order slots, and
-        // footprint coverage.
-        if !full {
+        // footprint coverage. Footprint growth copy-on-writes when the
+        // allocation is shared (interned), keeping other destinations'
+        // footprints intact.
+        if !full && !scratch.settled.is_empty() {
+            let fp = Arc::make_mut(&mut entry.footprint);
             for i in 0..scratch.settled.len() {
                 let x = scratch.settled[i];
                 mark(scratch, epoch, x as usize);
-                for &(c, _) in topo.neighbors(SwitchId(x)) {
-                    entry.footprint.set(c.index(), true);
+                for e in csr.neighbors(x) {
+                    fp.set(e.circuit as usize, true);
                 }
             }
         }
@@ -581,19 +832,14 @@ fn advance_entry(
             if du == UNREACHED || du == 0 {
                 continue; // victim, or the destination itself
             }
-            let uid = SwitchId::from_index(ui);
+            let dist = &entry.dist;
             let list = &mut entry.dag[ui];
             list.clear();
-            for &(c, far) in topo.neighbors(uid) {
-                if mask.usable(c)
-                    && entry.dist[far.index()].saturating_add(topo.circuit(c).hop_weight as u32)
-                        == du
+            for e in csr.neighbors(ui as u32) {
+                if mask.usable_idx(e.circuit as usize)
+                    && dist[e.far as usize].saturating_add(e.hop) == du
                 {
-                    list.push((
-                        LoadMap::directed_slot(topo, c, uid),
-                        far.0,
-                        split_weight(topo, c, policy),
-                    ));
+                    list.push((e.slot, e.far, split_weight(csr, e.circuit, policy)));
                 }
             }
             if list.is_empty() {
@@ -608,7 +854,7 @@ fn advance_entry(
     let structure_changed = !scratch.marked.is_empty();
     entry.last_full = full;
     if full {
-        rebuild_full(entry, scratch, topo, state, mask, policy);
+        rebuild_full(entry, scratch, csr, state, mask, policy);
     } else if structure_changed {
         // Patch the canonical order: drop victims (removing elements keeps
         // it sorted) and merge the newly settled switches.
@@ -670,7 +916,7 @@ fn mark(scratch: &mut LaneScratch, epoch: u32, ui: usize) {
 fn rebuild_full(
     entry: &mut DestEntry,
     scratch: &mut LaneScratch,
-    topo: &Topology,
+    csr: &CsrGraph,
     state: &NetState,
     mask: &UsableMask,
     policy: SplitPolicy,
@@ -680,7 +926,6 @@ fn rebuild_full(
         *d = UNREACHED;
     }
     entry.order.clear();
-    entry.footprint.clear_all();
     if state.switch_up(entry.dst) {
         for b in &mut scratch.buckets {
             b.clear();
@@ -698,15 +943,15 @@ fn rebuild_full(
                     continue;
                 }
                 entry.order.push(u);
-                for &(c, far) in topo.neighbors(SwitchId(u)) {
-                    if !mask.usable(c) {
+                for e in csr.neighbors(u) {
+                    if !mask.usable_idx(e.circuit as usize) {
                         continue;
                     }
-                    let nd = current + topo.circuit(c).hop_weight as u32;
-                    let fi = far.index();
+                    let nd = current + e.hop;
+                    let fi = e.far as usize;
                     if nd < entry.dist[fi] {
                         entry.dist[fi] = nd;
-                        scratch.buckets[(nd as usize) % (MAX_W + 1)].push(far.0);
+                        scratch.buckets[(nd as usize) % (MAX_W + 1)].push(e.far);
                         remaining += 1;
                     }
                 }
@@ -715,23 +960,24 @@ fn rebuild_full(
         }
         canonical_order(&mut entry.order, &entry.dist);
     }
+    // Copy-on-write the footprint: a shared (interned) allocation is left
+    // for its other referents and this entry gets a private one, re-merged
+    // by the post-advance interning pass when it matches another's.
+    let fp = Arc::make_mut(&mut entry.footprint);
+    fp.clear_all();
     for &u in &entry.order {
         let ui = u as usize;
-        let uid = SwitchId(u);
         let du = entry.dist[ui];
+        let dist = &entry.dist;
         let list = &mut entry.dag[ui];
         list.clear();
-        for &(c, far) in topo.neighbors(uid) {
-            entry.footprint.set(c.index(), true);
+        for e in csr.neighbors(u) {
+            fp.set(e.circuit as usize, true);
             if du > 0
-                && mask.usable(c)
-                && entry.dist[far.index()].saturating_add(topo.circuit(c).hop_weight as u32) == du
+                && mask.usable_idx(e.circuit as usize)
+                && dist[e.far as usize].saturating_add(e.hop) == du
             {
-                list.push((
-                    LoadMap::directed_slot(topo, c, uid),
-                    far.0,
-                    split_weight(topo, c, policy),
-                ));
+                list.push((e.slot, e.far, split_weight(csr, e.circuit, policy)));
             }
         }
     }
@@ -924,6 +1170,38 @@ mod tests {
                 13 * engine.num_destinations() as u64
             );
         }
+    }
+
+    #[test]
+    fn footprints_intern_onto_shared_storage() {
+        let (t, state, demands) = preset_world();
+        let pool = WorkerPool::new(2);
+        let mut engine = IncrementalRouter::new(&t, &demands, pool.lanes(), SplitPolicy::Ecmp);
+        let mut loads = LoadMap::new(&t);
+        let mut out = RouteOutcome::new();
+        engine.evaluate(&pool, &t, &state, None, &mut loads, &mut out);
+        // In a connected usable subgraph every destination reaches the same
+        // region, so footprints dedup onto far fewer allocations than one
+        // per destination.
+        let per_set = (t.num_circuits().div_ceil(64) * 8) as u64;
+        assert!(engine.num_destinations() > 1);
+        assert!(engine.footprint_bytes() >= per_set);
+        assert!(
+            engine.footprint_bytes() < engine.num_destinations() as u64 * per_set,
+            "no sharing happened: {} bytes across {} destinations",
+            engine.footprint_bytes(),
+            engine.num_destinations()
+        );
+        // Interning must not affect results: a delta evaluation after a
+        // knockout still matches the from-scratch reference.
+        let mut next = state.clone();
+        next.drain_switch(&t, SwitchId::from_index(3));
+        let toggles = usability_toggles(&t, &state, &next);
+        loads.clear();
+        engine.evaluate(&pool, &t, &next, Some(&toggles), &mut loads, &mut out);
+        let (ref_loads, ref_out) = full_reference(&t, &next, &demands, SplitPolicy::Ecmp);
+        assert_eq!(out, ref_out);
+        assert_bit_identical(&loads, &ref_loads, &t, "post-intern delta");
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub use evaluate::{
 };
 pub use funneling::FunnelingModel;
 pub use incremental::{usability_toggles, IncrementalRouter, IncrementalStats};
+pub use klotski_topology::{CsrEdge, CsrGraph};
 pub use loads::LoadMap;
 pub use mask::UsableMask;
 pub use parallel::{route_parallel, ParallelRouter};

@@ -72,6 +72,13 @@ impl UsableMask {
         self.bits.get(c.index())
     }
 
+    /// [`usable`](Self::usable) by dense circuit index — the form the
+    /// CSR-flattened routing loops use, skipping the id round-trip.
+    #[inline]
+    pub fn usable_idx(&self, c: usize) -> bool {
+        self.bits.get(c)
+    }
+
     /// Number of circuits covered by the last [`compute`](Self::compute).
     pub fn num_circuits(&self) -> usize {
         self.len

@@ -19,12 +19,12 @@
 //! and every lane-to-chunk assignment. Replay cost is O(path slots), a tiny
 //! fraction of the BFS + sweep work that actually parallelizes.
 
-use crate::ecmp::{EcmpRouter, RouteOutcome, RouteSink, SplitPolicy};
+use crate::ecmp::{DirectSink, EcmpRouter, RouteOutcome, RouteSink, SplitPolicy};
 use crate::loads::LoadMap;
 use crate::mask::UsableMask;
 use klotski_parallel::{chunk_ranges, WorkerPool};
 use klotski_telemetry::{registry, Counter, Histogram};
-use klotski_topology::{NetState, SwitchId, Topology};
+use klotski_topology::{CsrGraph, NetState, SwitchId, Topology};
 use klotski_traffic::DemandMatrix;
 use std::sync::Arc;
 use std::time::Instant;
@@ -33,6 +33,22 @@ use std::time::Instant;
 /// tail from slow ones without shrinking chunks so far that per-chunk
 /// overhead dominates.
 const CHUNKS_PER_LANE: usize = 4;
+
+/// Below this many destination groups the parallel path routes sequentially
+/// on the calling thread. Dispatching to the pool costs a condvar wake-up
+/// plus a chunk replay on top of the per-group work; a destination group is
+/// one full BFS + sweep (tens of microseconds upward), so the break-even
+/// sits at a handful of groups — below it, paying pool overhead only made
+/// routes *slower* (the sub-1.0× preset rows in earlier
+/// `BENCH_parallel.json` runs).
+const SEQ_BREAK_EVEN_GROUPS: usize = 8;
+
+/// Minimum destination groups per chunk. A big matrix used to be split into
+/// the maximum `lanes × CHUNKS_PER_LANE` chunks unconditionally; capping
+/// chunk count at `groups / MIN_GROUPS_PER_CHUNK` keeps each chunk
+/// substantial enough that claim traffic and buffer bookkeeping stay
+/// negligible at middling sizes, while still leaving every lane work.
+const MIN_GROUPS_PER_CHUNK: usize = 8;
 
 /// The ordered routing events of one chunk of destination groups.
 #[derive(Debug, Default, Clone)]
@@ -107,8 +123,14 @@ impl RouteMetrics {
 /// chunk buffers, producing results bit-identical to the sequential path.
 #[derive(Debug)]
 pub struct ParallelRouter {
-    /// Per-lane scratch engines (lane 0 is the calling thread).
+    /// Per-lane scratch engines (lane 0 is the calling thread). Starts
+    /// with one engine and grows to the pool's lane count on the first
+    /// pooled dispatch — a router that only ever takes the sequential
+    /// fallback (or serves an incremental checker) never pays the
+    /// per-lane allocations.
     engines: Vec<EcmpRouter>,
+    /// Flow-split policy new per-lane engines are created with.
+    policy: SplitPolicy,
     /// Per-chunk edit lists, reused across routes.
     chunks: Vec<ChunkBuf>,
     /// Mask storage for [`route`](Self::route).
@@ -120,18 +142,26 @@ pub struct ParallelRouter {
 impl ParallelRouter {
     /// An engine for `lanes` pool lanes over `topo`.
     pub fn new(topo: &Topology, lanes: usize, policy: SplitPolicy) -> Self {
-        let lanes = lanes.max(1);
+        Self::with_csr(Arc::new(CsrGraph::build(topo)), lanes, policy)
+    }
+
+    /// An engine over an already-flattened graph: all lanes share the one
+    /// read-only CSR view instead of flattening per lane. `lanes` is a
+    /// capacity hint only — per-lane engines are allocated lazily on the
+    /// first pooled dispatch.
+    pub fn with_csr(csr: Arc<CsrGraph>, lanes: usize, policy: SplitPolicy) -> Self {
+        let _ = lanes;
         Self {
-            engines: (0..lanes)
-                .map(|_| EcmpRouter::with_policy(topo, policy))
-                .collect(),
+            engines: vec![EcmpRouter::from_csr(csr, policy)],
+            policy,
             chunks: Vec::new(),
             mask: UsableMask::new(),
             metrics: RouteMetrics::new(),
         }
     }
 
-    /// Number of lanes this router can serve.
+    /// Number of per-lane engines currently allocated (grows to the pool's
+    /// lane count on first pooled dispatch).
     pub fn lanes(&self) -> usize {
         self.engines.len()
     }
@@ -185,24 +215,41 @@ impl ParallelRouter {
         loads: &mut LoadMap,
         outcome: &mut RouteOutcome,
     ) {
-        assert!(
-            self.engines.len() >= pool.lanes(),
-            "router sized for {} lanes, pool has {}",
-            self.engines.len(),
-            pool.lanes()
-        );
         let started = Instant::now();
         self.metrics.routes.inc();
         self.metrics.demands.add(matrix.len() as u64);
-        // One lane: skip the edit-list indirection entirely.
-        if pool.lanes() == 1 {
-            self.engines[0].route_with_mask_into(topo, state, mask, matrix, loads, outcome);
+        debug_assert_eq!(self.engines[0].csr().num_switches(), topo.num_switches());
+        let groups: Vec<_> = matrix.by_destination().into_iter().collect();
+        // One lane, a single-core machine, or too few groups to amortize
+        // pool dispatch: route sequentially on the calling thread, skipping
+        // the edit-list indirection entirely. Identical arithmetic either
+        // way.
+        if pool.lanes() == 1
+            || klotski_parallel::default_lanes() == 1
+            || groups.len() < SEQ_BREAK_EVEN_GROUPS
+        {
+            outcome.clear();
+            let mut sink = DirectSink { loads, outcome };
+            for (dst, group) in &groups {
+                self.engines[0].route_group(state, mask, *dst, group, &mut sink);
+            }
             self.metrics.route_seconds.record(started.elapsed());
             return;
         }
 
-        let groups: Vec<_> = matrix.by_destination().into_iter().collect();
-        let ranges = chunk_ranges(groups.len(), pool.lanes() * CHUNKS_PER_LANE);
+        // Adaptive chunk count: full `lanes × CHUNKS_PER_LANE`
+        // oversubscription only when every chunk still gets at least
+        // MIN_GROUPS_PER_CHUNK groups; otherwise fewer, larger chunks
+        // (never fewer than one per lane).
+        let max_chunks = pool.lanes() * CHUNKS_PER_LANE;
+        let target = (groups.len() / MIN_GROUPS_PER_CHUNK).clamp(pool.lanes(), max_chunks);
+        let ranges = chunk_ranges(groups.len(), target);
+        if self.engines.len() < pool.lanes() {
+            let csr = self.engines[0].csr().clone();
+            let policy = self.policy;
+            self.engines
+                .resize_with(pool.lanes(), || EcmpRouter::from_csr(csr.clone(), policy));
+        }
         if self.chunks.len() < ranges.len() {
             self.chunks.resize_with(ranges.len(), ChunkBuf::default);
         }
@@ -213,7 +260,7 @@ impl ParallelRouter {
 
         pool.run_scratch_tasks_into(&mut self.engines, chunks, |engine, task, buf| {
             for (dst, group) in &groups[ranges[task].clone()] {
-                engine.route_group(topo, state, mask, *dst, group, buf);
+                engine.route_group(state, mask, *dst, group, buf);
             }
         });
 
@@ -307,6 +354,30 @@ mod tests {
         let second = pr.route(&pool, &t, &state, &demands, &mut b);
         assert_eq!(first, second, "no scratch leakage between routes");
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn below_break_even_fallback_is_bit_identical() {
+        // A matrix with fewer destination groups than SEQ_BREAK_EVEN_GROUPS
+        // takes the sequential fallback even on a multi-lane pool; results
+        // must still match the sequential router bit for bit.
+        let (t, state, demands) = preset_world();
+        let few: DemandMatrix = {
+            let dsts: Vec<_> = demands.by_destination().into_keys().take(3).collect();
+            demands
+                .iter()
+                .filter(|d| dsts.contains(&d.dst))
+                .cloned()
+                .collect()
+        };
+        assert!(few.num_destinations() < SEQ_BREAK_EVEN_GROUPS);
+        let mut seq_loads = LoadMap::new(&t);
+        let seq = EcmpRouter::new(&t).route(&t, &state, &few, &mut seq_loads);
+        let mut loads = LoadMap::new(&t);
+        let out = route_parallel(&t, &state, &few, &mut loads, SplitPolicy::Ecmp, 4);
+        assert_eq!(out, seq);
+        assert_eq!(loads, seq_loads);
+        assert_eq!(out.routed_gbps.to_bits(), seq.routed_gbps.to_bits());
     }
 
     #[test]

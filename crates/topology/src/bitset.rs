@@ -72,6 +72,14 @@ impl BitSet {
         }
     }
 
+    /// The backing words, least-significant bit first. Bits past `len` in
+    /// the final word are always zero, so word-level intersection tests
+    /// (e.g. footprint prefilters) need no tail masking.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()

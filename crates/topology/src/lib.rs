@@ -30,6 +30,7 @@
 
 pub mod bitset;
 pub mod circuit;
+pub mod csr;
 pub mod dc;
 pub mod dot;
 pub mod error;
@@ -46,6 +47,7 @@ pub mod switch;
 
 pub use bitset::BitSet;
 pub use circuit::Circuit;
+pub use csr::{CsrEdge, CsrGraph};
 pub use error::TopologyError;
 pub use graph::{Topology, TopologyBuilder};
 pub use ids::{CircuitId, DcId, GridId, PlaneId, PodId, SwitchId};
