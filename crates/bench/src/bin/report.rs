@@ -15,13 +15,15 @@
 //! - `KLOTSKI_FULL_SCALE_STEPS` / `KLOTSKI_FULL_SCALE_MIN_TIME_MS` —
 //!   walk length and per-arm window of the `full-scale` experiment.
 
-use klotski_bench::{experiments, full_scale, incremental, parallel, runner, service, telemetry};
+use klotski_bench::{
+    experiments, full_scale, incremental, parallel, runner, scenarios, service, telemetry,
+};
 use klotski_telemetry::log_event;
 
 /// A named experiment: label plus the function rendering its output.
 type Experiment = (&'static str, fn() -> String);
 
-const EXPERIMENTS: [Experiment; 13] = [
+const EXPERIMENTS: [Experiment; 14] = [
     ("table1", experiments::table1),
     ("table3", experiments::table3),
     ("fig8", experiments::fig8),
@@ -33,6 +35,7 @@ const EXPERIMENTS: [Experiment; 13] = [
     ("parallel", parallel::parallel),
     ("incremental", incremental::incremental),
     ("full-scale", full_scale::full_scale),
+    ("scenarios", scenarios::scenarios),
     ("service", service::service),
     ("telemetry", telemetry::telemetry),
 ];

@@ -21,6 +21,7 @@ pub mod full_scale;
 pub mod incremental;
 pub mod parallel;
 pub mod runner;
+pub mod scenarios;
 pub mod service;
 pub mod table;
 pub mod telemetry;

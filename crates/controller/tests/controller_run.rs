@@ -1,0 +1,181 @@
+//! End-to-end controller runs: safe-pause → replan → complete, rollback
+//! under a starved replan budget, and bit-determinism across thread counts.
+
+use klotski_controller::scenario::{ReplanPolicy, ScenarioEvent};
+use klotski_controller::{run_scenario, Scenario};
+
+/// Preset A with the utilization bound tightened to 0.62: enough headroom
+/// for the clean plan, but a mid-phase link failure pushes the drained
+/// fabric over θ and forces the controller to act.
+fn tight_link_failure_scenario() -> Scenario {
+    let mut s = Scenario::sample();
+    s.name = "tight-link-failure".to_string();
+    s.theta = Some(0.62);
+    s.events = vec![ScenarioEvent::link_failure(1, None, None)];
+    s
+}
+
+#[test]
+fn clean_scenario_completes_without_pausing() {
+    let mut s = Scenario::sample();
+    s.events.clear();
+    let report = run_scenario(&s, None).expect("scenario runs");
+    assert!(report.completed, "abort: {:?}", report.abort_reason);
+    assert!(!report.rolled_back);
+    assert_eq!(report.pauses(), 0);
+    assert!(report.replans.is_empty());
+    assert!(report.steps.iter().all(|st| st.safe));
+    // Canary batching splits phases, so there are at least as many audited
+    // batches as planned phases.
+    assert!(report.steps.len() >= report.initial_phases);
+    assert!(report.steps.iter().any(|st| st.canary));
+    assert_eq!(report.audit_stats.live_audits, report.steps.len() as u64);
+}
+
+#[test]
+fn sample_scenario_survives_its_disturbances() {
+    let report = run_scenario(&Scenario::sample(), None).expect("scenario runs");
+    assert!(report.completed, "abort: {:?}", report.abort_reason);
+    assert!(!report.rolled_back);
+    // The link failure is visible to the audits as plan/fleet drift.
+    assert!(report.steps.iter().any(|st| st.drift_circuits > 0));
+}
+
+#[test]
+fn link_failure_pauses_replans_incrementally_and_completes() {
+    let report = run_scenario(&tight_link_failure_scenario(), None).expect("scenario runs");
+
+    // The failure lands mid-phase (after the canary batch of the drain
+    // phase) and the shadow audit catches the violated bound.
+    let pause = report
+        .steps
+        .iter()
+        .find(|st| st.paused)
+        .expect("the link failure must trigger a safe-pause");
+    assert!(!pause.safe);
+    assert!(
+        pause.drift_circuits > 0,
+        "audit must see the failed circuit"
+    );
+    assert!(
+        pause.pause_reason.as_deref().unwrap().contains("theta"),
+        "pause reason: {:?}",
+        pause.pause_reason
+    );
+
+    // One incremental replan from the observed state, then completion.
+    assert_eq!(report.replans.len(), 1);
+    let replan = &report.replans[0];
+    assert!(replan.ok);
+    assert!(replan.phases > 0);
+    // The replan search runs the delta-aware machinery: the ESC cache holds
+    // its verdicts and child states route from parent deltas.
+    assert!(replan.stats.esc_entries > 0, "{:?}", replan.stats);
+    assert!(
+        replan.stats.incremental_clean + replan.stats.incremental_dirty > 0,
+        "{:?}",
+        replan.stats
+    );
+    assert!(report.completed, "abort: {:?}", report.abort_reason);
+    assert!(!report.rolled_back);
+    // After the replan the plan carries the failure, so drift disappears.
+    assert_eq!(report.steps.last().unwrap().drift_circuits, 0);
+}
+
+#[test]
+fn budget_starved_replan_rolls_back_to_last_safe_step() {
+    let mut s = tight_link_failure_scenario();
+    s.name = "starved-replan".to_string();
+    // A one-state search budget cannot reach the target: the replan fails
+    // and the controller must fall back to the last audited-safe snapshot.
+    s.replan = ReplanPolicy {
+        max_states: 1,
+        ..ReplanPolicy::default()
+    };
+    let report = run_scenario(&s, None).expect("scenario runs");
+
+    assert!(!report.completed);
+    assert!(report.rolled_back);
+    assert_eq!(report.replans.len(), 1);
+    assert!(!report.replans[0].ok);
+    let rollback = report.rollback.as_ref().expect("rollback record");
+    assert!(rollback.safe, "restored state must audit safe");
+    // The pause fired at the step after the last safe one.
+    let last_safe = report
+        .steps
+        .iter()
+        .rev()
+        .find(|st| st.safe)
+        .expect("some step audited safe");
+    assert_eq!(rollback.to_step, Some(last_safe.step));
+    assert!(
+        report
+            .abort_reason
+            .as_deref()
+            .unwrap()
+            .contains("replanning failed"),
+        "abort: {:?}",
+        report.abort_reason
+    );
+}
+
+#[test]
+fn runs_are_bit_deterministic_across_thread_counts() {
+    let mut one = tight_link_failure_scenario();
+    one.threads = Some(1);
+    let mut four = tight_link_failure_scenario();
+    four.threads = Some(4);
+
+    let r1 = run_scenario(&one, None).expect("threads=1 runs");
+    let r1b = run_scenario(&one, None).expect("threads=1 reruns");
+    let r4 = run_scenario(&four, None).expect("threads=4 runs");
+
+    assert_eq!(r1.fingerprint(), r1b.fingerprint(), "rerun must replay");
+    assert_eq!(
+        r1.fingerprint(),
+        r4.fingerprint(),
+        "thread count must not change the run"
+    );
+    // Spot-check the strongest fields behind the hash.
+    assert_eq!(r1.steps.len(), r4.steps.len());
+    for (a, b) in r1.steps.iter().zip(&r4.steps) {
+        assert_eq!(a.max_utilization.to_bits(), b.max_utilization.to_bits());
+        assert_eq!(a.pause_reason, b.pause_reason);
+    }
+
+    // The starved variant (rollback path) must replay too.
+    let mut starved1 = tight_link_failure_scenario();
+    starved1.replan = ReplanPolicy {
+        max_states: 1,
+        ..ReplanPolicy::default()
+    };
+    let mut starved4 = starved1.clone();
+    starved1.threads = Some(1);
+    starved4.threads = Some(4);
+    let s1 = run_scenario(&starved1, None).expect("starved threads=1");
+    let s4 = run_scenario(&starved4, None).expect("starved threads=4");
+    assert_eq!(s1.fingerprint(), s4.fingerprint());
+    assert!(s1.rolled_back && s4.rolled_back);
+}
+
+#[test]
+fn shipped_example_scenario_matches_the_builtin_sample() {
+    let json = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/scenarios/surge_and_failure.json"
+    ))
+    .expect("example scenario file exists");
+    let parsed = Scenario::from_json(&json).expect("example scenario parses");
+    assert_eq!(parsed, Scenario::sample());
+}
+
+#[test]
+fn reports_roundtrip_through_json() {
+    let report = run_scenario(&tight_link_failure_scenario(), None).expect("scenario runs");
+    let json = serde_json::to_string(&report).unwrap();
+    let back: klotski_controller::ControllerReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.completed, report.completed);
+    assert_eq!(back.steps.len(), report.steps.len());
+    assert_eq!(back.replans.len(), report.replans.len());
+    assert_eq!(back.fingerprint(), report.fingerprint());
+}

@@ -140,8 +140,9 @@ pub fn execute(
 
         // --- Realized world: organic growth + surges (+ maintenance).
         demand_multiplier *= 1.0 + cfg.demand_growth_per_phase;
-        let realized: DemandMatrix = apply_surges(
-            &active_spec.demands.scaled(demand_multiplier),
+        let realized: DemandMatrix = realized_demand(
+            &active_spec.demands,
+            demand_multiplier,
             &cfg.surges,
             phase_counter,
         );
@@ -209,9 +210,22 @@ pub fn execute(
     report
 }
 
+/// The demand the fleet actually carries at `step`: the planning matrix
+/// scaled by accumulated organic growth, with every surge active at `step`
+/// applied on top. Shared by the executor and the live controller so both
+/// simulate the same world.
+pub fn realized_demand(
+    base: &DemandMatrix,
+    growth_multiplier: f64,
+    surges: &[SurgeEvent],
+    step: usize,
+) -> DemandMatrix {
+    apply_surges(&base.scaled(growth_multiplier), surges, step)
+}
+
 /// Replays the remaining phases against the realized demand; true if every
 /// intermediate state stays safe.
-fn plan_still_safe(
+pub fn plan_still_safe(
     spec: &MigrationSpec,
     state: &NetState,
     progress: &CompactState,
@@ -237,7 +251,7 @@ fn plan_still_safe(
 /// routine maintenance never touches the migration's own hardware — and not
 /// a demand endpoint (draining an endpoint rack would trivially void
 /// reachability rather than exercise the network's headroom).
-fn pick_uninvolved_switch(
+pub fn pick_uninvolved_switch(
     spec: &MigrationSpec,
     state: &NetState,
     rng: &mut SmallRng,

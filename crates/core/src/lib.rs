@@ -65,5 +65,5 @@ pub use planner::{
     AStarPlanner, CancelFlag, DpPlanner, PlanOutcome, PlanStats, Planner, SearchBudget,
 };
 pub use report::{audit_plan, PlanAudit};
-pub use satcheck::{EscMode, SatChecker};
+pub use satcheck::{EscMode, LiveAudit, SatChecker};
 pub use space::SpaceModel;

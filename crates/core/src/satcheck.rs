@@ -39,6 +39,7 @@ use klotski_routing::{
 };
 use klotski_telemetry::{registry, Gauge};
 use klotski_topology::{CircuitId, NetState};
+use klotski_traffic::DemandMatrix;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -82,6 +83,11 @@ pub struct SatStats {
     /// circuit footprints (zero when incremental evaluation is off).
     #[serde(default)]
     pub footprint_bytes: u64,
+    /// Live-state audits ([`SatChecker::audit_live`]): from-scratch
+    /// evaluations of observed states outside the canonical overlay, never
+    /// cached.
+    #[serde(default)]
+    pub live_audits: u64,
 }
 
 impl SatStats {
@@ -93,6 +99,55 @@ impl SatStats {
         } else {
             self.incremental_clean as f64 / total as f64
         }
+    }
+}
+
+/// Detailed outcome of one live-state audit ([`SatChecker::audit_live`]).
+///
+/// Richer than the boolean verdict planners consume: a controller pausing a
+/// live migration needs to know *which* constraint broke and by how much.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LiveAudit {
+    /// True iff reachability (Eq. 4), utilization (Eq. 5), and ports
+    /// (Eq. 6) all hold.
+    pub safe: bool,
+    /// Eq. 4: every demand has a live path.
+    pub all_reachable: bool,
+    /// Count of unreachable demands.
+    pub unreachable_demands: usize,
+    /// Highest worst-direction utilization over usable circuits.
+    pub max_utilization: f64,
+    /// The circuit attaining `max_utilization`, if any traffic was routed.
+    pub worst_circuit: Option<CircuitId>,
+    /// Number of usable circuits whose utilization exceeds θ.
+    pub theta_violations: usize,
+    /// Smallest residual capacity `(θ·W_c − load)` over usable circuits.
+    pub min_residual_gbps: f64,
+    /// Eq. 6: some switch exceeds its port budget.
+    pub port_violation: bool,
+}
+
+impl LiveAudit {
+    /// Human-readable description of the dominant violated constraint, or
+    /// `None` when the state is safe.
+    pub fn violation(&self) -> Option<String> {
+        if self.safe {
+            return None;
+        }
+        if !self.all_reachable {
+            return Some(format!("{} demands unreachable", self.unreachable_demands));
+        }
+        if self.theta_violations > 0 {
+            return Some(format!(
+                "{} circuits above theta (max utilization {:.3}{})",
+                self.theta_violations,
+                self.max_utilization,
+                self.worst_circuit
+                    .map(|c| format!(" on {c}"))
+                    .unwrap_or_default(),
+            ));
+        }
+        Some("port budget exceeded".to_string())
     }
 }
 
@@ -355,6 +410,59 @@ impl SatChecker {
     /// Number of cached entries (for memory-footprint reporting).
     pub fn cache_len(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Audits an *arbitrary* live state under an *arbitrary* demand matrix
+    /// — the shadow-audit entry point for controllers observing a real
+    /// fleet.
+    ///
+    /// Unlike [`check`](Self::check), the audited state may include
+    /// disturbances (failed circuits, externally drained switches) outside
+    /// the canonical overlay of any compact state, and `demands` may differ
+    /// from the spec's planning matrix (organic growth, surges). Neither
+    /// the ESC cache (keyed on canonical compact states) nor the
+    /// incremental engine (whose deltas assume canonical overlays and a
+    /// fixed demand matrix) is sound for such states, so the audit always
+    /// routes from scratch — on the checker's pooled parallel router and
+    /// reused buffers, bit-identical at any lane count. The incremental
+    /// engine's base state is left untouched, so interleaving audits with
+    /// planner-driven `check_batch_from` calls is safe.
+    ///
+    /// The space model (§7.2) is plan-scoped — it constrains the compact
+    /// progress vector, which a live state does not carry — so it is not
+    /// part of a live audit.
+    pub fn audit_live(
+        &mut self,
+        spec: &MigrationSpec,
+        state: &NetState,
+        demands: &DemandMatrix,
+    ) -> LiveAudit {
+        self.stats.live_audits += 1;
+        let mut mask = std::mem::take(&mut self.mask);
+        mask.compute(&spec.topology, state);
+        self.loads.clear();
+        self.router.route_with_mask_into(
+            &self.pool,
+            &spec.topology,
+            state,
+            &mask,
+            demands,
+            &mut self.loads,
+            &mut self.outcome,
+        );
+        self.mask = mask;
+        let report = summarize(&spec.topology, state, &self.loads, spec.theta);
+        let port_violation = spec.check_ports && spec.topology.has_port_violation(state);
+        LiveAudit {
+            safe: self.outcome.all_reachable() && report.violations == 0 && !port_violation,
+            all_reachable: self.outcome.all_reachable(),
+            unreachable_demands: self.outcome.unreachable.len(),
+            max_utilization: report.max_utilization,
+            worst_circuit: report.worst_circuit,
+            theta_violations: report.violations,
+            min_residual_gbps: report.min_residual_gbps,
+            port_violation,
+        }
     }
 
     /// Checks whether the state identified by `v` (with activation overlay

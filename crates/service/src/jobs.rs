@@ -8,6 +8,7 @@
 //! fetch results after the fact without the table growing forever.
 
 use crate::pipeline::PlanArtifact;
+use klotski_controller::ControllerReport;
 use klotski_npd::api::JobState;
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
@@ -20,6 +21,8 @@ pub enum JobKind {
     Plan,
     /// `POST /v1/audit`: respond with the summary + safety audit.
     Audit,
+    /// `POST /v1/run`: execute a scripted controller scenario.
+    Run,
 }
 
 impl JobKind {
@@ -28,6 +31,36 @@ impl JobKind {
         match self {
             JobKind::Plan => "plan",
             JobKind::Audit => "audit",
+            JobKind::Run => "run",
+        }
+    }
+}
+
+/// A finished controller run: the full report plus its JSON, serialized
+/// once at completion so every poller gets the same bytes.
+#[derive(Debug)]
+pub struct RunArtifact {
+    /// The controller's full run trace.
+    pub report: ControllerReport,
+    /// `report` as pretty JSON, the `POST /v1/run` response body.
+    pub json: Vec<u8>,
+}
+
+/// What a successfully finished job publishes.
+#[derive(Debug, Clone)]
+pub enum JobOutput {
+    /// Plan/audit pipeline artifact.
+    Plan(Arc<PlanArtifact>),
+    /// Controller run report.
+    Run(Arc<RunArtifact>),
+}
+
+impl JobOutput {
+    /// The plan artifact, when this is a plan/audit job.
+    pub fn plan(&self) -> Option<&Arc<PlanArtifact>> {
+        match self {
+            JobOutput::Plan(a) => Some(a),
+            JobOutput::Run(_) => None,
         }
     }
 }
@@ -47,7 +80,7 @@ pub struct JobError {
 enum Phase {
     Queued,
     Running,
-    Done(Arc<PlanArtifact>),
+    Done(JobOutput),
     Failed(JobError),
 }
 
@@ -81,8 +114,8 @@ impl Job {
     }
 
     /// Publishes success and wakes all waiters.
-    pub fn complete(&self, artifact: Arc<PlanArtifact>) {
-        *self.phase.lock().unwrap() = Phase::Done(artifact);
+    pub fn complete(&self, output: JobOutput) {
+        *self.phase.lock().unwrap() = Phase::Done(output);
         self.done.notify_all();
     }
 
@@ -96,23 +129,23 @@ impl Job {
     }
 
     /// Current state plus outcome, without blocking.
-    pub fn status(&self) -> (JobState, Option<Arc<PlanArtifact>>, Option<JobError>) {
+    pub fn status(&self) -> (JobState, Option<JobOutput>, Option<JobError>) {
         match &*self.phase.lock().unwrap() {
             Phase::Queued => (JobState::Queued, None, None),
             Phase::Running => (JobState::Running, None, None),
-            Phase::Done(a) => (JobState::Done, Some(Arc::clone(a)), None),
+            Phase::Done(o) => (JobState::Done, Some(o.clone()), None),
             Phase::Failed(e) => (JobState::Failed, None, Some(e.clone())),
         }
     }
 
     /// Blocks until the job reaches a terminal state or `timeout` passes.
     /// Returns `None` on timeout (the job keeps running; poll later).
-    pub fn wait(&self, timeout: Duration) -> Option<Result<Arc<PlanArtifact>, JobError>> {
+    pub fn wait(&self, timeout: Duration) -> Option<Result<JobOutput, JobError>> {
         let deadline = Instant::now() + timeout;
         let mut phase = self.phase.lock().unwrap();
         loop {
             match &*phase {
-                Phase::Done(a) => return Some(Ok(Arc::clone(a))),
+                Phase::Done(o) => return Some(Ok(o.clone())),
                 Phase::Failed(e) => return Some(Err(e.clone())),
                 _ => {}
             }
@@ -121,7 +154,7 @@ impl Job {
             phase = next;
             if timed_out.timed_out() {
                 match &*phase {
-                    Phase::Done(a) => return Some(Ok(Arc::clone(a))),
+                    Phase::Done(o) => return Some(Ok(o.clone())),
                     Phase::Failed(e) => return Some(Err(e.clone())),
                     _ => return None,
                 }
@@ -234,10 +267,10 @@ mod tests {
         assert_eq!(job.status().0, JobState::Queued);
         job.set_running();
         assert_eq!(job.status().0, JobState::Running);
-        job.complete(artifact());
+        job.complete(JobOutput::Plan(artifact()));
         let (state, result, error) = job.status();
         assert_eq!(state, JobState::Done);
-        assert!(result.is_some());
+        assert!(result.is_some_and(|o| o.plan().is_some()));
         assert!(error.is_none());
     }
 

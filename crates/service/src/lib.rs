@@ -33,11 +33,13 @@ pub mod signal;
 
 use crate::cache::PlanCache;
 use crate::http::{read_request, HttpError, Request, Response};
-use crate::jobs::{Job, JobKind, JobTable};
+use crate::jobs::{Job, JobKind, JobOutput, JobTable, RunArtifact};
 use crate::metrics::{Gauges, Metrics};
 use crate::pipeline::{plan_document, PipelineError, PlanArtifact};
 use crate::queue::{BoundedQueue, PushError};
+use klotski_controller::{run_scenario, ControllerError, Scenario};
 use klotski_core::planner::SearchBudget;
+use klotski_core::PlanError;
 use klotski_npd::api::{
     AcceptedResponse, AuditResponse, ErrorResponse, JobStatusResponse, PlanRequestOptions,
     PlanSummary,
@@ -98,9 +100,24 @@ impl Default for ServiceConfig {
 /// One admitted unit of work travelling the queue.
 struct QueuedJob {
     job: Arc<Job>,
-    npd: Npd,
-    options: PlanRequestOptions,
-    key: (u64, u64),
+    work: Work,
+}
+
+/// The two kinds of payload workers drain from the queue.
+enum Work {
+    /// Plan or audit an NPD document (cached by content digest). The NPD
+    /// is boxed to keep queue slots variant-size balanced.
+    Plan {
+        npd: Box<Npd>,
+        options: PlanRequestOptions,
+        key: (u64, u64),
+    },
+    /// Execute a scripted controller scenario. Runs are executions, not
+    /// pure functions of a document, so they bypass the plan cache.
+    Run {
+        scenario: Scenario,
+        deadline_ms: Option<u64>,
+    },
 }
 
 /// State shared by the acceptor, connection threads, and workers.
@@ -246,37 +263,52 @@ fn run_job(shared: &Arc<Shared>, queued: &QueuedJob, pool: &Arc<WorkerPool>) {
         "job" = queued.job.id,
     );
     queued.job.set_running();
+    match &queued.work {
+        Work::Plan { npd, options, key } => {
+            run_plan_job(shared, queued, &mut span, pool, npd, options, *key)
+        }
+        Work::Run {
+            scenario,
+            deadline_ms,
+        } => run_scenario_job(shared, queued, &mut span, scenario, *deadline_ms),
+    }
+}
+
+fn run_plan_job(
+    shared: &Arc<Shared>,
+    queued: &QueuedJob,
+    span: &mut klotski_telemetry::SpanGuard,
+    pool: &Arc<WorkerPool>,
+    npd: &Npd,
+    options: &PlanRequestOptions,
+    key: (u64, u64),
+) {
     // A same-key job may have finished while this one sat queued.
-    if let Some(hit) = shared.cache.get(queued.key) {
+    if let Some(hit) = shared.cache.get(key) {
         shared
             .metrics
             .jobs_completed
             .fetch_add(1, Ordering::Relaxed);
         shared.metrics.latency.record(queued.job.admitted.elapsed());
-        queued.job.complete(hit);
+        queued.job.complete(JobOutput::Plan(hit));
         span.field("outcome", "cached");
         return;
     }
     let mut budget = SearchBudget::default();
-    let deadline_ms = queued
-        .options
-        .deadline_ms
-        .map(Duration::from_millis)
-        .or(shared.config.default_deadline);
-    if let Some(d) = deadline_ms {
+    if let Some(d) = job_deadline(shared, options.deadline_ms) {
         // Deadlines bound admission-to-answer, so they start at admission.
         budget = budget.with_deadline(queued.job.admitted + d);
     }
-    match plan_document(&queued.npd, &queued.options, budget, Some(Arc::clone(pool))) {
+    match plan_document(npd, options, budget, Some(Arc::clone(pool))) {
         Ok(artifact) => {
             let artifact = Arc::new(artifact);
-            shared.cache.insert(queued.key, Arc::clone(&artifact));
+            shared.cache.insert(key, Arc::clone(&artifact));
             shared
                 .metrics
                 .jobs_completed
                 .fetch_add(1, Ordering::Relaxed);
             shared.metrics.latency.record(queued.job.admitted.elapsed());
-            queued.job.complete(artifact);
+            queued.job.complete(JobOutput::Plan(artifact));
             span.field("outcome", "done");
         }
         Err(e) => {
@@ -286,19 +318,76 @@ fn run_job(shared: &Arc<Shared>, queued: &QueuedJob, pool: &Arc<WorkerPool>) {
                 PipelineError::Plan(_) => 422,
                 PipelineError::Internal(_) => 500,
             };
-            shared.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
-            if status == 504 {
-                shared
-                    .metrics
-                    .jobs_cancelled
-                    .fetch_add(1, Ordering::Relaxed);
-                span.field("outcome", "deadline");
-            } else {
-                span.field("outcome", "failed");
-            }
-            queued.job.fail(status, e.to_string());
+            fail_job(shared, queued, span, status, e.to_string());
         }
     }
+}
+
+/// Executes a `POST /v1/run` scenario on the worker thread. The controller
+/// owns its own pool sized by the scenario's thread override (runs are
+/// bit-deterministic per lane count, so the scenario decides, not the
+/// worker).
+fn run_scenario_job(
+    shared: &Arc<Shared>,
+    queued: &QueuedJob,
+    span: &mut klotski_telemetry::SpanGuard,
+    scenario: &Scenario,
+    deadline_ms: Option<u64>,
+) {
+    let deadline = job_deadline(shared, deadline_ms).map(|d| queued.job.admitted + d);
+    match run_scenario(scenario, deadline) {
+        Ok(report) => {
+            let json = serde_json::to_string_pretty(&report)
+                .map(String::into_bytes)
+                .unwrap_or_else(|_| b"{}".to_vec());
+            shared
+                .metrics
+                .jobs_completed
+                .fetch_add(1, Ordering::Relaxed);
+            shared.metrics.latency.record(queued.job.admitted.elapsed());
+            span.field("completed", report.completed);
+            span.field("replans", report.replans.len() as u64);
+            queued
+                .job
+                .complete(JobOutput::Run(Arc::new(RunArtifact { report, json })));
+            span.field("outcome", "done");
+        }
+        Err(e) => {
+            let status = match &e {
+                ControllerError::Scenario(_) => 422,
+                ControllerError::InitialPlan(PlanError::BudgetExceeded { .. }) => 504,
+                ControllerError::InitialPlan(_) => 422,
+            };
+            fail_job(shared, queued, span, status, e.to_string());
+        }
+    }
+}
+
+/// The effective deadline: the request's, else the service-wide default.
+fn job_deadline(shared: &Arc<Shared>, request_ms: Option<u64>) -> Option<Duration> {
+    request_ms
+        .map(Duration::from_millis)
+        .or(shared.config.default_deadline)
+}
+
+fn fail_job(
+    shared: &Arc<Shared>,
+    queued: &QueuedJob,
+    span: &mut klotski_telemetry::SpanGuard,
+    status: u16,
+    message: String,
+) {
+    shared.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+    if status == 504 {
+        shared
+            .metrics
+            .jobs_cancelled
+            .fetch_add(1, Ordering::Relaxed);
+        span.field("outcome", "deadline");
+    } else {
+        span.field("outcome", "failed");
+    }
+    queued.job.fail(status, message);
 }
 
 /// Reads one request, routes it, writes one response.
@@ -345,8 +434,9 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Response {
         }
         ("POST", "/v1/plan") => submit(request, shared, JobKind::Plan),
         ("POST", "/v1/audit") => submit(request, shared, JobKind::Audit),
+        ("POST", "/v1/run") => submit_run(request, shared),
         ("GET", _) if path.starts_with("/v1/jobs/") => job_endpoint(request, shared),
-        (_, "/healthz" | "/metrics" | "/v1/plan" | "/v1/audit") => {
+        (_, "/healthz" | "/metrics" | "/v1/plan" | "/v1/audit" | "/v1/run") => {
             shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
             Response::json(405, &ErrorResponse::new("method not allowed"))
         }
@@ -406,6 +496,7 @@ fn submit(request: &Request, shared: &Arc<Shared>, kind: JobKind) -> Response {
     let counter = match kind {
         JobKind::Plan => &shared.metrics.plan_requests,
         JobKind::Audit => &shared.metrics.audit_requests,
+        JobKind::Run => &shared.metrics.run_requests,
     };
     counter.fetch_add(1, Ordering::Relaxed);
 
@@ -438,15 +529,94 @@ fn submit(request: &Request, shared: &Arc<Shared>, kind: JobKind) -> Response {
 
     let key = (klotski_npd::npd_digest(&npd), options.digest());
     if let Some(hit) = shared.cache.get(key) {
-        return finished_response(kind, &hit, true);
+        return finished_response(kind, &JobOutput::Plan(hit), true);
     }
 
+    enqueue_and_answer(
+        request,
+        shared,
+        kind,
+        Work::Plan {
+            npd: Box::new(npd),
+            options,
+            key,
+        },
+    )
+}
+
+/// `POST /v1/run`: execute a scripted controller scenario. The body is a
+/// scenario document; `?deadline_ms=N` bounds the whole run (initial plan
+/// included) and `?wait=0` submits asynchronously like plan/audit.
+fn submit_run(request: &Request, shared: &Arc<Shared>) -> Response {
+    shared.metrics.run_requests.fetch_add(1, Ordering::Relaxed);
+
+    if shared.draining() {
+        shared.metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
+        return Response::json(503, &ErrorResponse::new("draining; not accepting work"))
+            .with_header("Retry-After", "1");
+    }
+    let mut deadline_ms = None;
+    for (key, value) in &request.query {
+        match key.as_str() {
+            "deadline_ms" => match value.parse() {
+                Ok(ms) => deadline_ms = Some(ms),
+                Err(_) => {
+                    shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+                    return Response::json(
+                        400,
+                        &ErrorResponse::new(format!("bad deadline_ms {value:?}")),
+                    );
+                }
+            },
+            "wait" => {}
+            other => {
+                shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+                return Response::json(
+                    400,
+                    &ErrorResponse::new(format!("unknown query parameter {other:?}")),
+                );
+            }
+        }
+    }
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(b) => b,
+        Err(_) => {
+            shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return Response::json(400, &ErrorResponse::new("body is not UTF-8"));
+        }
+    };
+    let scenario = match Scenario::from_json(body) {
+        Ok(s) => s,
+        Err(e) => {
+            shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return Response::json(422, &ErrorResponse::new(e.to_string()));
+        }
+    };
+
+    enqueue_and_answer(
+        request,
+        shared,
+        JobKind::Run,
+        Work::Run {
+            scenario,
+            deadline_ms,
+        },
+    )
+}
+
+/// Admits `work` into the bounded queue and answers: 503 on backpressure,
+/// 202 + job id for `?wait=0` (or a sync-wait timeout), otherwise the
+/// finished result.
+fn enqueue_and_answer(
+    request: &Request,
+    shared: &Arc<Shared>,
+    kind: JobKind,
+    work: Work,
+) -> Response {
     let job = shared.jobs.create(kind);
     let queued = QueuedJob {
         job: Arc::clone(&job),
-        npd,
-        options,
-        key,
+        work,
     };
     match shared.queue.try_push(queued) {
         Ok(()) => {}
@@ -480,7 +650,10 @@ fn submit(request: &Request, shared: &Arc<Shared>, kind: JobKind) -> Response {
         .with_header("Location", format!("/v1/jobs/{}", job.id));
     }
     match job.wait(shared.config.sync_wait) {
-        Some(Ok(artifact)) => finished_response(kind, &artifact, artifact.summary.cached),
+        Some(Ok(output)) => {
+            let cached = output.plan().is_some_and(|a| a.summary.cached);
+            finished_response(kind, &output, cached)
+        }
         Some(Err(e)) => Response::json(e.status, &ErrorResponse::new(e.message)),
         None => Response::json(
             202,
@@ -492,17 +665,20 @@ fn submit(request: &Request, shared: &Arc<Shared>, kind: JobKind) -> Response {
     }
 }
 
-/// Renders a finished artifact for its request kind. Plan responses are
-/// the raw plan-attached NPD bytes (byte-identical to the CLI); audit
-/// responses are the summary + safety timeline.
-fn finished_response(kind: JobKind, artifact: &Arc<PlanArtifact>, cached: bool) -> Response {
+/// Renders a finished job for its request kind. Plan responses are the
+/// raw plan-attached NPD bytes (byte-identical to the CLI); audit
+/// responses are the summary + safety timeline; run responses are the
+/// controller's full report.
+fn finished_response(kind: JobKind, output: &JobOutput, cached: bool) -> Response {
     let cache_header = if cached { "hit" } else { "miss" };
-    match kind {
-        JobKind::Plan => Response::raw_json(200, artifact.plan_json.clone())
-            .with_header("X-Klotski-Cache", cache_header)
-            .with_header("X-Klotski-Digest", artifact.summary.npd_digest.clone())
-            .with_header("X-Klotski-Cost", format!("{}", artifact.summary.cost)),
-        JobKind::Audit => {
+    match (kind, output) {
+        (JobKind::Plan, JobOutput::Plan(artifact)) => {
+            Response::raw_json(200, artifact.plan_json.clone())
+                .with_header("X-Klotski-Cache", cache_header)
+                .with_header("X-Klotski-Digest", artifact.summary.npd_digest.clone())
+                .with_header("X-Klotski-Cost", format!("{}", artifact.summary.cost))
+        }
+        (JobKind::Audit, JobOutput::Plan(artifact)) => {
             let summary = PlanSummary {
                 cached,
                 ..artifact.summary.clone()
@@ -515,6 +691,26 @@ fn finished_response(kind: JobKind, artifact: &Arc<PlanArtifact>, cached: bool) 
                 },
             )
             .with_header("X-Klotski-Cache", cache_header)
+        }
+        (_, JobOutput::Run(run)) => {
+            let outcome = if run.report.completed {
+                "completed"
+            } else if run.report.rolled_back {
+                "rolled-back"
+            } else {
+                "aborted"
+            };
+            Response::raw_json(200, run.json.clone())
+                .with_header("X-Klotski-Run-Outcome", outcome)
+                .with_header(
+                    "X-Klotski-Run-Fingerprint",
+                    format!("{:016x}", run.report.fingerprint()),
+                )
+        }
+        // A kind/output mismatch cannot happen (workers publish the output
+        // matching the job's kind); answer the bytes we do have.
+        (JobKind::Run, JobOutput::Plan(artifact)) => {
+            Response::raw_json(200, artifact.plan_json.clone())
         }
     }
 }
@@ -533,10 +729,13 @@ fn job_endpoint(request: &Request, shared: &Arc<Shared>) -> Response {
     let Some(job) = shared.jobs.get(id) else {
         return Response::json(404, &ErrorResponse::new(format!("no job {id}")));
     };
-    let (state, artifact, error) = job.status();
+    let (state, output, error) = job.status();
     if want_result {
-        return match (artifact, error) {
-            (Some(a), _) => finished_response(job.kind, &a, a.summary.cached),
+        return match (output, error) {
+            (Some(o), _) => {
+                let cached = o.plan().is_some_and(|a| a.summary.cached);
+                finished_response(job.kind, &o, cached)
+            }
             (None, Some(e)) => Response::json(e.status, &ErrorResponse::new(e.message)),
             (None, None) => Response::json(
                 409,
@@ -552,7 +751,9 @@ fn job_endpoint(request: &Request, shared: &Arc<Shared>) -> Response {
             kind: job.kind.label().to_string(),
             state,
             error: error.map(|e| e.message),
-            summary: artifact.map(|a| a.summary.clone()),
+            // Run jobs have no plan summary; their result endpoint carries
+            // the full controller report instead.
+            summary: output.and_then(|o| o.plan().map(|a| a.summary.clone())),
         },
     )
 }
@@ -752,6 +953,81 @@ mod tests {
         );
         assert_eq!(status, 200);
         assert!(Npd::from_json(&body).is_ok());
+
+        service.shutdown();
+    }
+
+    #[test]
+    fn scenario_run_end_to_end() {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let addr = service.local_addr();
+        let scenario = serde_json::to_string(&klotski_controller::Scenario::sample()).unwrap();
+
+        // Synchronous run: the full controller report comes back.
+        let (status, headers, body) = request(addr, "POST /v1/run HTTP/1.1\r\nHost: t", &scenario);
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(header(&headers, "x-klotski-run-outcome"), Some("completed"));
+        let report: klotski_controller::ControllerReport = serde_json::from_str(&body).unwrap();
+        assert!(report.completed);
+        assert!(!report.steps.is_empty());
+        assert_eq!(
+            header(&headers, "x-klotski-run-fingerprint"),
+            Some(format!("{:016x}", report.fingerprint()).as_str())
+        );
+
+        // Invalid scenarios are rejected before admission.
+        let (status, _, body) = request(
+            addr,
+            "POST /v1/run HTTP/1.1\r\nHost: t",
+            r#"{"name": "x", "preset": "nope"}"#,
+        );
+        assert_eq!(status, 422, "{body}");
+        let err: ErrorResponse = serde_json::from_str(&body).unwrap();
+        assert!(err.error.contains("unknown preset"), "{}", err.error);
+
+        // Async submission polls to completion; run jobs carry no plan
+        // summary, the result endpoint returns the report bytes.
+        let (status, _, body) = request(addr, "POST /v1/run?wait=0 HTTP/1.1\r\nHost: t", &scenario);
+        assert_eq!(status, 202, "{body}");
+        let accepted: AcceptedResponse = serde_json::from_str(&body).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let (status, _, body) = request(
+                addr,
+                &format!("GET /v1/jobs/{} HTTP/1.1\r\nHost: t", accepted.job),
+                "",
+            );
+            assert_eq!(status, 200, "{body}");
+            let poll: JobStatusResponse = serde_json::from_str(&body).unwrap();
+            match poll.state {
+                klotski_npd::api::JobState::Done => {
+                    assert_eq!(poll.kind, "run");
+                    assert!(poll.summary.is_none(), "run jobs have no plan summary");
+                    break;
+                }
+                klotski_npd::api::JobState::Failed => panic!("run failed: {:?}", poll.error),
+                _ => std::thread::sleep(Duration::from_millis(25)),
+            }
+            assert!(Instant::now() < deadline, "run never finished");
+        }
+        let (status, _, body) = request(
+            addr,
+            &format!("GET /v1/jobs/{}/result HTTP/1.1\r\nHost: t", accepted.job),
+            "",
+        );
+        assert_eq!(status, 200);
+        let polled: klotski_controller::ControllerReport = serde_json::from_str(&body).unwrap();
+        assert_eq!(polled.fingerprint(), report.fingerprint());
+
+        // The run counter and the process-wide controller metrics surface.
+        let (_, _, text) = request(addr, "GET /metrics HTTP/1.1\r\nHost: t", "");
+        assert!(text.contains("klotski_run_requests_total 3"), "{text}");
+        assert!(text.contains("klotski_controller_phases_applied_total"));
+        assert!(text.contains("klotski_controller_replan_seconds"));
 
         service.shutdown();
     }

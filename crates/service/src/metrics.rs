@@ -21,6 +21,8 @@ pub struct Metrics {
     pub plan_requests: AtomicU64,
     /// `POST /v1/audit` submissions.
     pub audit_requests: AtomicU64,
+    /// `POST /v1/run` scenario submissions.
+    pub run_requests: AtomicU64,
     /// Malformed requests answered 4xx.
     pub bad_requests: AtomicU64,
     /// Submissions refused with 503 (queue full, connection cap, draining).
@@ -50,6 +52,7 @@ impl Metrics {
             http_requests: AtomicU64::new(0),
             plan_requests: AtomicU64::new(0),
             audit_requests: AtomicU64::new(0),
+            run_requests: AtomicU64::new(0),
             bad_requests: AtomicU64::new(0),
             rejected_busy: AtomicU64::new(0),
             jobs_completed: AtomicU64::new(0),
@@ -121,6 +124,11 @@ pub fn render(m: &Metrics, g: &Gauges) -> String {
         "klotski_audit_requests_total",
         "Audit submissions.",
         load(&m.audit_requests).to_string(),
+    );
+    line(
+        "klotski_run_requests_total",
+        "Scenario run submissions.",
+        load(&m.run_requests).to_string(),
     );
     line(
         "klotski_bad_requests_total",
@@ -275,6 +283,7 @@ mod tests {
         m.http_requests.fetch_add(7, Ordering::Relaxed);
         m.plan_requests.fetch_add(3, Ordering::Relaxed);
         m.audit_requests.fetch_add(1, Ordering::Relaxed);
+        m.run_requests.fetch_add(2, Ordering::Relaxed);
         m.jobs_completed.fetch_add(4, Ordering::Relaxed);
         m.jobs_failed.fetch_add(2, Ordering::Relaxed);
         m.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
@@ -313,6 +322,9 @@ klotski_plan_requests_total 3
 # HELP klotski_audit_requests_total Audit submissions.
 # TYPE klotski_audit_requests_total gauge
 klotski_audit_requests_total 1
+# HELP klotski_run_requests_total Scenario run submissions.
+# TYPE klotski_run_requests_total gauge
+klotski_run_requests_total 2
 # HELP klotski_bad_requests_total Requests rejected 4xx.
 # TYPE klotski_bad_requests_total gauge
 klotski_bad_requests_total 0

@@ -1,28 +1,22 @@
-//! The §7 operational pipeline: forecast demand, plan, execute with fault
-//! injection, and replan when the realized world drifts.
-//!
-//! Reproduces the deployment-experience loop: traffic grows organically
-//! while a migration runs for months (§7.1), surges hit mid-migration
-//! (§7.2), pushes fail and are retried, and routine maintenance takes
-//! uninvolved switches down — so the executor re-runs the planner on the
-//! residual migration with the re-forecast demand.
+//! The §7 operational pipeline on the continuous controller: forecast
+//! demand, plan, then let `klotski-controller` execute the migration
+//! canary-first while the scripted world misbehaves — organic growth
+//! (§7.1), a mid-migration east/west surge (§7.2), and a link failure that
+//! drives utilization over the bound so the controller safe-pauses,
+//! replans incrementally from the observed state, and resumes.
 //!
 //! ```text
 //! cargo run --release --example replanning_pipeline
 //! ```
 
-use klotski::core::executor::{execute, ExecutorConfig};
-use klotski::core::migration::{MigrationBuilder, MigrationOptions};
-use klotski::core::planner::{AStarPlanner, Planner};
-use klotski::topology::presets::{self, PresetId};
+use klotski::controller::{run_scenario, Scenario, ScenarioEvent};
 use klotski::traffic::{
-    DemandClass, EwmaForecaster, Forecaster, HistoryConfig, LinearTrendForecaster, SurgeEvent,
-    TrafficHistory,
+    DemandClass, EwmaForecaster, Forecaster, HistoryConfig, LinearTrendForecaster, TrafficHistory,
 };
 
 fn main() {
     // --- Forecast: synthesize a traffic history and predict the level over
-    // the next migration step (§7.1).
+    // the next migration window (§7.1).
     let history = TrafficHistory::synthesize(&HistoryConfig::default());
     let horizon = 14;
     let linear = LinearTrendForecaster::default();
@@ -39,62 +33,91 @@ fn main() {
         ewma.name(),
         ewma.forecast(&history, horizon)
     );
-    let growth = (linear.forecast(&history, horizon) / history.latest() - 1.0).max(0.0);
+    // One controller step ≈ one day: compound the horizon forecast down to
+    // a per-step organic growth rate.
+    let window_growth = (linear.forecast(&history, horizon) / history.latest() - 1.0).max(0.0);
+    let growth_per_step = (1.0 + window_growth).powf(1.0 / horizon as f64) - 1.0;
 
-    // --- Plan against the forecast demand.
-    let preset = presets::build(PresetId::B);
-    let spec =
-        MigrationBuilder::hgrid_v1_to_v2(&preset, &MigrationOptions::default()).expect("spec");
-    let planner = AStarPlanner::default();
-    let plan = planner.plan(&spec).expect("plan").plan;
-    println!(
-        "\ninitial plan: {} phases over {} blocks",
-        plan.num_phases(),
-        plan.num_steps()
-    );
-
-    // --- Execute in a world that misbehaves.
-    let cfg = ExecutorConfig {
-        seed: 42,
-        failure_prob: 0.25,
-        max_retries: 10,
-        demand_growth_per_phase: growth,
-        surges: vec![SurgeEvent::on_class(1, 3, 1.25, DemandClass::RswToRsw)],
-        external_maintenance_prob: 0.5,
-        replan_on_violation: true,
+    // --- Script the world: a +25% east/west surge over steps 1-3 and a
+    // link failure after the first batch, under a tightened utilization
+    // bound so the failure actually violates a constraint.
+    let scenario = Scenario {
+        name: "replanning-pipeline".to_string(),
+        theta: Some(0.62),
+        demand_growth_per_step: growth_per_step,
+        events: vec![
+            ScenarioEvent::surge(1, 4, 1.25, Some(DemandClass::RswToRsw)),
+            ScenarioEvent::link_failure(1, None, None),
+        ],
+        ..Scenario::sample()
     };
     println!(
-        "executing with +{:.1}%/phase organic growth, a +25% east/west surge over phases 1-2, \
-         25% push-failure rate, and random concurrent maintenance\n",
-        growth * 100.0
+        "\nexecuting on preset {} with theta {:.2}, +{:.2}%/step organic growth, a +25% \
+         east/west surge over steps 1-3, and a link failure after step 1\n",
+        scenario.preset.to_uppercase(),
+        scenario.theta.unwrap(),
+        growth_per_step * 100.0
     );
-    let report = execute(&spec, &plan, &planner, &cfg);
 
-    for p in &report.phases {
+    // --- Run the controller: canary batches, per-step shadow audits,
+    // safe-pause on violation, incremental replanning, rollback as the
+    // last resort.
+    let report = run_scenario(&scenario, None).expect("controller run");
+    println!(
+        "initial plan: {} phases ({} states visited)",
+        report.initial_phases, report.initial_stats.states_visited
+    );
+    for s in &report.steps {
         println!(
-            "phase {:>2}: {} block(s), {} attempt(s), peak util {:.1}%{}{}",
-            p.index + 1,
-            p.blocks_operated,
-            p.attempts,
-            p.realized_max_utilization * 100.0,
-            if p.external_maintenance {
-                ", concurrent maintenance"
-            } else {
-                ""
-            },
-            if p.safe {
-                ""
-            } else {
-                "  << UNSAFE under realized demand"
-            },
+            "step {:>2}: {} x{}{} | util {:>5.1}% | drift {}c/{}s{}{}",
+            s.step,
+            s.action,
+            s.blocks,
+            if s.canary { " (canary)" } else { "" },
+            s.max_utilization * 100.0,
+            s.drift_circuits,
+            s.drift_switches,
+            if s.safe { "" } else { "  << UNSAFE" },
+            if s.paused { "  << PAUSE" } else { "" },
+        );
+        if let Some(reason) = &s.pause_reason {
+            println!("         pause: {reason}");
+        }
+    }
+    for r in &report.replans {
+        if r.ok {
+            println!(
+                "replan after step {}: {} phases in {:.1}ms ({} esc entries, {} incremental \
+                 replays)",
+                r.at_step,
+                r.phases,
+                r.latency_ms,
+                r.stats.esc_entries,
+                r.stats.incremental_clean + r.stats.incremental_dirty
+            );
+        } else {
+            println!(
+                "replan after step {} FAILED: {}",
+                r.at_step,
+                r.error.as_deref().unwrap_or("unknown")
+            );
+        }
+    }
+    if let Some(rb) = &report.rollback {
+        println!(
+            "rollback at step {} to step {:?} ({} snapshot(s) skipped, restored state {})",
+            rb.at_step,
+            rb.to_step,
+            rb.snapshots_skipped,
+            if rb.safe { "safe" } else { "STILL UNSAFE" }
         );
     }
     println!(
-        "\ncompleted: {} | replans: {} | {}",
+        "\ncompleted: {} | pauses: {} | replans: {} | {} | fingerprint {:016x}",
         report.completed,
-        report.replans,
-        report
-            .abort_reason
-            .unwrap_or_else(|| "no aborts".to_string())
+        report.pauses(),
+        report.replans.len(),
+        report.abort_reason.as_deref().unwrap_or("no aborts"),
+        report.fingerprint()
     );
 }

@@ -4,6 +4,7 @@
 //! klotski export <preset> <out.json>        # write a region as NPD
 //! klotski plan <npd.json> [-o out.json]     # plan the migration an NPD implies
 //! klotski audit <preset>                    # plan + per-phase safety audit
+//! klotski run --scenario <file>             # execute a scripted controller run
 //! klotski trace <trace.jsonl>               # validate a recorded trace
 //! klotski serve [--addr A] [...]            # run the planning daemon
 //! klotski presets                           # list the built-in topologies
@@ -55,7 +56,9 @@ impl CliError {
                  klotski plan <npd.json> [-o out.json] [--planner astar|dp] \
                  [--theta X] [--alpha X] [--trace out.jsonl] [--stats] \
                  [--no-incremental] [--esc-cache-cap N]\n  \
-                 klotski audit <preset>\n  klotski trace <trace.jsonl>\n  \
+                 klotski audit <preset>\n  \
+                 klotski run --scenario <file> [-o report.json] [--deadline-ms N]\n  \
+                 klotski trace <trace.jsonl>\n  \
                  klotski serve [--addr HOST:PORT] [--workers N] [--queue-depth N] \
                  [--cache N] [--deadline-ms N]"
                 .into(),
@@ -137,6 +140,10 @@ fn run(mut args: Vec<String>) -> Result<(), CliError> {
             cmd_plan(args)
         }
         Some("audit") if args.len() == 2 => cmd_audit(&args[1]),
+        Some("run") => {
+            args.remove(0);
+            cmd_run(args)
+        }
         Some("trace") if args.len() == 2 => cmd_trace(&args[1]),
         Some("serve") => {
             args.remove(0);
@@ -309,6 +316,115 @@ fn cmd_audit(preset: &str) -> Result<(), CliError> {
     Ok(())
 }
 
+fn cmd_run(mut args: Vec<String>) -> Result<(), CliError> {
+    let scenario_path = take_flag::<String>(&mut args, "--scenario")?
+        .ok_or_else(|| CliError::failure("run needs --scenario <file>"))?;
+    let out = take_flag::<String>(&mut args, "-o")?;
+    let deadline_ms = take_flag::<u64>(&mut args, "--deadline-ms")?;
+    if !args.is_empty() {
+        return Err(CliError::usage());
+    }
+
+    let json = std::fs::read_to_string(&scenario_path)
+        .or_fail(format_args!("cannot read {scenario_path}"))?;
+    let scenario = klotski::controller::Scenario::from_json(&json)
+        .or_fail(format_args!("invalid scenario {scenario_path}"))?;
+    let deadline = deadline_ms.map(|ms| std::time::Instant::now() + Duration::from_millis(ms));
+    let report = klotski::controller::run_scenario(&scenario, deadline)
+        .map_err(|e| CliError::failure(e.to_string()))?;
+
+    println!(
+        "{}: initial plan {} phases in {:.1}ms ({} states)",
+        report.name,
+        report.initial_phases,
+        report.initial_latency_ms,
+        report.initial_stats.states_visited
+    );
+    for s in &report.steps {
+        let verdict = if s.paused {
+            "PAUSE"
+        } else if s.safe {
+            "ok"
+        } else {
+            "UNSAFE"
+        };
+        let canary = if s.canary { " canary" } else { "" };
+        let drift = if s.drift_circuits + s.drift_switches > 0 {
+            format!("  drift {}c/{}s", s.drift_circuits, s.drift_switches)
+        } else {
+            String::new()
+        };
+        println!(
+            "  step {:>3}  {} x{}{canary}  util {:.3}{drift}  {verdict}",
+            s.step, s.action, s.blocks, s.max_utilization
+        );
+        if let Some(reason) = &s.pause_reason {
+            println!("            reason: {reason}");
+        }
+    }
+    for r in &report.replans {
+        if r.ok {
+            println!(
+                "  replan after step {}: {} phases in {:.1}ms \
+                 ({} states, {} esc hits, {} incr replays)",
+                r.at_step,
+                r.phases,
+                r.latency_ms,
+                r.stats.states_visited,
+                r.stats.cache_hits,
+                r.stats.incremental_clean
+            );
+        } else {
+            println!(
+                "  replan after step {} FAILED in {:.1}ms: {}",
+                r.at_step,
+                r.latency_ms,
+                r.error.as_deref().unwrap_or("unknown")
+            );
+        }
+    }
+    if let Some(rb) = &report.rollback {
+        let to = match rb.to_step {
+            Some(s) => format!("step {s}"),
+            None => "initial state".to_string(),
+        };
+        println!(
+            "  rollback at step {} to {to} ({} snapshots skipped, {})",
+            rb.at_step,
+            rb.snapshots_skipped,
+            if rb.safe { "audits safe" } else { "UNSAFE" }
+        );
+    }
+    let outcome = if report.completed {
+        "completed"
+    } else if report.rolled_back {
+        "rolled back"
+    } else {
+        "aborted"
+    };
+    println!(
+        "{outcome}: {} steps, {} audits, {} pauses, {} replans  (fingerprint {:016x})",
+        report.steps.len(),
+        report.audit_stats.live_audits,
+        report.pauses(),
+        report.replans.len(),
+        report.fingerprint()
+    );
+    if let Some(reason) = &report.abort_reason {
+        println!("reason: {reason}");
+    }
+    if let Some(out) = out {
+        let json = serde_json::to_string_pretty(&report).or_fail("serialization failed")?;
+        std::fs::write(&out, json).or_fail(format_args!("cannot write {out}"))?;
+        println!("report written to {out}");
+    }
+    if report.completed {
+        Ok(())
+    } else {
+        Err(CliError::failure("migration did not complete"))
+    }
+}
+
 fn cmd_serve(mut args: Vec<String>) -> Result<(), CliError> {
     let mut config = ServiceConfig::default();
     if let Some(addr) = take_flag::<String>(&mut args, "--addr")? {
@@ -341,7 +457,7 @@ fn cmd_serve(mut args: Vec<String>) -> Result<(), CliError> {
         config.queue_depth
     );
     println!(
-        "endpoints: POST /v1/plan  POST /v1/audit  GET /v1/jobs/{{id}}  GET /metrics  GET /healthz"
+        "endpoints: POST /v1/plan  POST /v1/audit  POST /v1/run  GET /v1/jobs/{{id}}  GET /metrics  GET /healthz"
     );
     service.run_until_signalled();
     println!("drained; bye");

@@ -1,5 +1,6 @@
 //! Umbrella crate re-exporting the full Klotski workspace API.
 pub use klotski_baselines as baselines;
+pub use klotski_controller as controller;
 pub use klotski_core as core;
 pub use klotski_npd as npd;
 pub use klotski_parallel as parallel;
