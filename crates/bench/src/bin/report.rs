@@ -13,17 +13,20 @@
 //! - `KLOTSKI_FULL_SCALE=1` — build D/E at full paper scale (slow);
 //! - `KLOTSKI_BENCH_TIMEOUT_SECS` — per-planner cap (default 120);
 //! - `KLOTSKI_FULL_SCALE_STEPS` / `KLOTSKI_FULL_SCALE_MIN_TIME_MS` —
-//!   walk length and per-arm window of the `full-scale` experiment.
+//!   walk length and per-arm window of the `full-scale` experiment;
+//! - `KLOTSKI_LONGHORIZON_WAVES` — storm waves per worker-pool width in
+//!   the `long-horizon` experiment (default 6).
 
 use klotski_bench::{
-    experiments, full_scale, incremental, parallel, runner, scenarios, service, telemetry,
+    experiments, full_scale, incremental, longhorizon, parallel, runner, scenarios, service,
+    telemetry,
 };
-use klotski_telemetry::log_event;
+use klotski_telemetry::{log_event, registry};
 
 /// A named experiment: label plus the function rendering its output.
 type Experiment = (&'static str, fn() -> String);
 
-const EXPERIMENTS: [Experiment; 14] = [
+const EXPERIMENTS: [Experiment; 15] = [
     ("table1", experiments::table1),
     ("table3", experiments::table3),
     ("fig8", experiments::fig8),
@@ -38,6 +41,7 @@ const EXPERIMENTS: [Experiment; 14] = [
     ("scenarios", scenarios::scenarios),
     ("service", service::service),
     ("telemetry", telemetry::telemetry),
+    ("long-horizon", longhorizon::longhorizon),
 ];
 
 fn main() {
@@ -87,12 +91,24 @@ fn main() {
 
     for (name, run) in selected {
         let start = std::time::Instant::now();
+        // Snapshot the process-global metrics registry around each
+        // experiment so its emitted delta is its own, not cumulative
+        // across the binary's lifetime.
+        let baseline = registry().snapshot();
         let output = run();
         println!("{output}");
+        let moved = registry().counters_since(&baseline);
+        let counters = moved
+            .iter()
+            .map(|(series, delta)| format!("{series}=+{delta}"))
+            .collect::<Vec<_>>()
+            .join(" ");
         log_event!(
             "report.experiment",
             "name" = *name,
             "secs" = start.elapsed().as_secs_f64(),
+            "counters_moved" = moved.len() as u64,
+            "counters" = counters.as_str(),
         );
     }
     klotski_telemetry::uninstall();

@@ -19,6 +19,7 @@
 pub mod experiments;
 pub mod full_scale;
 pub mod incremental;
+pub mod longhorizon;
 pub mod parallel;
 pub mod runner;
 pub mod scenarios;

@@ -1,0 +1,296 @@
+//! Long-horizon controller endurance: overlapping event storms on
+//! preset C, stretched over hundreds of aggregate steps by the Figure 11
+//! block-scale override. Each *wave* is a scripted timeline that layers
+//! periodic demand surges on top of organic growth, a mid-run link
+//! failure, and an external drain, calibrated against a tightened θ so
+//! the controller safe-pauses and replans under pressure instead of
+//! cruising. Every wave runs at worker-pool widths 1 and 4; the report
+//! asserts the run fingerprints are bit-identical across the two, and
+//! pulls the replan-latency tail (p50/p99/p999) for each width from the
+//! process-global `klotski_controller_replan_seconds` log-linear
+//! histogram via a snapshot delta, so the rows cover exactly this
+//! experiment's own samples. The `report` binary's `long-horizon`
+//! experiment renders both tables and writes `BENCH_longhorizon.json`.
+
+use crate::table::Table;
+use klotski_controller::{run_scenario, ReplanPolicy, Scenario, ScenarioEvent};
+use klotski_telemetry::registry;
+use serde::Serialize;
+
+/// The log-linear family the controller records every replan latency to.
+const REPLAN_FAMILY: &str = "klotski_controller_replan_seconds";
+
+/// Worker-pool widths every wave runs at; fingerprints must match
+/// pairwise across them.
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+/// One wave execution at one worker-pool width in
+/// `BENCH_longhorizon.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct WaveRow {
+    /// Wave name.
+    pub wave: String,
+    /// Worker-pool width the controller ran with.
+    pub threads: usize,
+    /// Executed batches (canary batches count).
+    pub steps: usize,
+    /// Shadow audits run.
+    pub audits: u64,
+    /// Safe-pauses triggered by a failed audit or lookahead.
+    pub pauses: usize,
+    /// Replanning attempts.
+    pub replans: usize,
+    /// `completed` | `rolled_back` | `paused`.
+    pub outcome: String,
+    /// Deterministic run fingerprint (hex), stable across thread counts.
+    pub fingerprint: String,
+}
+
+/// Replan-latency tail for one worker-pool width, from the registry
+/// snapshot delta over that width's whole batch of waves.
+#[derive(Debug, Clone, Serialize)]
+pub struct TailRow {
+    /// Worker-pool width.
+    pub threads: usize,
+    /// Replan latencies sampled in the batch.
+    pub count: u64,
+    /// Mean latency, milliseconds.
+    pub mean_ms: f64,
+    /// Median latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// 99.9th-percentile latency, milliseconds.
+    pub p999_ms: f64,
+}
+
+/// The JSON document written to `BENCH_longhorizon.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct LongHorizonReport {
+    /// Topology preset every wave migrates.
+    pub preset: String,
+    /// Block-scale override stretching the run (Figure 11 semantics).
+    pub block_scale: f64,
+    /// Waves executed per worker-pool width.
+    pub waves: usize,
+    /// Steps executed across all waves and widths.
+    pub total_steps: usize,
+    /// Whether every wave's fingerprint matched across widths.
+    pub deterministic: bool,
+    /// Every wave × width execution.
+    pub rows: Vec<WaveRow>,
+    /// Replan-latency tail per width.
+    pub replan_tail: Vec<TailRow>,
+}
+
+/// The storm timelines. Wave 0 is the calibrated base: θ tightened to
+/// 0.68, 1% organic growth per step, +8% all-class surges every four
+/// steps through the first half of the run, a transient link failure and
+/// an external drain overlapping them — the controller absorbs the
+/// storms with safe-pauses and incremental replans and still completes
+/// all 36 steps (18 default blocks split in two). Later waves perturb
+/// the seed, growth, and surge amplitude; a wave that rolls back under a
+/// harsher draw is a valid outcome and stays in the report.
+fn storm_waves(n: usize) -> Vec<Scenario> {
+    (0..n)
+        .map(|i| {
+            // Alternate the two calibrated pressure profiles; odd waves
+            // trade growth for amplitude so the surge peaks differ.
+            let (growth, factor) = if i % 2 == 0 {
+                (0.010, 1.08)
+            } else {
+                (0.008, 1.10)
+            };
+            let mut events: Vec<ScenarioEvent> = (2..18)
+                .step_by(4)
+                .map(|at| ScenarioEvent::surge(at, at + 2, factor, None))
+                .collect();
+            events.push(ScenarioEvent::link_failure(7, Some(14), None));
+            events.push(ScenarioEvent::external_op(5, Some(12), None));
+            Scenario {
+                name: format!("storm-{i}"),
+                preset: "c".to_string(),
+                seed: 41 + i as u64,
+                theta: Some(0.68),
+                planner: "astar".to_string(),
+                alpha: 0.0,
+                canary_blocks: 1,
+                demand_growth_per_step: growth,
+                threads: None,
+                events,
+                replan: ReplanPolicy {
+                    max_replans: 64,
+                    max_states: 2_000_000,
+                    time_limit_ms: 30_000,
+                },
+                progress_every: None,
+                block_scale: Some(2.0),
+            }
+        })
+        .collect()
+}
+
+/// Runs `n` waves at every worker-pool width and builds the JSON report.
+pub fn measure(n: usize) -> LongHorizonReport {
+    let scenarios = storm_waves(n);
+    let mut rows: Vec<WaveRow> = Vec::new();
+    let mut replan_tail = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        let baseline = registry().snapshot();
+        for scenario in &scenarios {
+            let mut scenario = scenario.clone();
+            scenario.threads = Some(threads);
+            let report = run_scenario(&scenario, None)
+                .unwrap_or_else(|e| panic!("wave {} failed to start: {e}", scenario.name));
+            rows.push(WaveRow {
+                wave: report.name.clone(),
+                threads,
+                steps: report.steps.len(),
+                audits: report.audit_stats.live_audits,
+                pauses: report.pauses(),
+                replans: report.replans.len(),
+                outcome: report.outcome_label().to_string(),
+                fingerprint: format!("{:016x}", report.fingerprint()),
+            });
+        }
+        let tail = registry()
+            .loglinear_since(REPLAN_FAMILY, &baseline)
+            .expect("the controller records replan latencies");
+        replan_tail.push(TailRow {
+            threads,
+            count: tail.count(),
+            mean_ms: tail.mean_seconds() * 1e3,
+            p50_ms: tail.quantile(0.5) * 1e3,
+            p99_ms: tail.quantile(0.99) * 1e3,
+            p999_ms: tail.quantile(0.999) * 1e3,
+        });
+    }
+    let deterministic = scenarios.iter().all(|s| {
+        let mut prints = rows
+            .iter()
+            .filter(|r| r.wave == s.name)
+            .map(|r| r.fingerprint.as_str());
+        match prints.next() {
+            Some(first) => prints.all(|p| p == first),
+            None => false,
+        }
+    });
+    LongHorizonReport {
+        preset: "c".to_string(),
+        block_scale: 2.0,
+        waves: n,
+        total_steps: rows.iter().map(|r| r.steps).sum(),
+        deterministic,
+        rows,
+        replan_tail,
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The `long-horizon` experiment: renders the wave and tail tables and
+/// writes `BENCH_longhorizon.json` in the working directory. Wave count
+/// defaults to 6 per width (hundreds of aggregate steps);
+/// `KLOTSKI_LONGHORIZON_WAVES` overrides it for smoke runs.
+pub fn longhorizon() -> String {
+    let waves = env_usize("KLOTSKI_LONGHORIZON_WAVES", 6);
+    let report = measure(waves);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    let path = "BENCH_longhorizon.json";
+    let note = match std::fs::write(path, &json) {
+        Ok(()) => format!("wrote {path}"),
+        Err(e) => format!("could not write {path}: {e}"),
+    };
+    let mut t = Table::new([
+        "wave",
+        "threads",
+        "steps",
+        "audits",
+        "pauses",
+        "replans",
+        "outcome",
+        "fingerprint",
+    ]);
+    for r in &report.rows {
+        t.row([
+            r.wave.clone(),
+            r.threads.to_string(),
+            r.steps.to_string(),
+            r.audits.to_string(),
+            r.pauses.to_string(),
+            r.replans.to_string(),
+            r.outcome.clone(),
+            r.fingerprint.clone(),
+        ]);
+    }
+    let mut tail = Table::new(["threads", "replans", "mean", "p50", "p99", "p999"]);
+    for r in &report.replan_tail {
+        tail.row([
+            r.threads.to_string(),
+            r.count.to_string(),
+            format!("{:.1}ms", r.mean_ms),
+            format!("{:.1}ms", r.p50_ms),
+            format!("{:.1}ms", r.p99_ms),
+            format!("{:.1}ms", r.p999_ms),
+        ]);
+    }
+    format!(
+        "== Long-horizon storms (preset C, block_scale 2, {} waves x widths {:?}) ==\n\
+         {}\ntotal steps: {}   fingerprints deterministic across widths: {}\n\n\
+         replan-latency tail per width:\n{}\n[{note}]",
+        report.waves,
+        THREAD_COUNTS,
+        t.render(),
+        report.total_steps,
+        report.deterministic,
+        tail.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storm_wave_is_deterministic_across_widths() {
+        // One wave per width keeps the debug-build test affordable; the
+        // base wave alone exercises pauses, replans, and completion.
+        let report = measure(1);
+        assert_eq!(report.rows.len(), THREAD_COUNTS.len());
+        assert!(report.deterministic, "fingerprints diverged across widths");
+        for row in &report.rows {
+            assert_eq!(
+                row.outcome, "completed",
+                "wave {} width {}",
+                row.wave, row.threads
+            );
+            assert!(row.pauses > 0, "the storm should force a safe-pause");
+            assert!(row.replans > 0, "the storm should force a replan");
+            assert_eq!(row.audits as usize, row.steps, "one shadow audit per step");
+            assert!(
+                row.steps >= 30,
+                "block_scale 2 stretches preset C past 30 steps"
+            );
+        }
+        // The tail deltas cover at least this experiment's own samples
+        // (other tests in the binary may add to the process-global
+        // histogram, never subtract).
+        for (tail, &threads) in report.replan_tail.iter().zip(THREAD_COUNTS.iter()) {
+            let own: usize = report
+                .rows
+                .iter()
+                .filter(|r| r.threads == threads)
+                .map(|r| r.replans)
+                .sum();
+            assert!(own > 0);
+            assert!(tail.count >= own as u64, "width {threads}");
+            assert!(tail.p50_ms > 0.0 && tail.p99_ms >= tail.p50_ms);
+            assert!(tail.p999_ms >= tail.p99_ms);
+        }
+    }
+}

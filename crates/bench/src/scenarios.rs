@@ -40,7 +40,9 @@ pub struct ScenarioRow {
     pub replan_esc_entries: u64,
     /// Incremental routing replays across all replans (clean + dirty).
     pub replan_incremental: u64,
-    /// `completed` | `rolled-back` | `aborted`.
+    /// `completed` | `rolled_back` | `paused` — the shared
+    /// [`klotski_controller::ControllerReport::outcome_label`] vocabulary,
+    /// matching the service's run counter labels and SSE terminal events.
     pub outcome: String,
     /// Deterministic run fingerprint (hex), stable across thread counts.
     pub fingerprint: String,
@@ -87,13 +89,7 @@ pub fn measure() -> ScenariosReport {
         .map(|scenario| {
             let report = run_scenario(scenario, None)
                 .unwrap_or_else(|e| panic!("scenario {} failed to start: {e}", scenario.name));
-            let outcome = if report.completed {
-                "completed"
-            } else if report.rolled_back {
-                "rolled-back"
-            } else {
-                "aborted"
-            };
+            let outcome = report.outcome_label();
             ScenarioRow {
                 scenario: report.name.clone(),
                 preset: scenario.preset.clone(),
@@ -199,7 +195,7 @@ mod tests {
         assert!(tight.replan_esc_entries > 0 && tight.replan_incremental > 0);
         // The starved variant fails its replan and rolls back.
         let starved = by_name("starved-rollback");
-        assert_eq!(starved.outcome, "rolled-back");
+        assert_eq!(starved.outcome, "rolled_back");
         assert_eq!(starved.replans_ok, 0);
         assert!(starved.replans >= 1);
     }

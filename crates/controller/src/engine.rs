@@ -28,6 +28,7 @@
 //! budget binds first.
 
 use crate::fleet::{pick_uninvolved_circuit, FleetSim};
+use crate::flight::{FlightBundle, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 use crate::scenario::{EventKind, ReplanPolicy, Scenario, ScenarioEvent};
 use klotski_core::compact::CompactState;
 use klotski_core::executor::{pick_uninvolved_switch, plan_still_safe, realized_demand};
@@ -37,7 +38,7 @@ use klotski_core::planner::{AStarPlanner, DpPlanner, PlanStats, Planner, SearchB
 use klotski_core::satcheck::SatStats;
 use klotski_core::{CostModel, EscMode, PlanError, SatChecker};
 use klotski_parallel::WorkerPool;
-use klotski_telemetry::{registry, span, Counter, Histogram};
+use klotski_telemetry::{registry, span, Counter, LogLinearHistogram};
 use klotski_topology::{presets, CircuitId, NetState, SwitchId};
 use klotski_traffic::{DemandMatrix, SurgeEvent};
 use rand::rngs::SmallRng;
@@ -76,6 +77,9 @@ pub struct ControllerConfig {
     /// Hard wall-clock deadline for the whole run (service jobs); checked
     /// between batches and passed into every replan's search budget.
     pub deadline: Option<Instant>,
+    /// Flight-recorder window: structured events retained for the
+    /// diagnostics bundle frozen on pause/rollback/abort (≥ 1).
+    pub flight_capacity: usize,
 }
 
 impl Default for ControllerConfig {
@@ -89,6 +93,7 @@ impl Default for ControllerConfig {
             replanner: ReplannerKind::AStar,
             alpha: 0.0,
             deadline: None,
+            flight_capacity: DEFAULT_FLIGHT_CAPACITY,
         }
     }
 }
@@ -178,12 +183,33 @@ pub struct ControllerReport {
     pub initial_latency_ms: f64,
     /// Audit-checker counters: `live_audits` counts every shadow audit.
     pub audit_stats: SatStats,
+    /// Flight-recorder diagnostics bundle, frozen at the *last*
+    /// safe-pause, rollback, or abort of the run; `None` for a run that
+    /// never stopped. Excluded from [`fingerprint`](Self::fingerprint).
+    #[serde(default)]
+    pub flight: Option<FlightBundle>,
 }
 
 impl ControllerReport {
     /// Pauses recorded over the run.
     pub fn pauses(&self) -> usize {
         self.steps.iter().filter(|s| s.paused).count()
+    }
+
+    /// Terminal-outcome label shared by the service's run-request counter,
+    /// job spans, SSE terminal events, and bench rows: `completed` |
+    /// `rolled_back` | `paused` (stopped early — deadline or exhausted
+    /// pause — without rolling back). Job-level errors that never produce
+    /// a report (invalid scenario, initial-plan failure) are labeled
+    /// `failed` by the service.
+    pub fn outcome_label(&self) -> &'static str {
+        if self.completed {
+            "completed"
+        } else if self.rolled_back {
+            "rolled_back"
+        } else {
+            "paused"
+        }
     }
 
     /// FNV-1a hash over every deterministic field — equal across thread
@@ -298,7 +324,11 @@ struct ControllerMetrics {
     replans: Arc<Counter>,
     replan_failures: Arc<Counter>,
     rollbacks: Arc<Counter>,
-    replan_seconds: Arc<Histogram>,
+    /// Log-linear (p999-resolving) — replan tails are the long-horizon
+    /// latency story.
+    replan_seconds: Arc<LogLinearHistogram>,
+    /// Log-linear wall time of every shadow-audit satisfiability check.
+    audit_seconds: Arc<LogLinearHistogram>,
 }
 
 fn controller_metrics() -> ControllerMetrics {
@@ -336,6 +366,10 @@ fn controller_metrics() -> ControllerMetrics {
             "klotski_controller_replan_seconds",
             "Replanning latency (successful and failed attempts).",
         ),
+        (
+            "klotski_controller_audit_seconds",
+            "Shadow-audit satisfiability-check wall time.",
+        ),
     ] {
         reg.set_help(name, help);
     }
@@ -347,7 +381,8 @@ fn controller_metrics() -> ControllerMetrics {
         replans: reg.counter("klotski_controller_replans_total"),
         replan_failures: reg.counter("klotski_controller_replan_failures_total"),
         rollbacks: reg.counter("klotski_controller_rollbacks_total"),
-        replan_seconds: reg.histogram("klotski_controller_replan_seconds"),
+        replan_seconds: reg.loglinear("klotski_controller_replan_seconds"),
+        audit_seconds: reg.loglinear("klotski_controller_audit_seconds"),
     }
 }
 
@@ -364,6 +399,7 @@ pub fn run(spec: &MigrationSpec, plan: &MigrationPlan, cfg: &ControllerConfig) -
     let met = controller_metrics();
     let pool = Arc::new(WorkerPool::new(spec.threads.max(1)));
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let recorder = FlightRecorder::new(cfg.flight_capacity);
 
     // The audit checker routes arbitrary observed states from scratch
     // (`audit_live`), so it carries neither the ESC cache nor the
@@ -388,6 +424,7 @@ pub fn run(spec: &MigrationSpec, plan: &MigrationPlan, cfg: &ControllerConfig) -
         initial_stats: PlanStats::default(),
         initial_latency_ms: 0.0,
         audit_stats: SatStats::default(),
+        flight: None,
     };
 
     let mut active = spec.clone();
@@ -406,7 +443,20 @@ pub fn run(spec: &MigrationSpec, plan: &MigrationPlan, cfg: &ControllerConfig) -
 
     'run: while let Some(phase) = pending.first().cloned() {
         if cfg.deadline.is_some_and(|d| Instant::now() > d) {
-            report.abort_reason = Some(format!("step {step}: run deadline exceeded"));
+            let reason = format!("step {step}: run deadline exceeded");
+            recorder.note("abort", step, &reason);
+            report.flight = Some(FlightBundle::freeze(
+                &recorder,
+                &report.name,
+                "deadline-abort",
+                step,
+                None,
+                &fleet.drift(&active.topology),
+                replans_done,
+                &cfg.replan,
+                safe_point_steps(&safe_points),
+            ));
+            report.abort_reason = Some(reason);
             break 'run;
         }
 
@@ -447,7 +497,9 @@ pub fn run(spec: &MigrationSpec, plan: &MigrationPlan, cfg: &ControllerConfig) -
         // plan, re-run the satisfiability check on the real state.
         let observed = fleet.observed(&active.topology);
         let drift = fleet.drift(&active.topology);
+        let t_audit = Instant::now();
         let audit = checker.audit_live(&active, &observed, &realized);
+        met.audit_seconds.record(t_audit.elapsed());
         met.audits.inc();
         if !audit.safe {
             met.audit_failures.inc();
@@ -480,11 +532,25 @@ pub fn run(spec: &MigrationSpec, plan: &MigrationPlan, cfg: &ControllerConfig) -
             paused: pause_reason.is_some(),
             pause_reason: pause_reason.clone(),
         });
+        recorder.step(report.steps.last().expect("just pushed"));
 
         // --- Pause → Replan → (Advance | Rollback).
         if let Some(reason) = pause_reason {
             span.field("outcome", "pause");
             met.pauses.inc();
+            // Freeze the safe-pause bundle before replanning so it carries
+            // the pre-replan budget state; a later rollback overwrites it.
+            report.flight = Some(FlightBundle::freeze(
+                &recorder,
+                &report.name,
+                "safe-pause",
+                step,
+                Some(reason.clone()),
+                &drift,
+                replans_done,
+                &cfg.replan,
+                safe_point_steps(&safe_points),
+            ));
             if replans_done >= cfg.replan.max_replans {
                 drop(span);
                 rollback(
@@ -497,6 +563,9 @@ pub fn run(spec: &MigrationSpec, plan: &MigrationPlan, cfg: &ControllerConfig) -
                     step,
                     &realized,
                     format!("{reason}; replan budget exhausted ({replans_done} replans)"),
+                    &recorder,
+                    cfg,
+                    replans_done,
                 );
                 break 'run;
             }
@@ -521,6 +590,7 @@ pub fn run(spec: &MigrationSpec, plan: &MigrationPlan, cfg: &ControllerConfig) -
                         latency_ms: latency.as_secs_f64() * 1e3,
                         stats: out.stats,
                     });
+                    recorder.replan(report.replans.last().expect("just pushed"));
                     active = residual;
                     progress = CompactState::origin(active.num_types());
                     fleet.planned = active.initial.clone();
@@ -537,6 +607,7 @@ pub fn run(spec: &MigrationSpec, plan: &MigrationPlan, cfg: &ControllerConfig) -
                         latency_ms: latency.as_secs_f64() * 1e3,
                         stats: PlanStats::default(),
                     });
+                    recorder.replan(report.replans.last().expect("just pushed"));
                     drop(span);
                     rollback(
                         &mut report,
@@ -548,6 +619,9 @@ pub fn run(spec: &MigrationSpec, plan: &MigrationPlan, cfg: &ControllerConfig) -
                         step,
                         &realized,
                         format!("replanning failed: {msg}"),
+                        &recorder,
+                        cfg,
+                        replans_done,
                     );
                     break 'run;
                 }
@@ -579,15 +653,23 @@ fn rollback(
     at_step: usize,
     realized: &DemandMatrix,
     reason: String,
+    recorder: &FlightRecorder,
+    cfg: &ControllerConfig,
+    replans_done: usize,
 ) {
     let mut span = span!("controller.rollback", "at_step" = at_step);
     met.rollbacks.inc();
     report.rolled_back = true;
+    // The bundle shows the stack as it stood when the rollback fired, not
+    // whatever the walk leaves behind.
+    let stack = safe_point_steps(safe_points);
     let mut skipped = 0usize;
     while let Some(point) = safe_points.pop() {
         fleet.planned = point.planned.clone();
         let observed = fleet.observed(&active.topology);
+        let t_audit = Instant::now();
         let audit = checker.audit_live(active, &observed, realized);
+        met.audit_seconds.record(t_audit.elapsed());
         met.audits.inc();
         if audit.safe || safe_points.is_empty() {
             span.field("outcome", if audit.safe { "restored" } else { "unsafe" });
@@ -597,6 +679,18 @@ fn rollback(
                 snapshots_skipped: skipped,
                 safe: audit.safe,
             });
+            recorder.rollback(report.rollback.as_ref().expect("just set"));
+            report.flight = Some(FlightBundle::freeze(
+                recorder,
+                &report.name,
+                "rollback",
+                at_step,
+                Some(reason.clone()),
+                &fleet.drift(&active.topology),
+                replans_done,
+                &cfg.replan,
+                stack,
+            ));
             report.abort_reason = Some(if audit.safe {
                 reason
             } else {
@@ -607,6 +701,15 @@ fn rollback(
         met.audit_failures.inc();
         skipped += 1;
     }
+}
+
+/// Safe-point stack as flight-bundle entries: -1 is the migration's initial
+/// state, other entries the blessing step's index.
+fn safe_point_steps(safe_points: &[SafePoint]) -> Vec<i64> {
+    safe_points
+        .iter()
+        .map(|p| p.step.map(|s| s as i64).unwrap_or(-1))
+        .collect()
 }
 
 /// Formats a planner error without its wall-clock component.
@@ -721,8 +824,38 @@ pub fn run_scenario(
     if let Some(threads) = scenario.threads {
         opts.threads = threads.max(1);
     }
+    if let Some(scale) = scenario.block_scale {
+        opts.block_scale = scale;
+    }
+    if let Some(every) = scenario.progress_every {
+        opts.progress_every = every.max(1);
+    }
     let spec =
         MigrationBuilder::for_preset(&preset, &opts).map_err(ControllerError::InitialPlan)?;
+    // Victim indices can only be range-checked against the built topology;
+    // `Scenario::validate` has no preset sizes.
+    for (i, ev) in scenario.events.iter().enumerate() {
+        if let Some(idx) = ev.circuit {
+            if idx >= spec.topology.num_circuits() {
+                return Err(ControllerError::Scenario(crate::scenario::ScenarioError(
+                    format!(
+                        "event {i}: circuit {idx} out of range (preset has {})",
+                        spec.topology.num_circuits()
+                    ),
+                )));
+            }
+        }
+        if let Some(idx) = ev.switch {
+            if idx >= spec.topology.num_switches() {
+                return Err(ControllerError::Scenario(crate::scenario::ScenarioError(
+                    format!(
+                        "event {i}: switch {idx} out of range (preset has {})",
+                        spec.topology.num_switches()
+                    ),
+                )));
+            }
+        }
+    }
     let cfg = ControllerConfig {
         seed: scenario.seed,
         canary_blocks: scenario.canary_blocks,
@@ -736,6 +869,7 @@ pub fn run_scenario(
         },
         alpha: scenario.alpha,
         deadline,
+        flight_capacity: DEFAULT_FLIGHT_CAPACITY,
     };
     // The initial plan runs under a generous state budget (it gates the
     // whole run) but still honors the caller's deadline.

@@ -31,6 +31,7 @@
 
 pub mod engine;
 pub mod fleet;
+pub mod flight;
 pub mod scenario;
 
 pub use engine::{
@@ -38,4 +39,5 @@ pub use engine::{
     ReplannerKind, RollbackRecord, StepRecord,
 };
 pub use fleet::{Drift, FleetSim};
+pub use flight::{FlightBundle, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 pub use scenario::{EventKind, ReplanPolicy, Scenario, ScenarioError, ScenarioEvent};

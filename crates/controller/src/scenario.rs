@@ -55,6 +55,17 @@ pub struct Scenario {
     /// Replanning budget and rollback trigger.
     #[serde(default)]
     pub replan: ReplanPolicy,
+    /// Planner progress-event interval override (expansions/states per
+    /// `astar.progress`/`dp.progress` event); `None` keeps the core default
+    /// of 4096. Dial down for fine-grained SSE streams.
+    #[serde(default)]
+    pub progress_every: Option<u64>,
+    /// Operation-block scale override (Figure 11): >1 splits the default
+    /// blocks into finer batches, stretching the run over more steps; `None`
+    /// keeps the §5 default policy. Long-horizon benchmarks use this to
+    /// drive hundreds-of-step runs on one preset.
+    #[serde(default)]
+    pub block_scale: Option<f64>,
 }
 
 /// What a scripted disturbance does.
@@ -249,6 +260,16 @@ impl Scenario {
         if self.replan.max_states == 0 {
             return Err(ScenarioError("replan.max_states must be positive".into()));
         }
+        if self.progress_every == Some(0) {
+            return Err(ScenarioError("progress_every must be positive".into()));
+        }
+        if let Some(scale) = self.block_scale {
+            if !(scale.is_finite() && scale > 0.0) {
+                return Err(ScenarioError(format!(
+                    "block_scale {scale} must be finite and positive"
+                )));
+            }
+        }
         for (i, ev) in self.events.iter().enumerate() {
             if let Some(until) = ev.until_step {
                 if until <= ev.at_step {
@@ -329,6 +350,8 @@ impl Scenario {
                 ScenarioEvent::link_failure(2, Some(5), None),
             ],
             replan: ReplanPolicy::default(),
+            progress_every: None,
+            block_scale: None,
         }
     }
 }
@@ -377,6 +400,38 @@ mod tests {
         assert_eq!(s.canary_blocks, 1);
         assert_eq!(s.replan, ReplanPolicy::default());
         assert!(s.events.is_empty());
+    }
+
+    #[test]
+    fn malformed_event_kind_is_a_parse_error() {
+        let err = Scenario::from_json(
+            r#"{"name": "x", "preset": "a",
+                "events": [{"kind": "Meteor", "at_step": 0}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.0.starts_with("parse:"), "{err}");
+    }
+
+    #[test]
+    fn negative_times_are_parse_errors() {
+        for event in [
+            r#"{"kind": "LinkFailure", "at_step": -3}"#,
+            r#"{"kind": "LinkFailure", "at_step": 1, "until_step": -3}"#,
+        ] {
+            let json = format!(r#"{{"name": "x", "preset": "a", "events": [{event}]}}"#);
+            let err = Scenario::from_json(&json).unwrap_err();
+            assert!(err.0.starts_with("parse:"), "{event}: {err}");
+        }
+    }
+
+    #[test]
+    fn zero_progress_interval_is_rejected() {
+        let err = Scenario::from_json(r#"{"name": "x", "preset": "a", "progress_every": 0}"#)
+            .unwrap_err();
+        assert!(err.0.contains("progress_every"), "{err}");
+        let s =
+            Scenario::from_json(r#"{"name": "x", "preset": "a", "progress_every": 64}"#).unwrap();
+        assert_eq!(s.progress_every, Some(64));
     }
 
     #[test]

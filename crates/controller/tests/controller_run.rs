@@ -159,6 +159,95 @@ fn runs_are_bit_deterministic_across_thread_counts() {
 }
 
 #[test]
+fn clean_runs_carry_no_flight_bundle() {
+    let mut s = Scenario::sample();
+    s.events.clear();
+    let report = run_scenario(&s, None).expect("scenario runs");
+    assert!(report.completed);
+    assert!(report.flight.is_none());
+}
+
+#[test]
+fn safe_pause_freezes_a_bundle_with_pre_replan_state() {
+    let report = run_scenario(&tight_link_failure_scenario(), None).expect("scenario runs");
+    assert!(report.completed, "abort: {:?}", report.abort_reason);
+    let bundle = report.flight.as_ref().expect("pause freezes a bundle");
+    assert_eq!(bundle.trigger, "safe-pause");
+    assert!(
+        bundle
+            .violated_constraint
+            .as_deref()
+            .unwrap()
+            .contains("theta"),
+        "{:?}",
+        bundle.violated_constraint
+    );
+    assert_eq!(bundle.replans_used, 0, "frozen before the replan spends");
+    assert!(
+        bundle.drift_circuits > 0,
+        "failed circuit must show as drift"
+    );
+    assert_eq!(bundle.safe_point_steps.first(), Some(&-1));
+    // The recorder saw every step up to the pause; the last recorded event
+    // is the paused step itself.
+    assert!(!bundle.events.is_empty());
+    assert!(
+        bundle.events.last().unwrap().contains("\"pause_reason\""),
+        "{:?}",
+        bundle.events.last()
+    );
+}
+
+#[test]
+fn rollback_bundle_is_deterministic_and_outside_the_fingerprint() {
+    let mut starved1 = tight_link_failure_scenario();
+    starved1.replan = ReplanPolicy {
+        max_states: 1,
+        ..ReplanPolicy::default()
+    };
+    let mut starved4 = starved1.clone();
+    starved1.threads = Some(1);
+    starved4.threads = Some(4);
+    let s1 = run_scenario(&starved1, None).expect("starved threads=1");
+    let s4 = run_scenario(&starved4, None).expect("starved threads=4");
+
+    let b1 = s1.flight.as_ref().expect("rollback freezes a bundle");
+    let b4 = s4.flight.as_ref().expect("rollback freezes a bundle");
+    assert_eq!(b1.trigger, "rollback");
+    assert_eq!(b1, b4, "bundles must be bit-identical across thread counts");
+    assert_eq!(b1.replans_used, 1);
+    assert!(b1.events.iter().any(|e| e.contains("\"kind\":\"replan\"")));
+    assert!(b1
+        .events
+        .iter()
+        .any(|e| e.contains("\"kind\":\"rollback\"")));
+
+    // The bundle survives its dump format and never perturbs the hash.
+    let back = klotski_controller::FlightBundle::from_json(&b1.to_json()).unwrap();
+    assert_eq!(&back, b1);
+    let mut stripped = s1.clone();
+    stripped.flight = None;
+    assert_eq!(stripped.fingerprint(), s1.fingerprint());
+}
+
+#[test]
+fn out_of_range_victims_are_rejected_against_the_preset() {
+    for (circuit, switch) in [(Some(usize::MAX), None), (None, Some(usize::MAX))] {
+        let mut s = Scenario::sample();
+        s.events = vec![if circuit.is_some() {
+            ScenarioEvent::link_failure(1, None, circuit)
+        } else {
+            ScenarioEvent::external_op(1, None, switch)
+        }];
+        let err = run_scenario(&s, None).expect_err("out-of-range victim");
+        assert!(
+            err.to_string().contains("out of range"),
+            "unexpected error: {err}"
+        );
+    }
+}
+
+#[test]
 fn shipped_example_scenario_matches_the_builtin_sample() {
     let json = std::fs::read_to_string(concat!(
         env!("CARGO_MANIFEST_DIR"),

@@ -125,7 +125,16 @@ pub struct MigrationOptions {
     /// generous — far above what any preset search visits — so eviction only
     /// matters for deliberately capped memory budgets.
     pub esc_cache_cap: usize,
+    /// Expansion interval between `astar.progress` / `dp.progress` trace
+    /// events. The default ([`DEFAULT_PROGRESS_EVERY`]) is frequent enough
+    /// to watch a long search move and rare enough to be invisible in the
+    /// profile; live SSE streams and tests dial it down for finer-grained
+    /// feedback. Clamped to ≥ 1.
+    pub progress_every: u64,
 }
+
+/// Default planner progress-event interval, in expansions.
+pub const DEFAULT_PROGRESS_EVERY: u64 = 4096;
 
 impl Default for MigrationOptions {
     fn default() -> Self {
@@ -145,6 +154,7 @@ impl Default for MigrationOptions {
             threads: klotski_parallel::default_lanes(),
             incremental: true,
             esc_cache_cap: 1 << 20,
+            progress_every: DEFAULT_PROGRESS_EVERY,
         }
     }
 }
@@ -187,6 +197,8 @@ pub struct MigrationSpec {
     pub incremental: bool,
     /// Entry cap for the evaluated-state cache (≥ 1).
     pub esc_cache_cap: usize,
+    /// Planner progress-event interval, expansions (≥ 1).
+    pub progress_every: u64,
 }
 
 impl MigrationSpec {
@@ -296,6 +308,7 @@ impl MigrationSpec {
             threads: self.threads,
             incremental: self.incremental,
             esc_cache_cap: self.esc_cache_cap,
+            progress_every: self.progress_every,
         }
     }
 
@@ -894,6 +907,7 @@ fn finish_spec(
         threads: opts.threads.max(1),
         incremental: opts.incremental,
         esc_cache_cap: opts.esc_cache_cap.max(1),
+        progress_every: opts.progress_every.max(1),
     };
     spec.validate()?;
     Ok(spec)

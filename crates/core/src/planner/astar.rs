@@ -135,14 +135,12 @@ impl Planner for AStarPlanner {
     }
 }
 
-/// Expansion interval between `astar.progress` / `dp.progress` trace
-/// events: frequent enough to watch a long search move, rare enough to be
-/// invisible in the profile.
-pub(crate) const PROGRESS_EVERY: u64 = 4096;
-
 impl AStarPlanner {
     fn plan_inner(&self, spec: &MigrationSpec) -> Result<PlanOutcome, PlanError> {
         let start = Instant::now();
+        // Expansion interval between `astar.progress` events, configured
+        // per instance via `MigrationOptions::progress_every`.
+        let progress_every = spec.progress_every.max(1);
         let target = &spec.target_counts;
         let num_types = spec.num_types();
         let mut checker = match &self.pool {
@@ -181,7 +179,7 @@ impl AStarPlanner {
                 _ => {}
             }
             stats.states_visited += 1;
-            if stats.states_visited % PROGRESS_EVERY == 0 {
+            if stats.states_visited % progress_every == 0 {
                 log_event!(
                     "astar.progress",
                     "expansions" = stats.states_visited,
@@ -320,6 +318,39 @@ mod tests {
     fn spec() -> MigrationSpec {
         MigrationBuilder::hgrid_v1_to_v2(&presets::build(PresetId::A), &MigrationOptions::default())
             .unwrap()
+    }
+
+    #[test]
+    fn progress_interval_is_configurable_per_spec() {
+        use klotski_telemetry as telemetry;
+        // Subscribe to the event bus on a private stream: isolated from
+        // every other test in this binary, and no global sink needed.
+        let count_progress = |spec: &MigrationSpec| {
+            let stream = telemetry::bus().next_stream_id();
+            let sub = telemetry::bus().subscribe(stream, 1 << 16);
+            let _tag = telemetry::tag_stream(stream);
+            let outcome = AStarPlanner::default().plan(spec).unwrap();
+            let mut progress = 0u64;
+            while let Some(line) = sub.try_recv() {
+                if let Ok(telemetry::Record::Event { name, .. }) = telemetry::parse_line(&line) {
+                    if name == "astar.progress" {
+                        progress += 1;
+                    }
+                }
+            }
+            (outcome.stats.states_visited, progress)
+        };
+
+        // Preset A visits far fewer than 4096 states: the default interval
+        // emits nothing, a 1-expansion interval emits one event per visit.
+        let (visited, coarse) = count_progress(&spec());
+        assert!(visited < 4096, "preset A stays tiny: {visited}");
+        assert_eq!(coarse, 0, "default interval stays quiet on preset A");
+
+        let mut fine_spec = spec();
+        fine_spec.progress_every = 1;
+        let (visited, fine) = count_progress(&fine_spec);
+        assert_eq!(fine, visited, "one progress event per expansion");
     }
 
     #[test]

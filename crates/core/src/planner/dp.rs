@@ -17,7 +17,6 @@ use crate::cost::CostModel;
 use crate::error::PlanError;
 use crate::migration::MigrationSpec;
 use crate::plan::{MigrationPlan, PlanStep};
-use crate::planner::astar::PROGRESS_EVERY;
 use crate::planner::{flush_search_metrics, PlanOutcome, PlanStats, Planner, SearchBudget};
 use crate::satcheck::{EscMode, SatChecker};
 use klotski_parallel::WorkerPool;
@@ -93,6 +92,7 @@ impl Planner for DpPlanner {
 impl DpPlanner {
     fn plan_inner(&self, spec: &MigrationSpec) -> Result<PlanOutcome, PlanError> {
         let start = Instant::now();
+        let progress_every = spec.progress_every.max(1);
         let target = &spec.target_counts;
         let num_types = spec.num_types();
         let box_size = CompactState::box_size(target);
@@ -127,7 +127,7 @@ impl DpPlanner {
                 // bounds the state count).
                 self.budget.check(stats.states_visited, start)?;
                 stats.states_visited += 1;
-                if stats.states_visited % PROGRESS_EVERY == 0 {
+                if stats.states_visited % progress_every == 0 {
                     log_event!(
                         "dp.progress",
                         "swept" = stats.states_visited,

@@ -265,6 +265,47 @@ impl Response {
     }
 }
 
+/// Writes the head of a chunked streaming response (the SSE path). Unlike
+/// [`Response::write_to`] there is no `Content-Length`: the body arrives as
+/// chunks via [`write_chunk`] until [`finish_chunked`] closes it.
+pub fn write_chunked_head(
+    stream: &mut TcpStream,
+    status: u16,
+    headers: &[(&str, &str)],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n",
+        status,
+        status_reason(status)
+    );
+    for (name, value) in headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())
+}
+
+/// Writes one chunk and flushes, so subscribers see events as they happen.
+/// Empty data is skipped: a zero-length chunk would terminate the stream.
+pub fn write_chunk(stream: &mut TcpStream, data: &[u8]) -> std::io::Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    stream.write_all(format!("{:x}\r\n", data.len()).as_bytes())?;
+    stream.write_all(data)?;
+    stream.write_all(b"\r\n")?;
+    stream.flush()
+}
+
+/// Terminates a chunked response.
+pub fn finish_chunked(stream: &mut TcpStream) -> std::io::Result<()> {
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()
+}
+
 /// Canonical reason phrases for the statuses the service emits.
 pub fn status_reason(status: u16) -> &'static str {
     match status {

@@ -92,6 +92,10 @@ pub struct Job {
     pub kind: JobKind,
     /// When the job was admitted (drives the end-to-end latency metric).
     pub admitted: Instant,
+    /// Telemetry stream id: the worker tags its thread with this while the
+    /// job runs, so `GET /v1/jobs/{id}/events` subscribers receive exactly
+    /// this job's events from the process-global bus.
+    pub stream: u64,
     phase: Mutex<Phase>,
     done: Condvar,
 }
@@ -103,6 +107,7 @@ impl Job {
             id,
             kind,
             admitted: Instant::now(),
+            stream: klotski_telemetry::bus().next_stream_id(),
             phase: Mutex::new(Phase::Queued),
             done: Condvar::new(),
         }

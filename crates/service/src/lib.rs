@@ -78,6 +78,16 @@ pub struct ServiceConfig {
     /// Service-wide planning deadline applied when a request does not set
     /// `deadline_ms`. `None` = unbounded (the search budget still applies).
     pub default_deadline: Option<Duration>,
+    /// Concurrent `GET /v1/jobs/{id}/events` subscribers; beyond it new
+    /// streams are shed with 503 (each holds a connection thread and a
+    /// bounded event queue).
+    pub sse_max_subscribers: usize,
+    /// Per-subscriber event-queue bound; on overflow the oldest line is
+    /// dropped and the lag-drop counters advance — a stalled reader never
+    /// blocks a planner.
+    pub sse_queue_capacity: usize,
+    /// Keep-alive comment interval on idle event streams.
+    pub sse_heartbeat: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -93,6 +103,9 @@ impl Default for ServiceConfig {
             io_timeout: Duration::from_secs(30),
             sync_wait: Duration::from_secs(300),
             default_deadline: None,
+            sse_max_subscribers: 32,
+            sse_queue_capacity: 1024,
+            sse_heartbeat: Duration::from_secs(1),
         }
     }
 }
@@ -128,6 +141,8 @@ struct Shared {
     cache: PlanCache<PlanArtifact>,
     metrics: Metrics,
     workers_busy: AtomicUsize,
+    /// Open `/events` subscribers (the 503-shedding gauge).
+    sse_active: AtomicUsize,
     draining: std::sync::atomic::AtomicBool,
 }
 
@@ -169,6 +184,7 @@ impl Service {
             cache: PlanCache::new(config.cache_capacity),
             metrics: Metrics::new(),
             workers_busy: AtomicUsize::new(0),
+            sse_active: AtomicUsize::new(0),
             draining: std::sync::atomic::AtomicBool::new(false),
             config,
         });
@@ -257,6 +273,10 @@ fn worker_loop(shared: &Arc<Shared>) {
 }
 
 fn run_job(shared: &Arc<Shared>, queued: &QueuedJob, pool: &Arc<WorkerPool>) {
+    // Tag this thread with the job's stream id: every trace line the job
+    // emits (planner progress, controller phases, the job span itself)
+    // reaches exactly this job's `/events` subscribers.
+    let _stream_tag = klotski_telemetry::tag_stream(queued.job.stream);
     let mut span = klotski_telemetry::span!(
         "service.job",
         "kind" = queued.job.kind.label(),
@@ -347,10 +367,12 @@ fn run_scenario_job(
             shared.metrics.latency.record(queued.job.admitted.elapsed());
             span.field("completed", report.completed);
             span.field("replans", report.replans.len() as u64);
+            let outcome = report.outcome_label();
+            shared.metrics.run_outcomes.record(outcome);
             queued
                 .job
                 .complete(JobOutput::Run(Arc::new(RunArtifact { report, json })));
-            span.field("outcome", "done");
+            span.field("outcome", outcome);
         }
         Err(e) => {
             let status = match &e {
@@ -358,6 +380,7 @@ fn run_scenario_job(
                 ControllerError::InitialPlan(PlanError::BudgetExceeded { .. }) => 504,
                 ControllerError::InitialPlan(_) => 422,
             };
+            shared.metrics.run_outcomes.record("failed");
             fail_job(shared, queued, span, status, e.to_string());
         }
     }
@@ -410,8 +433,143 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Re
         Err(HttpError::Io(e)) => return Err(e),
     };
     shared.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+    // The events endpoint streams; everything else is one buffered
+    // response.
+    if request.method == "GET"
+        && request.path.starts_with("/v1/jobs/")
+        && request.path.ends_with("/events")
+    {
+        return stream_events(stream, &request, shared);
+    }
     let response = route(&request, shared);
     response.write_to(&mut stream)
+}
+
+/// `GET /v1/jobs/{id}/events`: a chunked `text/event-stream` of the job's
+/// trace lines from the process-global event bus, with heartbeats while
+/// idle and a terminal `end` event carrying the job's outcome — for run
+/// jobs, the same outcome label and fingerprint the result endpoint's
+/// headers carry, byte for byte.
+fn stream_events(
+    mut stream: TcpStream,
+    request: &Request,
+    shared: &Arc<Shared>,
+) -> std::io::Result<()> {
+    let rest = &request.path["/v1/jobs/".len()..];
+    let id_str = rest.strip_suffix("/events").unwrap_or(rest);
+    let Ok(id) = id_str.parse::<u64>() else {
+        shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+        return Response::json(400, &ErrorResponse::new(format!("bad job id {id_str:?}")))
+            .write_to(&mut stream);
+    };
+    let Some(job) = shared.jobs.get(id) else {
+        return Response::json(404, &ErrorResponse::new(format!("no job {id}")))
+            .write_to(&mut stream);
+    };
+    // Shed before subscribing: every accepted stream pins a connection
+    // thread and a bounded queue until the job finishes.
+    if shared.sse_active.fetch_add(1, Ordering::SeqCst) >= shared.config.sse_max_subscribers {
+        shared.sse_active.fetch_sub(1, Ordering::SeqCst);
+        shared.metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
+        return Response::json(503, &ErrorResponse::new("too many event subscribers"))
+            .with_header("Retry-After", "1")
+            .write_to(&mut stream);
+    }
+    let result = serve_events(&mut stream, &job, shared);
+    shared.sse_active.fetch_sub(1, Ordering::SeqCst);
+    result
+}
+
+fn serve_events(
+    stream: &mut TcpStream,
+    job: &Arc<Job>,
+    shared: &Arc<Shared>,
+) -> std::io::Result<()> {
+    // Subscribe before the first status check: lines published between a
+    // "still running" verdict and a later subscription would be lost.
+    let sub = klotski_telemetry::bus().subscribe(job.stream, shared.config.sse_queue_capacity);
+    shared.metrics.sse_streams.fetch_add(1, Ordering::Relaxed);
+    http::write_chunked_head(
+        stream,
+        200,
+        &[
+            ("Content-Type", "text/event-stream"),
+            ("Cache-Control", "no-cache"),
+        ],
+    )?;
+    loop {
+        let (state, output, error) = job.status();
+        let terminal = matches!(
+            state,
+            klotski_npd::api::JobState::Done | klotski_npd::api::JobState::Failed
+        );
+        // Flush everything already queued so the end event is truly last.
+        while let Some(line) = sub.try_recv() {
+            write_event(stream, "trace", &line)?;
+        }
+        if terminal {
+            let dropped = sub.dropped();
+            shared
+                .metrics
+                .sse_lag_dropped
+                .fetch_add(dropped, Ordering::Relaxed);
+            let end = terminal_event(output.as_ref(), error.as_ref(), dropped);
+            write_event(stream, "end", &end)?;
+            return http::finish_chunked(stream);
+        }
+        match sub.recv_timeout(shared.config.sse_heartbeat) {
+            Some(line) => write_event(stream, "trace", &line)?,
+            None => http::write_chunk(stream, b": heartbeat\n\n")?,
+        }
+    }
+}
+
+fn write_event(stream: &mut TcpStream, name: &str, data: &str) -> std::io::Result<()> {
+    http::write_chunk(
+        stream,
+        format!("event: {name}\ndata: {data}\n\n").as_bytes(),
+    )
+}
+
+/// The `end` event payload. Run jobs carry `outcome` + `fingerprint`
+/// exactly as the result endpoint's `X-Klotski-Run-Outcome` /
+/// `X-Klotski-Run-Fingerprint` headers render them; plan/audit jobs carry
+/// the NPD digest; failed jobs carry the error.
+fn terminal_event(
+    output: Option<&JobOutput>,
+    error: Option<&jobs::JobError>,
+    dropped: u64,
+) -> String {
+    let mut obj = serde::Map::new();
+    match (output, error) {
+        (Some(JobOutput::Run(run)), _) => {
+            obj.insert(
+                "outcome".into(),
+                serde::Value::String(run.report.outcome_label().into()),
+            );
+            obj.insert(
+                "fingerprint".into(),
+                serde::Value::String(format!("{:016x}", run.report.fingerprint())),
+            );
+        }
+        (Some(JobOutput::Plan(artifact)), _) => {
+            obj.insert("outcome".into(), serde::Value::String("done".into()));
+            obj.insert(
+                "digest".into(),
+                serde::Value::String(artifact.summary.npd_digest.clone()),
+            );
+        }
+        (None, Some(e)) => {
+            obj.insert("outcome".into(), serde::Value::String("failed".into()));
+            obj.insert("status".into(), serde::Value::Number(e.status as f64));
+            obj.insert("error".into(), serde::Value::String(e.message.clone()));
+        }
+        (None, None) => {
+            obj.insert("outcome".into(), serde::Value::String("unknown".into()));
+        }
+    }
+    obj.insert("lag_dropped".into(), serde::Value::Number(dropped as f64));
+    serde_json::to_string(&serde::Value::Object(obj)).unwrap_or_else(|_| "{}".into())
 }
 
 fn route(request: &Request, shared: &Arc<Shared>) -> Response {
@@ -495,8 +653,9 @@ fn options_from_query(request: &Request) -> Result<PlanRequestOptions, String> {
 fn submit(request: &Request, shared: &Arc<Shared>, kind: JobKind) -> Response {
     let counter = match kind {
         JobKind::Plan => &shared.metrics.plan_requests,
-        JobKind::Audit => &shared.metrics.audit_requests,
-        JobKind::Run => &shared.metrics.run_requests,
+        // Run submissions are counted by terminal outcome in the worker,
+        // not at admission; this handler never sees them.
+        JobKind::Audit | JobKind::Run => &shared.metrics.audit_requests,
     };
     counter.fetch_add(1, Ordering::Relaxed);
 
@@ -548,8 +707,8 @@ fn submit(request: &Request, shared: &Arc<Shared>, kind: JobKind) -> Response {
 /// scenario document; `?deadline_ms=N` bounds the whole run (initial plan
 /// included) and `?wait=0` submits asynchronously like plan/audit.
 fn submit_run(request: &Request, shared: &Arc<Shared>) -> Response {
-    shared.metrics.run_requests.fetch_add(1, Ordering::Relaxed);
-
+    // Runs are counted by terminal outcome (`klotski_run_requests_total`
+    // labels) when the worker resolves them, not at admission.
     if shared.draining() {
         shared.metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
         return Response::json(503, &ErrorResponse::new("draining; not accepting work"))
@@ -692,21 +851,12 @@ fn finished_response(kind: JobKind, output: &JobOutput, cached: bool) -> Respons
             )
             .with_header("X-Klotski-Cache", cache_header)
         }
-        (_, JobOutput::Run(run)) => {
-            let outcome = if run.report.completed {
-                "completed"
-            } else if run.report.rolled_back {
-                "rolled-back"
-            } else {
-                "aborted"
-            };
-            Response::raw_json(200, run.json.clone())
-                .with_header("X-Klotski-Run-Outcome", outcome)
-                .with_header(
-                    "X-Klotski-Run-Fingerprint",
-                    format!("{:016x}", run.report.fingerprint()),
-                )
-        }
+        (_, JobOutput::Run(run)) => Response::raw_json(200, run.json.clone())
+            .with_header("X-Klotski-Run-Outcome", run.report.outcome_label())
+            .with_header(
+                "X-Klotski-Run-Fingerprint",
+                format!("{:016x}", run.report.fingerprint()),
+            ),
         // A kind/output mismatch cannot happen (workers publish the output
         // matching the job's kind); answer the bytes we do have.
         (JobKind::Run, JobOutput::Plan(artifact)) => {
@@ -1023,11 +1173,188 @@ mod tests {
         let polled: klotski_controller::ControllerReport = serde_json::from_str(&body).unwrap();
         assert_eq!(polled.fingerprint(), report.fingerprint());
 
-        // The run counter and the process-wide controller metrics surface.
+        // The outcome-labeled run counter and the process-wide controller
+        // metrics surface. The invalid scenario was rejected pre-admission,
+        // so it lands in bad_requests, not the outcome counters.
         let (_, _, text) = request(addr, "GET /metrics HTTP/1.1\r\nHost: t", "");
-        assert!(text.contains("klotski_run_requests_total 3"), "{text}");
+        assert!(
+            text.contains("klotski_run_requests_total{outcome=\"completed\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("klotski_run_requests_total{outcome=\"failed\"} 0"),
+            "{text}"
+        );
         assert!(text.contains("klotski_controller_phases_applied_total"));
         assert!(text.contains("klotski_controller_replan_seconds"));
+
+        service.shutdown();
+    }
+
+    /// Sends a GET and dechunks a `Transfer-Encoding: chunked` reply,
+    /// reading the connection to EOF (the server closes after the terminal
+    /// chunk).
+    fn stream_request(addr: SocketAddr, path: &str) -> (u16, Vec<(String, String)>, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let msg = format!("GET {path} HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n");
+        stream.write_all(msg.as_bytes()).unwrap();
+        let mut reply = Vec::new();
+        stream.read_to_end(&mut reply).unwrap();
+        let reply = String::from_utf8(reply).unwrap();
+        let (head, raw_body) = reply.split_once("\r\n\r\n").unwrap();
+        let mut lines = head.split("\r\n");
+        let status: u16 = lines
+            .next()
+            .unwrap()
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        let headers: Vec<(String, String)> = lines
+            .filter_map(|l| l.split_once(':'))
+            .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+            .collect();
+        let chunked = headers
+            .iter()
+            .any(|(k, v)| k == "transfer-encoding" && v == "chunked");
+        let body = if chunked {
+            dechunk(raw_body)
+        } else {
+            raw_body.to_string()
+        };
+        (status, headers, body)
+    }
+
+    fn dechunk(mut raw: &str) -> String {
+        let mut out = String::new();
+        loop {
+            let (size_line, rest) = raw.split_once("\r\n").expect("chunk size line");
+            let size = usize::from_str_radix(size_line.trim(), 16).expect("hex chunk size");
+            if size == 0 {
+                return out;
+            }
+            out.push_str(&rest[..size]);
+            raw = &rest[size + 2..]; // skip the payload's trailing CRLF
+        }
+    }
+
+    #[test]
+    fn event_stream_follows_a_run_to_its_terminal_event() {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            sse_heartbeat: Duration::from_millis(50),
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let addr = service.local_addr();
+        // A tight progress interval so planner progress reaches the stream.
+        let mut scenario = klotski_controller::Scenario::sample();
+        scenario.progress_every = Some(1);
+        let scenario = serde_json::to_string(&scenario).unwrap();
+
+        // Occupy the single worker with one run, then queue the observed
+        // run behind it: the subscriber below attaches while job 2 is
+        // still queued, so the stream carries its trace from the first
+        // event.
+        let (status, _, _) = request(addr, "POST /v1/run?wait=0 HTTP/1.1\r\nHost: t", &scenario);
+        assert_eq!(status, 202);
+        let (status, _, body) = request(addr, "POST /v1/run?wait=0 HTTP/1.1\r\nHost: t", &scenario);
+        assert_eq!(status, 202, "{body}");
+        let accepted: AcceptedResponse = serde_json::from_str(&body).unwrap();
+
+        let (status, headers, events) =
+            stream_request(addr, &format!("/v1/jobs/{}/events", accepted.job));
+        assert_eq!(status, 200, "{events}");
+        assert_eq!(header(&headers, "content-type"), Some("text/event-stream"));
+
+        // Live trace lines from this run streamed before the terminal
+        // event: controller phases and (tight-interval) planner progress.
+        assert!(events.contains("event: trace\n"), "{events}");
+        assert!(events.contains("controller."), "{events}");
+        assert!(events.contains("astar.progress"), "{events}");
+
+        // The terminal event is last and byte-matches the result headers.
+        let end_data = events
+            .rsplit("event: end\ndata: ")
+            .next()
+            .expect("end event");
+        let end_json = end_data.split('\n').next().unwrap();
+        let end: serde::Value = serde_json::from_str(end_json).unwrap();
+        let end = end.as_object().expect("end event is an object");
+        let (status, result_headers, _) = request(
+            addr,
+            &format!("GET /v1/jobs/{}/result HTTP/1.1\r\nHost: t", accepted.job),
+            "",
+        );
+        assert_eq!(status, 200);
+        assert_eq!(
+            end.get("outcome").and_then(|v| v.as_str()),
+            header(&result_headers, "x-klotski-run-outcome"),
+        );
+        assert_eq!(
+            end.get("fingerprint").and_then(|v| v.as_str()),
+            header(&result_headers, "x-klotski-run-fingerprint"),
+        );
+
+        let (_, _, text) = request(addr, "GET /metrics HTTP/1.1\r\nHost: t", "");
+        assert!(text.contains("klotski_sse_streams_total 1"), "{text}");
+
+        service.shutdown();
+    }
+
+    #[test]
+    fn event_stream_sheds_beyond_the_subscriber_cap() {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            sse_max_subscribers: 0,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let addr = service.local_addr();
+        let scenario = serde_json::to_string(&klotski_controller::Scenario::sample()).unwrap();
+        let (status, _, body) = request(addr, "POST /v1/run?wait=0 HTTP/1.1\r\nHost: t", &scenario);
+        assert_eq!(status, 202, "{body}");
+        let accepted: AcceptedResponse = serde_json::from_str(&body).unwrap();
+
+        let (status, headers, body) =
+            stream_request(addr, &format!("/v1/jobs/{}/events", accepted.job));
+        assert_eq!(status, 503, "{body}");
+        assert_eq!(header(&headers, "retry-after"), Some("1"));
+
+        // Bad ids and unknown jobs answer without streaming.
+        let (status, _, _) = stream_request(addr, "/v1/jobs/nope/events");
+        assert_eq!(status, 400);
+
+        service.shutdown();
+    }
+
+    #[test]
+    fn stalled_subscriber_drops_lines_without_changing_the_run() {
+        // A one-line queue that is never drained: every event after the
+        // first overflows. The run itself must not notice.
+        let sub = klotski_telemetry::bus().subscribe(0, 1);
+
+        let scenario = klotski_controller::Scenario::sample();
+        let baseline = klotski_controller::run_scenario(&scenario, None)
+            .expect("baseline run")
+            .fingerprint();
+
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let addr = service.local_addr();
+        let body = serde_json::to_string(&scenario).unwrap();
+        let (status, headers, reply) = request(addr, "POST /v1/run HTTP/1.1\r\nHost: t", &body);
+        assert_eq!(status, 200, "{reply}");
+        assert_eq!(
+            header(&headers, "x-klotski-run-fingerprint"),
+            Some(format!("{baseline:016x}").as_str()),
+            "a lagging subscriber must not perturb the run"
+        );
+        assert!(sub.dropped() > 0, "the stalled queue must have overflowed");
 
         service.shutdown();
     }

@@ -21,8 +21,14 @@ pub struct Metrics {
     pub plan_requests: AtomicU64,
     /// `POST /v1/audit` submissions.
     pub audit_requests: AtomicU64,
-    /// `POST /v1/run` scenario submissions.
-    pub run_requests: AtomicU64,
+    /// `POST /v1/run` jobs by terminal outcome (counted when the run
+    /// resolves, not at admission — pre-admission rejects land in
+    /// `bad_requests`/`rejected_busy`).
+    pub run_outcomes: RunOutcomes,
+    /// Event streams served by `GET /v1/jobs/{id}/events`.
+    pub sse_streams: AtomicU64,
+    /// Trace lines dropped on lagging event-stream subscribers.
+    pub sse_lag_dropped: AtomicU64,
     /// Malformed requests answered 4xx.
     pub bad_requests: AtomicU64,
     /// Submissions refused with 503 (queue full, connection cap, draining).
@@ -52,7 +58,9 @@ impl Metrics {
             http_requests: AtomicU64::new(0),
             plan_requests: AtomicU64::new(0),
             audit_requests: AtomicU64::new(0),
-            run_requests: AtomicU64::new(0),
+            run_outcomes: RunOutcomes::default(),
+            sse_streams: AtomicU64::new(0),
+            sse_lag_dropped: AtomicU64::new(0),
             bad_requests: AtomicU64::new(0),
             rejected_busy: AtomicU64::new(0),
             jobs_completed: AtomicU64::new(0),
@@ -66,6 +74,38 @@ impl Metrics {
     /// Seconds since the service started.
     pub fn uptime_seconds(&self) -> f64 {
         self.started.elapsed().as_secs_f64()
+    }
+}
+
+/// Terminal-outcome counters behind the labeled
+/// `klotski_run_requests_total` family. The label vocabulary is
+/// [`ControllerReport::outcome_label`] plus `failed` for jobs that never
+/// produced a report (invalid scenario, initial-plan failure, deadline at
+/// the initial plan).
+///
+/// [`ControllerReport::outcome_label`]: klotski_controller::ControllerReport::outcome_label
+#[derive(Debug, Default)]
+pub struct RunOutcomes {
+    /// Runs that reached their target.
+    pub completed: AtomicU64,
+    /// Runs that ended in a rollback.
+    pub rolled_back: AtomicU64,
+    /// Runs that stopped early without rolling back.
+    pub paused: AtomicU64,
+    /// Jobs that errored before producing a report.
+    pub failed: AtomicU64,
+}
+
+impl RunOutcomes {
+    /// Increments the counter for `label`; unknown labels count as failed.
+    pub fn record(&self, label: &str) {
+        match label {
+            "completed" => &self.completed,
+            "rolled_back" => &self.rolled_back,
+            "paused" => &self.paused,
+            _ => &self.failed,
+        }
+        .fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -100,97 +140,122 @@ pub fn render(m: &Metrics, g: &Gauges) -> String {
         }
     };
     let mut out = String::with_capacity(1024);
-    let mut line = |name: &str, help: &str, value: String| {
-        out.push_str(&format!(
-            "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
-        ));
-    };
-    line(
+    // A macro rather than a closure so the labeled run-outcome block can
+    // also push to `out` mid-sequence.
+    macro_rules! line {
+        ($name:expr, $help:expr, $value:expr $(,)?) => {{
+            let (name, help, value): (&str, &str, String) = ($name, $help, $value);
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+            ));
+        }};
+    }
+    line!(
         "klotski_uptime_seconds",
         "Seconds since service start.",
         format!("{:.3}", m.uptime_seconds()),
     );
-    line(
+    line!(
         "klotski_http_requests_total",
         "HTTP requests accepted.",
         load(&m.http_requests).to_string(),
     );
-    line(
+    line!(
         "klotski_plan_requests_total",
         "Plan submissions.",
         load(&m.plan_requests).to_string(),
     );
-    line(
+    line!(
         "klotski_audit_requests_total",
         "Audit submissions.",
         load(&m.audit_requests).to_string(),
     );
-    line(
-        "klotski_run_requests_total",
-        "Scenario run submissions.",
-        load(&m.run_requests).to_string(),
+    out.push_str(
+        "# HELP klotski_run_requests_total Scenario runs by terminal outcome.\n\
+         # TYPE klotski_run_requests_total gauge\n",
     );
-    line(
+    for (label, counter) in [
+        ("completed", &m.run_outcomes.completed),
+        ("rolled_back", &m.run_outcomes.rolled_back),
+        ("paused", &m.run_outcomes.paused),
+        ("failed", &m.run_outcomes.failed),
+    ] {
+        out.push_str(&format!(
+            "klotski_run_requests_total{{outcome=\"{label}\"}} {}\n",
+            load(counter)
+        ));
+    }
+    line!(
+        "klotski_sse_streams_total",
+        "Event streams served by /v1/jobs/{id}/events.",
+        load(&m.sse_streams).to_string(),
+    );
+    line!(
+        "klotski_sse_lag_dropped_total",
+        "Trace lines dropped on lagging event-stream subscribers.",
+        load(&m.sse_lag_dropped).to_string(),
+    );
+    line!(
         "klotski_bad_requests_total",
         "Requests rejected 4xx.",
         load(&m.bad_requests).to_string(),
     );
-    line(
+    line!(
         "klotski_rejected_busy_total",
         "Submissions rejected 503 (backpressure).",
         load(&m.rejected_busy).to_string(),
     );
-    line(
+    line!(
         "klotski_jobs_completed_total",
         "Jobs finished successfully.",
         load(&m.jobs_completed).to_string(),
     );
-    line(
+    line!(
         "klotski_jobs_failed_total",
         "Jobs finished with an error.",
         load(&m.jobs_failed).to_string(),
     );
-    line(
+    line!(
         "klotski_jobs_cancelled_total",
         "Jobs stopped by deadline expiry or cancellation.",
         load(&m.jobs_cancelled).to_string(),
     );
-    line(
+    line!(
         "klotski_queue_depth",
         "Jobs waiting in the bounded queue.",
         g.queue_depth.to_string(),
     );
-    line(
+    line!(
         "klotski_queue_capacity",
         "Bounded queue capacity.",
         g.queue_capacity.to_string(),
     );
-    line(
+    line!(
         "klotski_workers",
         "Planner worker threads.",
         g.workers.to_string(),
     );
-    line(
+    line!(
         "klotski_workers_busy",
         "Worker threads currently planning.",
         g.workers_busy.to_string(),
     );
-    line(
+    line!(
         "klotski_cache_entries",
         "Entries in the shared plan cache.",
         g.cache_entries.to_string(),
     );
-    line(
+    line!(
         "klotski_cache_hits_total",
         "Plan-cache hits.",
         g.cache_hits.to_string(),
     );
-    line(
+    line!(
         "klotski_cache_misses_total",
         "Plan-cache misses.",
         g.cache_misses.to_string(),
     );
-    line(
+    line!(
         "klotski_cache_hit_rate",
         "Plan-cache hit fraction.",
         format!("{hit_rate:.4}"),
@@ -270,6 +335,8 @@ mod tests {
             "klotski_plan_latency_seconds{quantile=\"0.5\"}",
             "klotski_plan_latency_seconds_count 1",
             "klotski_workers 4",
+            "klotski_run_requests_total{outcome=\"completed\"} 0",
+            "klotski_sse_streams_total 0",
         ] {
             assert!(text.contains(family), "missing {family} in:\n{text}");
         }
@@ -283,7 +350,11 @@ mod tests {
         m.http_requests.fetch_add(7, Ordering::Relaxed);
         m.plan_requests.fetch_add(3, Ordering::Relaxed);
         m.audit_requests.fetch_add(1, Ordering::Relaxed);
-        m.run_requests.fetch_add(2, Ordering::Relaxed);
+        m.run_outcomes.record("completed");
+        m.run_outcomes.record("rolled_back");
+        m.run_outcomes.record("bogus-label");
+        m.sse_streams.fetch_add(2, Ordering::Relaxed);
+        m.sse_lag_dropped.fetch_add(5, Ordering::Relaxed);
         m.jobs_completed.fetch_add(4, Ordering::Relaxed);
         m.jobs_failed.fetch_add(2, Ordering::Relaxed);
         m.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
@@ -322,9 +393,18 @@ klotski_plan_requests_total 3
 # HELP klotski_audit_requests_total Audit submissions.
 # TYPE klotski_audit_requests_total gauge
 klotski_audit_requests_total 1
-# HELP klotski_run_requests_total Scenario run submissions.
+# HELP klotski_run_requests_total Scenario runs by terminal outcome.
 # TYPE klotski_run_requests_total gauge
-klotski_run_requests_total 2
+klotski_run_requests_total{outcome=\"completed\"} 1
+klotski_run_requests_total{outcome=\"rolled_back\"} 1
+klotski_run_requests_total{outcome=\"paused\"} 0
+klotski_run_requests_total{outcome=\"failed\"} 1
+# HELP klotski_sse_streams_total Event streams served by /v1/jobs/{id}/events.
+# TYPE klotski_sse_streams_total gauge
+klotski_sse_streams_total 2
+# HELP klotski_sse_lag_dropped_total Trace lines dropped on lagging event-stream subscribers.
+# TYPE klotski_sse_lag_dropped_total gauge
+klotski_sse_lag_dropped_total 5
 # HELP klotski_bad_requests_total Requests rejected 4xx.
 # TYPE klotski_bad_requests_total gauge
 klotski_bad_requests_total 0

@@ -35,15 +35,42 @@
 //! assert_eq!(ring.lines().len(), 1);
 //! ```
 
+pub mod bus;
 pub mod metrics;
 pub mod schema;
 pub mod sink;
 pub mod span;
 
-pub use metrics::{registry, Counter, Gauge, Histogram, Registry};
+pub use bus::{bus, current_stream, tag_stream, EventBus, StreamTag, Subscription};
+pub use metrics::{
+    registry, Counter, Gauge, Histogram, LogLinearHistogram, LogLinearSnapshot, Registry,
+    RegistrySnapshot,
+};
 pub use schema::{parse_line, validate_trace, Record, SchemaError, TraceSummary};
 pub use sink::{enabled, install, swap, uninstall, FileSink, RingSink, Sink, StderrSink};
 pub use span::{current_span_id, log_event_fields, SpanGuard};
+
+/// True when emitting a span/event line would reach anyone: a sink is
+/// installed or the [`bus`] has at least one live subscriber. The runtime
+/// gate used by [`span!`]/[`log_event!`] and [`SpanGuard::enter`]; two
+/// relaxed atomic loads on the hot path.
+#[inline]
+pub fn emit_enabled() -> bool {
+    sink::enabled() || bus::bus().has_subscribers()
+}
+
+/// Shared test-only lock serializing tests that install process-global
+/// sinks or assert on lines flowing through the global bus.
+#[cfg(test)]
+pub(crate) mod test_support {
+    use std::sync::{Mutex, MutexGuard};
+
+    static SINK_LOCK: Mutex<()> = Mutex::new(());
+
+    pub fn sink_lock() -> MutexGuard<'static, ()> {
+        SINK_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
 
 /// A typed span/event field value, converted from ordinary Rust scalars at
 /// the call site (`guard.field("lane", 3u64)`).
@@ -153,7 +180,7 @@ macro_rules! span {
 #[macro_export]
 macro_rules! log_event {
     ($name:expr $(, $k:literal = $v:expr)* $(,)?) => {
-        if $crate::enabled() {
+        if $crate::emit_enabled() {
             $crate::log_event_fields(
                 $name,
                 vec![ $( ($k.to_string(), $crate::FieldValue::from($v)) ),* ],

@@ -116,6 +116,188 @@ impl Histogram {
     }
 }
 
+/// Sub-bucket resolution of [`LogLinearHistogram`]: 2^7 = 128 linear
+/// sub-buckets per power-of-two octave, bounding relative quantile error
+/// at 1/128 ≈ 0.78% — the HDR-histogram layout, sized for latency tails
+/// the 1.468× geometric [`Histogram`] cannot resolve.
+const LL_SUB_BITS: u32 = 7;
+const LL_SUBS: usize = 1 << LL_SUB_BITS;
+/// First sub-bucketed octave: values below 2^7 µs get exact (1 µs) buckets.
+const LL_MIN_OCTAVE: u32 = LL_SUB_BITS;
+/// Last octave: 2^40 µs ≈ 12.7 days; slower samples overflow.
+const LL_MAX_OCTAVE: u32 = 39;
+const LL_BUCKETS: usize = LL_SUBS + (LL_MAX_OCTAVE - LL_MIN_OCTAVE + 1) as usize * LL_SUBS;
+
+/// Bucket index for a sample of `us` microseconds; `None` → overflow.
+fn ll_index(us: u64) -> Option<usize> {
+    if us < LL_SUBS as u64 {
+        return Some(us as usize);
+    }
+    let octave = 63 - us.leading_zeros();
+    if octave > LL_MAX_OCTAVE {
+        return None;
+    }
+    let sub = ((us - (1u64 << octave)) >> (octave - LL_SUB_BITS)) as usize;
+    Some(LL_SUBS + (octave - LL_MIN_OCTAVE) as usize * LL_SUBS + sub)
+}
+
+/// Inclusive upper bound of bucket `i`, microseconds.
+fn ll_bound_us(i: usize) -> u64 {
+    if i < LL_SUBS {
+        return i as u64;
+    }
+    let octave = LL_MIN_OCTAVE + ((i - LL_SUBS) / LL_SUBS) as u32;
+    let sub = ((i - LL_SUBS) % LL_SUBS) as u64;
+    (1u64 << octave) + (sub + 1) * (1u64 << (octave - LL_SUB_BITS)) - 1
+}
+
+/// A lock-free log-linear (HDR-style) latency histogram: ~0.78% relative
+/// error from 1 µs to 2^40 µs across 4352 buckets. Used where tail
+/// fidelity matters (replan latency, audit wall time); the fixed-bucket
+/// [`Histogram`] stays the default for coarse service metrics.
+#[derive(Debug)]
+pub struct LogLinearHistogram {
+    buckets: Box<[AtomicU64]>,
+    /// Samples beyond the last octave.
+    overflow: AtomicU64,
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for LogLinearHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogLinearHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..LL_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            overflow: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, sample: Duration) {
+        let us = sample.as_micros().min(u128::from(u64::MAX)) as u64;
+        match ll_index(us) {
+            Some(i) => self.buckets[i].fetch_add(1, Ordering::Relaxed),
+            None => self.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Times `f` and records its duration.
+    pub fn observe<T>(&self, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record(start.elapsed());
+        out
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples, seconds.
+    pub fn sum_seconds(&self) -> f64 {
+        self.sum_us.load(Ordering::Relaxed) as f64 / 1e6
+    }
+
+    /// Estimated `q`-quantile, seconds. Same edge-case contract as
+    /// [`Histogram::quantile`].
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.snapshot().quantile(q)
+    }
+
+    /// A point-in-time copy of every bucket — the unit of per-experiment
+    /// delta accounting ([`LogLinearSnapshot::since`]).
+    pub fn snapshot(&self) -> LogLinearSnapshot {
+        LogLinearSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            overflow: self.overflow.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A frozen copy of a [`LogLinearHistogram`], with the same quantile
+/// semantics, plus bucketwise subtraction for per-interval views.
+#[derive(Debug, Clone)]
+pub struct LogLinearSnapshot {
+    buckets: Box<[u64]>,
+    overflow: u64,
+    count: u64,
+    sum_us: u64,
+}
+
+impl LogLinearSnapshot {
+    /// Number of samples in this snapshot.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples, seconds.
+    pub fn sum_seconds(&self) -> f64 {
+        self.sum_us as f64 / 1e6
+    }
+
+    /// Mean sample, seconds. 0 with no samples (never NaN).
+    pub fn mean_seconds(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum_seconds() / self.count as f64
+    }
+
+    /// Estimated `q`-quantile, seconds. Same edge-case contract as
+    /// [`Histogram::quantile`]: empty → 0, NaN `q` → 0, `q` clamped, and
+    /// an overflow-resident quantile reports the largest finite bound.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return ll_bound_us(i) as f64 / 1e6;
+            }
+        }
+        ll_bound_us(LL_BUCKETS - 1) as f64 / 1e6
+    }
+
+    /// The samples recorded after `baseline` was taken: bucketwise
+    /// saturating subtraction, so an interval's quantiles are computed
+    /// from that interval's samples only.
+    pub fn since(&self, baseline: &LogLinearSnapshot) -> LogLinearSnapshot {
+        LogLinearSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .zip(baseline.buckets.iter())
+                .map(|(now, then)| now.saturating_sub(*then))
+                .collect(),
+            overflow: self.overflow.saturating_sub(baseline.overflow),
+            count: self.count.saturating_sub(baseline.count),
+            sum_us: self.sum_us.saturating_sub(baseline.sum_us),
+        }
+    }
+}
+
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
 pub struct Counter(AtomicU64);
@@ -167,7 +349,19 @@ pub struct Registry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    loglinear: Mutex<BTreeMap<String, Arc<LogLinearHistogram>>>,
     help: Mutex<BTreeMap<String, String>>,
+}
+
+/// A point-in-time view of the registry's counters and log-linear
+/// histograms, for per-interval deltas: the `report` binary snapshots the
+/// process-global registry before each experiment so the numbers each
+/// `BENCH_*.json` records are that experiment's own, not cumulative
+/// across the binary's lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct RegistrySnapshot {
+    counters: BTreeMap<String, u64>,
+    loglinear: BTreeMap<String, LogLinearSnapshot>,
 }
 
 /// The process-global registry.
@@ -210,6 +404,64 @@ impl Registry {
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         let mut map = self.histograms.lock().unwrap();
         Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Gets or creates the log-linear histogram `name` (rendered as a
+    /// summary family with p50/p99/p999). A family must live in either
+    /// the fixed-bucket or the log-linear map, never both.
+    pub fn loglinear(&self, name: &str) -> Arc<LogLinearHistogram> {
+        let mut map = self.loglinear.lock().unwrap();
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Freezes the current counter values and log-linear bucket contents.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self
+                .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(name, c)| (name.clone(), c.get()))
+                .collect(),
+            loglinear: self
+                .loglinear
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(name, h)| (name.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Counter increments since `baseline`, omitting series that did not
+    /// move. Series created after the baseline report their full value.
+    pub fn counters_since(&self, baseline: &RegistrySnapshot) -> BTreeMap<String, u64> {
+        self.counters
+            .lock()
+            .unwrap()
+            .iter()
+            .filter_map(|(name, c)| {
+                let before = baseline.counters.get(name).copied().unwrap_or(0);
+                let delta = c.get().saturating_sub(before);
+                (delta > 0).then(|| (name.clone(), delta))
+            })
+            .collect()
+    }
+
+    /// The log-linear histogram `name` restricted to samples recorded
+    /// since `baseline` (the full series if it postdates the baseline);
+    /// `None` when the series does not exist.
+    pub fn loglinear_since(
+        &self,
+        name: &str,
+        baseline: &RegistrySnapshot,
+    ) -> Option<LogLinearSnapshot> {
+        let now = self.loglinear.lock().unwrap().get(name)?.snapshot();
+        match baseline.loglinear.get(name) {
+            Some(then) => Some(now.since(then)),
+            None => Some(now),
+        }
     }
 
     /// Registers the `# HELP` text for a family (idempotent overwrite).
@@ -292,6 +544,29 @@ impl Registry {
                     "{family}_sum{suffix} {:.6}\n",
                     histogram.sum_seconds()
                 ));
+            }
+        }
+        for (family, series) in by_family(&self.loglinear.lock().unwrap()) {
+            header(&mut out, &family, "summary");
+            for (name, histogram) in series {
+                let snap = histogram.snapshot();
+                let labels = labels_of(&name);
+                // Tail-resolving quantiles: the whole point of the
+                // log-linear layout is that p999 is meaningful.
+                for (label, q) in [("0.5", 0.5), ("0.99", 0.99), ("0.999", 0.999)] {
+                    let value = snap.quantile(q);
+                    match labels {
+                        Some(l) => out.push_str(&format!(
+                            "{family}{{{l},quantile=\"{label}\"}} {value:.6}\n"
+                        )),
+                        None => {
+                            out.push_str(&format!("{family}{{quantile=\"{label}\"}} {value:.6}\n"))
+                        }
+                    }
+                }
+                let suffix = labels.map(|l| format!("{{{l}}}")).unwrap_or_default();
+                out.push_str(&format!("{family}_count{suffix} {}\n", snap.count()));
+                out.push_str(&format!("{family}_sum{suffix} {:.6}\n", snap.sum_seconds()));
             }
         }
         out
@@ -449,5 +724,116 @@ mod tests {
     fn global_registry_is_one_instance() {
         registry().counter("global_smoke_total").inc();
         assert!(registry().counter_value("global_smoke_total") >= 1);
+    }
+
+    #[test]
+    fn loglinear_buckets_tile_the_axis_exactly() {
+        // Every bucket's bound must map back to its own index, and the
+        // next microsecond must map to the next bucket — no gaps, no
+        // overlaps, anywhere on the axis.
+        for i in 0..LL_BUCKETS {
+            let bound = ll_bound_us(i);
+            assert_eq!(ll_index(bound), Some(i), "bound of bucket {i}");
+            let next = ll_index(bound + 1);
+            if i + 1 < LL_BUCKETS {
+                assert_eq!(next, Some(i + 1), "after bound of bucket {i}");
+            } else {
+                assert_eq!(next, None, "past the last octave");
+            }
+        }
+        assert_eq!(ll_index(0), Some(0));
+        assert_eq!(ll_index(u64::MAX), None);
+    }
+
+    #[test]
+    fn loglinear_relative_error_is_under_one_percent() {
+        // For any sample ≥ 128 µs the reported bound overshoots the true
+        // value by at most one sub-bucket width = value·2^-7.
+        for us in [150u64, 1_000, 33_333, 1_048_577, 999_999_999, 1 << 39] {
+            let h = LogLinearHistogram::new();
+            h.record(Duration::from_micros(us));
+            let reported = h.quantile(0.5) * 1e6;
+            let err = (reported - us as f64) / us as f64;
+            assert!((0.0..=1.0 / 128.0).contains(&err), "us={us} err={err}");
+        }
+    }
+
+    #[test]
+    fn loglinear_matches_fixed_histogram_edge_contract() {
+        let h = LogLinearHistogram::new();
+        for q in [0.0, 0.5, 1.0, f64::NAN] {
+            assert_eq!(h.quantile(q), 0.0, "empty, q={q}");
+        }
+        h.record(Duration::from_millis(5));
+        h.record(Duration::from_millis(5));
+        assert_eq!(h.quantile(1.0), h.quantile(0.5), "q=1 clamps");
+        assert_eq!(h.quantile(7.5), h.quantile(1.0));
+        // Overflow-only: the largest finite bound, never infinity.
+        let over = LogLinearHistogram::new();
+        over.record(Duration::from_secs(20_000_000));
+        assert_eq!(over.quantile(0.5), ll_bound_us(LL_BUCKETS - 1) as f64 / 1e6);
+        assert_eq!(over.count(), 1);
+    }
+
+    #[test]
+    fn loglinear_resolves_tails_the_geometric_histogram_cannot() {
+        let coarse = Histogram::new();
+        let fine = LogLinearHistogram::new();
+        // 99 fast samples and one 1.45× outlier inside a single geometric
+        // bucket span: p50 and p999 must differ in the fine histogram
+        // (rank at q=0.999 over 100 samples is 100 — the outlier).
+        for _ in 0..99 {
+            coarse.record(Duration::from_micros(10_100));
+            fine.record(Duration::from_micros(10_100));
+        }
+        coarse.record(Duration::from_micros(14_600));
+        fine.record(Duration::from_micros(14_600));
+        assert_eq!(coarse.quantile(0.5), coarse.quantile(0.999));
+        assert!(fine.quantile(0.999) > fine.quantile(0.5) * 1.4);
+    }
+
+    #[test]
+    fn snapshot_since_isolates_an_interval() {
+        let r = Registry::default();
+        r.counter("exp_total").add(10);
+        let h = r.loglinear("exp_seconds");
+        h.record(Duration::from_millis(1));
+        let baseline = r.snapshot();
+
+        r.counter("exp_total").add(5);
+        r.counter("late_total").add(2);
+        h.record(Duration::from_millis(100));
+        h.record(Duration::from_millis(100));
+
+        let deltas = r.counters_since(&baseline);
+        assert_eq!(deltas.get("exp_total"), Some(&5));
+        assert_eq!(deltas.get("late_total"), Some(&2), "post-baseline series");
+        assert_eq!(deltas.len(), 2, "unmoved series omitted: {deltas:?}");
+
+        let interval = r.loglinear_since("exp_seconds", &baseline).unwrap();
+        assert_eq!(interval.count(), 2);
+        // The 1 ms pre-baseline sample is subtracted out: the interval's
+        // p50 sits at 100 ms, not 1 ms.
+        assert!((0.09..0.11).contains(&interval.quantile(0.5)));
+        assert!(r.loglinear_since("missing", &baseline).is_none());
+        // The live histogram still holds all three samples.
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn loglinear_renders_p999_summary_lines() {
+        let r = Registry::default();
+        r.set_help("replan_seconds", "Replan latency.");
+        r.loglinear("replan_seconds{phase=\"replan\"}")
+            .record(Duration::from_millis(3));
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE replan_seconds summary"), "{text}");
+        assert!(
+            text.contains("replan_seconds{phase=\"replan\",quantile=\"0.999\"}"),
+            "{text}"
+        );
+        assert!(text.contains("replan_seconds_count{phase=\"replan\"} 1"));
+        assert!(!text.contains("}{"), "{text}");
+        assert!(!text.contains("}_"), "{text}");
     }
 }

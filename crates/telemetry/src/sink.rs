@@ -59,14 +59,17 @@ pub fn swap(new: Option<Arc<dyn Sink>>) -> Option<Arc<dyn Sink>> {
     old
 }
 
-/// Writes one line to the installed sink, if any.
+/// Writes one line to the installed sink, if any, and offers it to the
+/// live-subscriber [`bus`](crate::bus) — the two destinations are
+/// independent, so SSE streaming works with no sink installed and a trace
+/// file still captures everything while subscribers watch.
 pub fn emit(line: &str) {
-    if !enabled() {
-        return;
+    if enabled() {
+        if let Some(sink) = SINK.read().unwrap().as_ref() {
+            sink.write_line(line);
+        }
     }
-    if let Some(sink) = SINK.read().unwrap().as_ref() {
-        sink.write_line(line);
-    }
+    crate::bus::bus().publish(line);
 }
 
 /// Writes trace lines to stderr, one per call. Used by the `report`

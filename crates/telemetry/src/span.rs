@@ -65,7 +65,7 @@ impl SpanGuard {
     /// Opens a span under an explicit parent id — the cross-thread variant
     /// for pool tasks (pass 0 for a root).
     pub fn enter_with_parent(name: &'static str, parent: u64) -> Self {
-        if !sink::enabled() {
+        if !crate::emit_enabled() {
             return Self::disabled();
         }
         let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
@@ -141,7 +141,7 @@ impl Drop for SpanGuard {
 /// [`log_event!`](crate::log_event!) macro, which skips field construction
 /// when tracing is disabled.
 pub fn log_event_fields(name: &str, fields: Vec<(String, FieldValue)>) {
-    if !sink::enabled() {
+    if !crate::emit_enabled() {
         return;
     }
     let mut obj = Map::new();
@@ -181,11 +181,10 @@ mod tests {
     use crate::sink::RingSink;
     use std::sync::Arc;
 
-    // Sink-installing tests share the process-global slot; serialize them.
-    static SINK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
-
     fn with_ring(f: impl FnOnce(&RingSink)) {
-        let _guard = SINK_LOCK.lock().unwrap();
+        // Sink-installing tests share the process-global slot (and the
+        // bus tests flip the emit_enabled gate); serialize them.
+        let _guard = crate::test_support::sink_lock();
         let ring = Arc::new(RingSink::new(1024));
         let prev = crate::swap(Some(ring.clone() as Arc<dyn crate::Sink>));
         f(&ring);
@@ -194,7 +193,7 @@ mod tests {
 
     #[test]
     fn disabled_guard_emits_nothing() {
-        let _guard = SINK_LOCK.lock().unwrap();
+        let _guard = crate::test_support::sink_lock();
         let prev = crate::swap(None);
         assert!(!crate::enabled());
         {

@@ -6,6 +6,7 @@
 //! klotski audit <preset>                    # plan + per-phase safety audit
 //! klotski run --scenario <file>             # execute a scripted controller run
 //! klotski trace <trace.jsonl>               # validate a recorded trace
+//! klotski trace summarize <trace.jsonl>     # span-family latency table + run timeline
 //! klotski serve [--addr A] [...]            # run the planning daemon
 //! klotski presets                           # list the built-in topologies
 //! ```
@@ -57,10 +58,12 @@ impl CliError {
                  [--theta X] [--alpha X] [--trace out.jsonl] [--stats] \
                  [--no-incremental] [--esc-cache-cap N]\n  \
                  klotski audit <preset>\n  \
-                 klotski run --scenario <file> [-o report.json] [--deadline-ms N]\n  \
+                 klotski run --scenario <file> [-o report.json] [--deadline-ms N] \
+                 [--flight-dump DIR] [--trace out.jsonl]\n  \
                  klotski trace <trace.jsonl>\n  \
+                 klotski trace summarize <trace.jsonl>\n  \
                  klotski serve [--addr HOST:PORT] [--workers N] [--queue-depth N] \
-                 [--cache N] [--deadline-ms N]"
+                 [--cache N] [--deadline-ms N] [--sse-max-subscribers N]"
                 .into(),
             code: 2,
         }
@@ -145,6 +148,7 @@ fn run(mut args: Vec<String>) -> Result<(), CliError> {
             cmd_run(args)
         }
         Some("trace") if args.len() == 2 => cmd_trace(&args[1]),
+        Some("trace") if args.len() == 3 && args[1] == "summarize" => cmd_trace_summarize(&args[2]),
         Some("serve") => {
             args.remove(0);
             cmd_serve(args)
@@ -290,6 +294,122 @@ fn cmd_trace(path: &str) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `trace summarize`: per-span-family latency table plus a controller run
+/// timeline, both derived from the same validated schema the `trace`
+/// subcommand checks.
+fn cmd_trace_summarize(path: &str) -> Result<(), CliError> {
+    use klotski::telemetry::Record;
+
+    let text = std::fs::read_to_string(path).or_fail(format_args!("cannot read {path}"))?;
+    klotski::telemetry::validate_trace(&text)
+        .map_err(|e| CliError::failure(format!("{path}: {e}")))?;
+    let records: Vec<Record> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| klotski::telemetry::parse_line(l).expect("validated above"))
+        .collect();
+
+    // Self-time per span: its duration minus the duration of its direct
+    // children (clamped: concurrent children can overlap the parent).
+    let mut child_us: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    for r in &records {
+        if let Record::Span { parent, dur_us, .. } = r {
+            if *parent != 0 {
+                *child_us.entry(*parent).or_default() += dur_us;
+            }
+        }
+    }
+    let mut families: std::collections::BTreeMap<&str, Vec<u64>> =
+        std::collections::BTreeMap::new();
+    let mut event_counts: std::collections::BTreeMap<&str, usize> =
+        std::collections::BTreeMap::new();
+    for r in &records {
+        match r {
+            Record::Span {
+                name, id, dur_us, ..
+            } => {
+                let self_us = dur_us.saturating_sub(child_us.get(id).copied().unwrap_or(0));
+                families.entry(name).or_default().push(self_us);
+            }
+            Record::Event { name, .. } => *event_counts.entry(name).or_default() += 1,
+        }
+    }
+
+    println!("span families ({path}):");
+    println!(
+        "  {:<24} {:>6} {:>12} {:>12} {:>12}",
+        "name", "count", "total self", "p50 self", "p99 self"
+    );
+    for (name, mut self_times) in families {
+        self_times.sort_unstable();
+        let total: u64 = self_times.iter().sum();
+        println!(
+            "  {:<24} {:>6} {:>10.3}ms {:>10.3}ms {:>10.3}ms",
+            name,
+            self_times.len(),
+            total as f64 / 1000.0,
+            quantile_us(&self_times, 0.50) as f64 / 1000.0,
+            quantile_us(&self_times, 0.99) as f64 / 1000.0,
+        );
+    }
+    if !event_counts.is_empty() {
+        println!("events:");
+        for (name, count) in event_counts {
+            println!("  {name:<24} {count:>6}");
+        }
+    }
+
+    // Controller timeline: phase/rollback spans in wall order, with the
+    // fields the engine attaches (step, action, outcome).
+    let mut timeline: Vec<_> = records
+        .iter()
+        .filter_map(|r| match r {
+            Record::Span {
+                name,
+                start_us,
+                fields,
+                ..
+            } if name.starts_with("controller.") => Some((start_us, name, fields)),
+            _ => None,
+        })
+        .collect();
+    if timeline.is_empty() {
+        return Ok(());
+    }
+    timeline.sort_by_key(|(start, _, _)| **start);
+    let epoch = *timeline[0].0;
+    println!("controller timeline:");
+    for (start, name, fields) in timeline {
+        let mut detail = String::new();
+        for key in ["step", "at_step", "action", "blocks", "canary", "outcome"] {
+            if let Some(v) = fields.get(key) {
+                let rendered = v
+                    .as_str()
+                    .map(str::to_string)
+                    .or_else(|| v.as_f64().map(|n| format!("{n}")))
+                    .or_else(|| v.as_bool().map(|b| b.to_string()))
+                    .unwrap_or_default();
+                detail.push_str(&format!("  {key}={rendered}"));
+            }
+        }
+        println!(
+            "  +{:>9.3}ms  {:<20}{detail}",
+            (start - epoch) as f64 / 1000.0,
+            name
+        );
+    }
+    Ok(())
+}
+
+/// Nearest-rank quantile over a sorted slice (empty → 0).
+fn quantile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 fn cmd_audit(preset: &str) -> Result<(), CliError> {
     let id = parse_preset(preset)?;
     let preset = presets::build_for_bench(id);
@@ -321,6 +441,8 @@ fn cmd_run(mut args: Vec<String>) -> Result<(), CliError> {
         .ok_or_else(|| CliError::failure("run needs --scenario <file>"))?;
     let out = take_flag::<String>(&mut args, "-o")?;
     let deadline_ms = take_flag::<u64>(&mut args, "--deadline-ms")?;
+    let flight_dump = take_flag::<String>(&mut args, "--flight-dump")?;
+    let trace = take_flag::<String>(&mut args, "--trace")?;
     if !args.is_empty() {
         return Err(CliError::usage());
     }
@@ -329,9 +451,17 @@ fn cmd_run(mut args: Vec<String>) -> Result<(), CliError> {
         .or_fail(format_args!("cannot read {scenario_path}"))?;
     let scenario = klotski::controller::Scenario::from_json(&json)
         .or_fail(format_args!("invalid scenario {scenario_path}"))?;
+    if let Some(path) = &trace {
+        let sink = klotski::telemetry::FileSink::create(path)
+            .or_fail(format_args!("cannot open trace file {path}"))?;
+        klotski::telemetry::install(std::sync::Arc::new(sink));
+    }
     let deadline = deadline_ms.map(|ms| std::time::Instant::now() + Duration::from_millis(ms));
-    let report = klotski::controller::run_scenario(&scenario, deadline)
-        .map_err(|e| CliError::failure(e.to_string()))?;
+    let result = klotski::controller::run_scenario(&scenario, deadline);
+    if trace.is_some() {
+        klotski::telemetry::uninstall();
+    }
+    let report = result.map_err(|e| CliError::failure(e.to_string()))?;
 
     println!(
         "{}: initial plan {} phases in {:.1}ms ({} states)",
@@ -413,10 +543,33 @@ fn cmd_run(mut args: Vec<String>) -> Result<(), CliError> {
     if let Some(reason) = &report.abort_reason {
         println!("reason: {reason}");
     }
+    if let Some(path) = &trace {
+        println!("trace written to {path}");
+    }
     if let Some(out) = out {
         let json = serde_json::to_string_pretty(&report).or_fail("serialization failed")?;
         std::fs::write(&out, json).or_fail(format_args!("cannot write {out}"))?;
         println!("report written to {out}");
+    }
+    if let Some(dir) = flight_dump {
+        match &report.flight {
+            Some(bundle) => {
+                std::fs::create_dir_all(&dir).or_fail(format_args!("cannot create {dir}"))?;
+                // Bundle names inherit migration names like "topo-A/hgrid",
+                // so flatten path separators before using them as a file.
+                let file =
+                    format!("{}-{}.json", bundle.name, bundle.trigger).replace(['/', '\\'], "-");
+                let path = format!("{dir}/{file}");
+                std::fs::write(&path, bundle.to_json())
+                    .or_fail(format_args!("cannot write {path}"))?;
+                println!(
+                    "flight bundle ({}, {} events) written to {path}",
+                    bundle.trigger,
+                    bundle.events.len()
+                );
+            }
+            None => println!("no flight bundle: the run never paused, rolled back, or aborted"),
+        }
     }
     if report.completed {
         Ok(())
@@ -444,6 +597,9 @@ fn cmd_serve(mut args: Vec<String>) -> Result<(), CliError> {
     if let Some(ms) = take_flag::<u64>(&mut args, "--deadline-ms")? {
         config.default_deadline = Some(Duration::from_millis(ms));
     }
+    if let Some(cap) = take_flag(&mut args, "--sse-max-subscribers")? {
+        config.sse_max_subscribers = cap;
+    }
     if !args.is_empty() {
         return Err(CliError::usage());
     }
@@ -457,7 +613,7 @@ fn cmd_serve(mut args: Vec<String>) -> Result<(), CliError> {
         config.queue_depth
     );
     println!(
-        "endpoints: POST /v1/plan  POST /v1/audit  POST /v1/run  GET /v1/jobs/{{id}}  GET /metrics  GET /healthz"
+        "endpoints: POST /v1/plan  POST /v1/audit  POST /v1/run  GET /v1/jobs/{{id}}  GET /v1/jobs/{{id}}/events  GET /metrics  GET /healthz"
     );
     service.run_until_signalled();
     println!("drained; bye");

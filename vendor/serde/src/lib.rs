@@ -221,6 +221,14 @@ macro_rules! impl_int {
                 if n.fract() != 0.0 {
                     return Err(Error::new("expected integer"));
                 }
+                // A bare `as` cast would saturate silently (-3 → 0usize);
+                // mirror serde's out-of-range rejection instead.
+                if n < <$t>::MIN as f64 || n > <$t>::MAX as f64 {
+                    return Err(Error::new(concat!(
+                        "integer out of range for ",
+                        stringify!($t)
+                    )));
+                }
                 Ok(n as $t)
             }
         }
