@@ -133,7 +133,12 @@ impl Planner for BruteForcePlanner {
                 }
                 let plan = MigrationPlan::new(steps);
                 let cost = plan.cost(&self.cost);
-                Ok(PlanOutcome { plan, cost, stats })
+                Ok(PlanOutcome {
+                    plan,
+                    cost,
+                    stats,
+                    ensemble: None,
+                })
             }
         }
     }

@@ -116,7 +116,12 @@ impl Planner for MrcPlanner {
         stats.planning_time = start.elapsed();
         let plan = MigrationPlan::new(steps);
         let cost = plan.cost(&self.cost);
-        Ok(PlanOutcome { plan, cost, stats })
+        Ok(PlanOutcome {
+            plan,
+            cost,
+            stats,
+            ensemble: None,
+        })
     }
 }
 

@@ -18,15 +18,15 @@
 //!   the `long-horizon` experiment (default 6).
 
 use klotski_bench::{
-    experiments, full_scale, incremental, longhorizon, parallel, runner, scenarios, service,
-    telemetry,
+    experiments, full_scale, incremental, longhorizon, parallel, robust, runner, scenarios,
+    service, telemetry,
 };
 use klotski_telemetry::{log_event, registry};
 
 /// A named experiment: label plus the function rendering its output.
 type Experiment = (&'static str, fn() -> String);
 
-const EXPERIMENTS: [Experiment; 15] = [
+const EXPERIMENTS: [Experiment; 16] = [
     ("table1", experiments::table1),
     ("table3", experiments::table3),
     ("fig8", experiments::fig8),
@@ -37,6 +37,7 @@ const EXPERIMENTS: [Experiment; 15] = [
     ("fig13", experiments::fig13),
     ("parallel", parallel::parallel),
     ("incremental", incremental::incremental),
+    ("robust", robust::robust),
     ("full-scale", full_scale::full_scale),
     ("scenarios", scenarios::scenarios),
     ("service", service::service),

@@ -21,6 +21,7 @@ pub mod full_scale;
 pub mod incremental;
 pub mod longhorizon;
 pub mod parallel;
+pub mod robust;
 pub mod runner;
 pub mod scenarios;
 pub mod service;

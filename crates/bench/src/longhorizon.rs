@@ -125,6 +125,7 @@ fn storm_waves(n: usize) -> Vec<Scenario> {
                 },
                 progress_every: None,
                 block_scale: Some(2.0),
+                ensemble: None,
             }
         })
         .collect()

@@ -1,0 +1,237 @@
+//! Robust-satisfiability measurement: the same A\* search planned against
+//! traffic ensembles of growing size K on presets A and C, plus a
+//! single-matrix control arm. The incremental router computes routing
+//! structure once per state and replays only the load sweep for each extra
+//! matrix, so ensemble check time should grow sublinearly in K; the K=1
+//! arm must match the control arm bit-for-bit (same plan, same cost) with
+//! negligible overhead. Every arm runs at thread counts 1 and 4 and the
+//! row records whether the plan fingerprint survived the change. The
+//! `report` binary's `robust` experiment renders a table and writes the
+//! raw numbers to `BENCH_robust.json`.
+
+use crate::bench_timeout;
+use crate::table::Table;
+use klotski_core::migration::MigrationOptions;
+use klotski_core::plan::MigrationPlan;
+use klotski_core::planner::{AStarPlanner, PlanStats, Planner, SearchBudget};
+use klotski_core::{EnsembleSpec, EscMode};
+use klotski_topology::presets::PresetId;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Seed of every ensemble arm; fixed so reruns replay byte-for-byte.
+pub const ENSEMBLE_SEED: u64 = 61;
+
+/// Ensemble sizes swept per preset. 0 denotes the single-matrix control
+/// arm (no ensemble option at all, not a K=1 ensemble).
+pub const SWEEP: [usize; 5] = [0, 1, 2, 4, 8];
+
+/// One (preset, K) measurement in `BENCH_robust.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct RobustRow {
+    /// Preset id (A/C).
+    pub preset: String,
+    /// Ensemble size K; 0 = single-matrix control arm.
+    pub k: usize,
+    /// Plan cost (ensemble constraints can raise it above the control).
+    pub cost: f64,
+    /// Satisfiability queries issued by the search.
+    pub sat_checks: u64,
+    /// Per-matrix ensemble check executions (0 for K ≤ 1).
+    pub ensemble_matrix_checks: u64,
+    /// Checks that short-circuited the rest of their ensemble.
+    pub ensemble_short_circuits: u64,
+    /// Satcheck wall time, milliseconds (threads=1 run).
+    pub satcheck_ms: f64,
+    /// Total planning wall time, milliseconds (threads=1 run).
+    pub plan_ms: f64,
+    /// `satcheck_ms / control-arm satcheck_ms` on the same preset: the
+    /// sublinearity story (K=8 should cost far less than 8×).
+    pub satcheck_cost_ratio: f64,
+    /// FNV-1a over the serialized plan of the threads=1 run.
+    pub plan_fingerprint: String,
+    /// Plan fingerprint and bit-exact cost survived threads 1 → 4.
+    pub fingerprint_stable_across_threads: bool,
+}
+
+/// The JSON document written to `BENCH_robust.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct RobustReport {
+    /// Seed shared by every ensemble arm.
+    pub seed: u64,
+    pub rows: Vec<RobustRow>,
+}
+
+/// FNV-1a over the plan's canonical JSON form.
+fn plan_fingerprint(plan: &MigrationPlan) -> String {
+    let json = serde_json::to_string(plan).expect("plan serializes");
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in json.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    format!("{h:016x}")
+}
+
+/// One A\* run (ESC off, so satcheck time isolates routing work).
+struct Arm {
+    cost: f64,
+    stats: PlanStats,
+    plan_ms: f64,
+    fingerprint: String,
+}
+
+fn run_arm(id: PresetId, ensemble: Option<EnsembleSpec>, threads: usize) -> Arm {
+    let opts = MigrationOptions {
+        ensemble,
+        threads,
+        ..MigrationOptions::default()
+    };
+    let spec = crate::runner::spec_for(id, &opts);
+    let budget = SearchBudget {
+        max_states: 50_000_000,
+        time_limit: bench_timeout(),
+        ..SearchBudget::default()
+    };
+    let start = Instant::now();
+    let out = AStarPlanner {
+        budget,
+        esc: EscMode::Off,
+        ..AStarPlanner::default()
+    }
+    .plan(&spec)
+    .unwrap_or_else(|e| panic!("a* on {} failed: {e}", spec.name));
+    Arm {
+        cost: out.cost,
+        stats: out.stats,
+        plan_ms: start.elapsed().as_secs_f64() * 1e3,
+        fingerprint: plan_fingerprint(&out.plan),
+    }
+}
+
+/// Runs the K sweep and builds the JSON report.
+pub fn measure(presets: &[PresetId]) -> RobustReport {
+    let mut rows = Vec::new();
+    for &id in presets {
+        let mut control_satcheck_ms = None;
+        for k in SWEEP {
+            let ensemble = (k > 0).then(|| EnsembleSpec::with_k(k, ENSEMBLE_SEED));
+            let one = run_arm(id, ensemble.clone(), 1);
+            let four = run_arm(id, ensemble, 4);
+            let satcheck_ms = one.stats.satcheck_time.as_secs_f64() * 1e3;
+            let control = *control_satcheck_ms.get_or_insert(satcheck_ms);
+            rows.push(RobustRow {
+                preset: id.to_string(),
+                k,
+                cost: one.cost,
+                sat_checks: one.stats.sat_checks,
+                ensemble_matrix_checks: one.stats.ensemble_matrix_checks,
+                ensemble_short_circuits: one.stats.ensemble_short_circuits,
+                satcheck_ms,
+                plan_ms: one.plan_ms,
+                satcheck_cost_ratio: satcheck_ms / control.max(1e-9),
+                plan_fingerprint: one.fingerprint.clone(),
+                fingerprint_stable_across_threads: one.fingerprint == four.fingerprint
+                    && one.cost.to_bits() == four.cost.to_bits(),
+            });
+        }
+    }
+    RobustReport {
+        seed: ENSEMBLE_SEED,
+        rows,
+    }
+}
+
+/// The `robust` experiment: renders the sweep as a table and writes
+/// `BENCH_robust.json` in the working directory.
+pub fn robust() -> String {
+    let report = measure(&[PresetId::A, PresetId::C]);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    let path = "BENCH_robust.json";
+    let note = match std::fs::write(path, &json) {
+        Ok(()) => format!("wrote {path}"),
+        Err(e) => format!("could not write {path}: {e}"),
+    };
+    let mut t = Table::new([
+        "preset",
+        "K",
+        "cost",
+        "sat checks",
+        "matrix checks",
+        "kills",
+        "satcheck",
+        "vs control",
+        "plan time",
+        "threads 1==4",
+    ]);
+    for r in &report.rows {
+        t.row([
+            r.preset.clone(),
+            if r.k == 0 {
+                "–".into()
+            } else {
+                r.k.to_string()
+            },
+            format!("{:.1}", r.cost),
+            r.sat_checks.to_string(),
+            r.ensemble_matrix_checks.to_string(),
+            r.ensemble_short_circuits.to_string(),
+            format!("{:.0}ms", r.satcheck_ms),
+            format!("{:.2}x", r.satcheck_cost_ratio),
+            format!("{:.0}ms", r.plan_ms),
+            if r.fingerprint_stable_across_threads {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
+        ]);
+    }
+    format!(
+        "== Robust satisfiability over traffic ensembles (seed {}, ESC off) ==\n{}\n[{note}]",
+        report.seed,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_is_consistent_on_preset_a() {
+        let report = measure(&[PresetId::A]);
+        assert_eq!(report.rows.len(), SWEEP.len());
+        let control = &report.rows[0];
+        let k1 = &report.rows[1];
+        // A K=1 ensemble is the base matrix alone: same plan, same cost as
+        // the no-ensemble control arm, and no ensemble accounting at all.
+        assert_eq!(control.plan_fingerprint, k1.plan_fingerprint);
+        assert_eq!(control.cost.to_bits(), k1.cost.to_bits());
+        assert_eq!(k1.ensemble_matrix_checks, 0);
+        for r in &report.rows {
+            assert!(
+                r.fingerprint_stable_across_threads,
+                "{} K={} diverged across thread counts",
+                r.preset, r.k
+            );
+            assert!(r.sat_checks > 0);
+            if r.k > 1 {
+                assert!(
+                    r.ensemble_matrix_checks > 0,
+                    "K={} ran no ensemble checks",
+                    r.k
+                );
+            }
+        }
+        // More matrices mean more per-matrix work.
+        let checks = |k: usize| {
+            report
+                .rows
+                .iter()
+                .find(|r| r.k == k)
+                .expect("swept")
+                .ensemble_matrix_checks
+        };
+        assert!(checks(8) > checks(2));
+    }
+}

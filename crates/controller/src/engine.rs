@@ -35,7 +35,7 @@ use klotski_core::executor::{pick_uninvolved_switch, plan_still_safe, realized_d
 use klotski_core::migration::{MigrationBuilder, MigrationOptions, MigrationSpec};
 use klotski_core::plan::{MigrationPlan, PlanPhase};
 use klotski_core::planner::{AStarPlanner, DpPlanner, PlanStats, Planner, SearchBudget};
-use klotski_core::satcheck::SatStats;
+use klotski_core::satcheck::{LiveAudit, SatStats};
 use klotski_core::{CostModel, EscMode, PlanError, SatChecker};
 use klotski_parallel::WorkerPool;
 use klotski_telemetry::{registry, span, Counter, LogLinearHistogram};
@@ -121,6 +121,11 @@ pub struct StepRecord {
     pub paused: bool,
     /// The violated constraint that triggered the pause.
     pub pause_reason: Option<String>,
+    /// Ensemble matrix index (0 = base, k = k-th variant) whose audit
+    /// failed first, in index order; `None` when every matrix audited safe
+    /// or the run has no ensemble.
+    #[serde(default)]
+    pub ensemble_fail_matrix: Option<usize>,
 }
 
 /// One replanning attempt.
@@ -233,6 +238,7 @@ impl ControllerReport {
             h.u64(s.drift_switches as u64);
             h.u64(s.paused as u64);
             h.opt_str(s.pause_reason.as_deref());
+            h.u64(s.ensemble_fail_matrix.map(|k| k as u64 + 1).unwrap_or(0));
         }
         h.u64(self.replans.len() as u64);
         for r in &self.replans {
@@ -497,15 +503,18 @@ pub fn run(spec: &MigrationSpec, plan: &MigrationPlan, cfg: &ControllerConfig) -
         // plan, re-run the satisfiability check on the real state.
         let observed = fleet.observed(&active.topology);
         let drift = fleet.drift(&active.topology);
-        let t_audit = Instant::now();
-        let audit = checker.audit_live(&active, &observed, &realized);
-        met.audit_seconds.record(t_audit.elapsed());
-        met.audits.inc();
+        let (audit, ensemble_fail) =
+            ensemble_audit(&mut checker, &active, &met, &observed, &realized);
         if !audit.safe {
             met.audit_failures.inc();
         }
 
         let mut pause_reason: Option<String> = audit.violation();
+        if let Some(k) = ensemble_fail {
+            if k > 0 {
+                pause_reason = pause_reason.map(|v| format!("ensemble matrix {k}: {v}"));
+            }
+        }
         if pause_reason.is_none() {
             safe_points.push(SafePoint {
                 step: Some(step),
@@ -531,6 +540,7 @@ pub fn run(spec: &MigrationSpec, plan: &MigrationPlan, cfg: &ControllerConfig) -
             drift_switches: drift.switches,
             paused: pause_reason.is_some(),
             pause_reason: pause_reason.clone(),
+            ensemble_fail_matrix: ensemble_fail,
         });
         recorder.step(report.steps.last().expect("just pushed"));
 
@@ -667,10 +677,7 @@ fn rollback(
     while let Some(point) = safe_points.pop() {
         fleet.planned = point.planned.clone();
         let observed = fleet.observed(&active.topology);
-        let t_audit = Instant::now();
-        let audit = checker.audit_live(active, &observed, realized);
-        met.audit_seconds.record(t_audit.elapsed());
-        met.audits.inc();
+        let (audit, _) = ensemble_audit(checker, active, met, &observed, realized);
         if audit.safe || safe_points.is_empty() {
             span.field("outcome", if audit.safe { "restored" } else { "unsafe" });
             report.rollback = Some(RollbackRecord {
@@ -701,6 +708,56 @@ fn rollback(
         met.audit_failures.inc();
         skipped += 1;
     }
+}
+
+/// Shadow-audits `observed` under the realized demand and — when the spec
+/// carries a traffic ensemble — under every realized variant, in index
+/// order, short-circuiting on the first unsafe matrix so the decisive
+/// matrix is the same at any thread count. Returns the decisive audit (the
+/// first failing matrix's, or the base audit with `max_utilization` lifted
+/// to the worst across the ensemble) and the failing matrix index
+/// (0 = base). The lookahead and replans stay ensemble-aware separately:
+/// `residual()` re-realizes the spec's ensemble against the demand it is
+/// seeded with.
+fn ensemble_audit(
+    checker: &mut SatChecker,
+    spec: &MigrationSpec,
+    met: &ControllerMetrics,
+    observed: &NetState,
+    realized: &DemandMatrix,
+) -> (LiveAudit, Option<usize>) {
+    let t_audit = Instant::now();
+    let mut audit = checker.audit_live(spec, observed, realized);
+    met.audit_seconds.record(t_audit.elapsed());
+    met.audits.inc();
+    if !audit.safe {
+        let fail = spec.ensemble.is_some().then_some(0);
+        return (audit, fail);
+    }
+    let Some(ens_spec) = &spec.ensemble else {
+        return (audit, None);
+    };
+    // Re-realize from the *realized* demand: growth and surges shift the
+    // base, so the EWMA/surge variants shift with it. The spec's explicit
+    // seed keeps the variants a pure function of (spec, demand).
+    let Ok(ens) = ens_spec.realize(realized) else {
+        return (audit, None);
+    };
+    for (i, variant) in ens.extras().iter().enumerate() {
+        let t_audit = Instant::now();
+        let v = checker.audit_live(spec, observed, variant);
+        met.audit_seconds.record(t_audit.elapsed());
+        met.audits.inc();
+        if !v.safe {
+            return (v, Some(i + 1));
+        }
+        if v.max_utilization > audit.max_utilization {
+            audit.max_utilization = v.max_utilization;
+            audit.worst_circuit = v.worst_circuit;
+        }
+        audit.min_residual_gbps = audit.min_residual_gbps.min(v.min_residual_gbps);
+    }
+    (audit, None)
 }
 
 /// Safe-point stack as flight-bundle entries: -1 is the migration's initial
@@ -830,6 +887,7 @@ pub fn run_scenario(
     if let Some(every) = scenario.progress_every {
         opts.progress_every = every.max(1);
     }
+    opts.ensemble = scenario.ensemble.clone();
     let spec =
         MigrationBuilder::for_preset(&preset, &opts).map_err(ControllerError::InitialPlan)?;
     // Victim indices can only be range-checked against the built topology;

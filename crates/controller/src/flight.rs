@@ -72,6 +72,9 @@ impl FlightRecorder {
         if let Some(reason) = &rec.pause_reason {
             obj.insert("pause_reason".into(), Value::String(reason.clone()));
         }
+        if let Some(k) = rec.ensemble_fail_matrix {
+            obj.insert("ensemble_fail_matrix".into(), Value::Number(k as f64));
+        }
         self.push(obj);
     }
 
@@ -223,6 +226,7 @@ mod tests {
             drift_switches: 0,
             paused: true,
             pause_reason: Some("util 0.810 > theta".into()),
+            ensemble_fail_matrix: None,
         });
         rec.replan(&ReplanRecord {
             at_step: 3,

@@ -14,7 +14,7 @@
 //! the same file and seed always produce the same run.
 
 use klotski_topology::presets::PresetId;
-use klotski_traffic::{DemandClass, SurgeEvent};
+use klotski_traffic::{DemandClass, EnsembleSpec, SurgeEvent};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -66,6 +66,12 @@ pub struct Scenario {
     /// drive hundreds-of-step runs on one preset.
     #[serde(default)]
     pub block_scale: Option<f64>,
+    /// Traffic ensemble: plan AND shadow-audit every step against all K
+    /// realized matrices (the realized demand plus its EWMA/surge variants).
+    /// The spec carries its own explicit seed, so ensemble runs replay
+    /// byte-for-byte. `None` keeps single-matrix behaviour.
+    #[serde(default)]
+    pub ensemble: Option<EnsembleSpec>,
 }
 
 /// What a scripted disturbance does.
@@ -270,6 +276,11 @@ impl Scenario {
                 )));
             }
         }
+        if let Some(ensemble) = &self.ensemble {
+            ensemble
+                .validate()
+                .map_err(|e| ScenarioError(format!("ensemble: {e}")))?;
+        }
         for (i, ev) in self.events.iter().enumerate() {
             if let Some(until) = ev.until_step {
                 if until <= ev.at_step {
@@ -352,6 +363,7 @@ impl Scenario {
             replan: ReplanPolicy::default(),
             progress_every: None,
             block_scale: None,
+            ensemble: None,
         }
     }
 }
@@ -432,6 +444,26 @@ mod tests {
         let s =
             Scenario::from_json(r#"{"name": "x", "preset": "a", "progress_every": 64}"#).unwrap();
         assert_eq!(s.progress_every, Some(64));
+    }
+
+    #[test]
+    fn ensemble_field_parses_and_validates() {
+        let s = Scenario::from_json(
+            r#"{"name": "x", "preset": "a", "ensemble": {"k": 3, "seed": 42}}"#,
+        )
+        .unwrap();
+        let ens = s.ensemble.expect("parsed");
+        assert_eq!((ens.k, ens.seed), (3, 42));
+        // K=0 is structurally valid JSON but semantically rejected.
+        let err =
+            Scenario::from_json(r#"{"name": "x", "preset": "a", "ensemble": {"k": 0, "seed": 1}}"#)
+                .unwrap_err();
+        assert!(err.0.contains("ensemble"), "{err}");
+        // The seed is required on the wire: a seedless ensemble is a parse
+        // error, not a silent ambient default.
+        let err = Scenario::from_json(r#"{"name": "x", "preset": "a", "ensemble": {"k": 2}}"#)
+            .unwrap_err();
+        assert!(err.0.starts_with("parse:"), "{err}");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use klotski_controller::scenario::{ReplanPolicy, ScenarioEvent};
 use klotski_controller::{run_scenario, Scenario};
+use klotski_traffic::EnsembleSpec;
 
 /// Preset A with the utilization bound tightened to 0.62: enough headroom
 /// for the clean plan, but a mid-phase link failure pushes the drained
@@ -156,6 +157,82 @@ fn runs_are_bit_deterministic_across_thread_counts() {
     let s4 = run_scenario(&starved4, None).expect("starved threads=4");
     assert_eq!(s1.fingerprint(), s4.fingerprint());
     assert!(s1.rolled_back && s4.rolled_back);
+}
+
+#[test]
+fn ensemble_scenarios_audit_every_realized_matrix() {
+    let mut s = Scenario::sample();
+    s.name = "ensemble-clean".to_string();
+    s.events.clear();
+    s.ensemble = Some(EnsembleSpec::with_k(3, 97));
+    let report = run_scenario(&s, None).expect("scenario runs");
+    assert!(report.completed, "abort: {:?}", report.abort_reason);
+    // Each step's shadow audit covers the base matrix plus the realized
+    // variants, so strictly more live audits than steps.
+    assert!(
+        report.audit_stats.live_audits > report.steps.len() as u64,
+        "audits {} vs steps {}",
+        report.audit_stats.live_audits,
+        report.steps.len()
+    );
+    assert!(report
+        .steps
+        .iter()
+        .all(|st| st.ensemble_fail_matrix.is_none()));
+}
+
+#[test]
+fn ensemble_runs_are_bit_deterministic_across_thread_counts() {
+    let mut s = Scenario::sample();
+    s.name = "ensemble-disturbed".to_string();
+    s.ensemble = Some(EnsembleSpec::with_k(4, 11));
+    let mut one = s.clone();
+    one.threads = Some(1);
+    let mut four = s.clone();
+    four.threads = Some(4);
+
+    let r1 = run_scenario(&one, None).expect("threads=1 runs");
+    let r1b = run_scenario(&one, None).expect("threads=1 reruns");
+    let r4 = run_scenario(&four, None).expect("threads=4 runs");
+
+    assert_eq!(r1.fingerprint(), r1b.fingerprint(), "rerun must replay");
+    assert_eq!(
+        r1.fingerprint(),
+        r4.fingerprint(),
+        "thread count must not change an ensemble run"
+    );
+    // The decisive matrix (or its absence) replays bit-exactly too — it is
+    // part of the fingerprint, but spot-check the raw fields anyway.
+    assert_eq!(r1.steps.len(), r4.steps.len());
+    for (a, b) in r1.steps.iter().zip(&r4.steps) {
+        assert_eq!(a.ensemble_fail_matrix, b.ensemble_fail_matrix);
+        assert_eq!(a.max_utilization.to_bits(), b.max_utilization.to_bits());
+    }
+}
+
+#[test]
+fn base_audit_failure_is_attributed_to_matrix_zero() {
+    let mut s = tight_link_failure_scenario();
+    s.name = "ensemble-base-fail".to_string();
+    // EWMA-only variants (surge factor 1.0 collapses the surge range): the
+    // link failure breaks the *base* matrix's audit, and the short-circuit
+    // must attribute the pause to matrix 0 without auditing the rest.
+    s.ensemble = Some(EnsembleSpec {
+        surge_factor: 1.0,
+        ..EnsembleSpec::with_k(2, 5)
+    });
+    let report = run_scenario(&s, None).expect("scenario runs");
+    let pause = report
+        .steps
+        .iter()
+        .find(|st| st.paused)
+        .expect("the link failure must trigger a safe-pause");
+    assert_eq!(pause.ensemble_fail_matrix, Some(0));
+    assert!(
+        pause.pause_reason.as_deref().unwrap().contains("theta"),
+        "{:?}",
+        pause.pause_reason
+    );
 }
 
 #[test]

@@ -25,6 +25,10 @@ pub enum PlanError {
     /// This planner cannot handle this migration type (MRC and Janus cannot
     /// plan topology-changing migrations, §6.3).
     UnsupportedMigration(String),
+    /// The traffic-ensemble specification is invalid or could not be
+    /// realized against the instance (K=0, bad parameters, matrices
+    /// incompatible with the topology).
+    InvalidEnsemble(String),
 }
 
 impl fmt::Display for PlanError {
@@ -49,6 +53,9 @@ impl fmt::Display for PlanError {
             ),
             PlanError::UnsupportedMigration(why) => {
                 write!(f, "planner cannot handle this migration: {why}")
+            }
+            PlanError::InvalidEnsemble(why) => {
+                write!(f, "invalid traffic ensemble: {why}")
             }
         }
     }

@@ -65,5 +65,8 @@ pub use planner::{
     AStarPlanner, CancelFlag, DpPlanner, PlanOutcome, PlanStats, Planner, SearchBudget,
 };
 pub use report::{audit_plan, PlanAudit};
-pub use satcheck::{EscMode, LiveAudit, SatChecker};
+pub use satcheck::{EnsembleBreakdown, EnsembleMatrixStat, EscMode, LiveAudit, SatChecker};
 pub use space::SpaceModel;
+// Re-exported so wire-schema crates (npd) can name ensemble specs without a
+// direct dependency on the traffic crate.
+pub use klotski_traffic::{EnsembleError, EnsembleSpec, TrafficEnsemble};

@@ -28,7 +28,7 @@ use klotski_routing::{
 use klotski_topology::{
     presets::Preset, CircuitId, Generation, NetState, SwitchId, SwitchRole, Topology,
 };
-use klotski_traffic::{generate, DemandGenConfig, DemandMatrix};
+use klotski_traffic::{generate, DemandGenConfig, DemandMatrix, EnsembleSpec};
 use std::sync::Arc;
 
 /// The three production migration types of §2.4.
@@ -131,6 +131,11 @@ pub struct MigrationOptions {
     /// profile; live SSE streams and tests dial it down for finer-grained
     /// feedback. Clamped to ≥ 1.
     pub progress_every: u64,
+    /// Traffic-ensemble specification: when set, every satisfiability
+    /// verdict is the AND over the realized ensemble (the calibrated base
+    /// forecast plus K−1 EWMA/surge variants, seeded and deduplicated).
+    /// `None` checks the single planning matrix, exactly as before.
+    pub ensemble: Option<EnsembleSpec>,
 }
 
 /// Default planner progress-event interval, in expansions.
@@ -155,6 +160,7 @@ impl Default for MigrationOptions {
             incremental: true,
             esc_cache_cap: 1 << 20,
             progress_every: DEFAULT_PROGRESS_EVERY,
+            ensemble: None,
         }
     }
 }
@@ -168,8 +174,18 @@ pub struct MigrationSpec {
     pub migration_type: MigrationType,
     /// The union graph.
     pub topology: Arc<Topology>,
-    /// Forecasted demand set `D`.
+    /// Forecasted demand set `D` — the base (index-0) ensemble matrix.
     pub demands: DemandMatrix,
+    /// Extra ensemble matrices (indices 1..K), sharing `demands`' exact
+    /// endpoint structure — only the rates differ. Empty when no ensemble
+    /// is configured; satisfiability is then single-matrix.
+    pub extra_demands: Vec<DemandMatrix>,
+    /// Human-readable labels for all K ensemble matrices (index-aligned,
+    /// `ensemble_labels[0]` = base). Empty when no ensemble.
+    pub ensemble_labels: Vec<String>,
+    /// The ensemble specification the matrices were realized from, kept so
+    /// residual (replanning) instances re-realize against updated demand.
+    pub ensemble: Option<EnsembleSpec>,
     /// Activation state before any action.
     pub initial: NetState,
     /// All operation blocks (`S_opt` grouped by the organization policy).
@@ -290,11 +306,25 @@ impl MigrationSpec {
         }
         let target_counts =
             CompactState::from_counts(blocks_by_type.iter().map(|v| v.len() as u16).collect());
+        // Re-realize the ensemble against the *updated* demand matrix: the
+        // §7.1 replanning path re-forecasts, so its robustness variants must
+        // derive from the new forecast, not the stale one. Realization is
+        // deterministic in the stored spec's seed.
+        let (extra_demands, ensemble_labels) = match &self.ensemble {
+            Some(spec) => match spec.realize(&demands) {
+                Ok(ens) => (ens.extras().to_vec(), ens.labels().to_vec()),
+                Err(_) => (Vec::new(), Vec::new()),
+            },
+            None => (Vec::new(), Vec::new()),
+        };
         MigrationSpec {
             name: format!("{}/residual@{}", self.name, progress),
             migration_type: self.migration_type,
             topology: Arc::clone(&self.topology),
             demands,
+            extra_demands,
+            ensemble_labels,
+            ensemble: self.ensemble.clone(),
             initial: current,
             blocks,
             actions: self.actions.clone(),
@@ -877,6 +907,22 @@ fn finish_spec(
     let topology = Arc::new(owned_topology);
     let demands = raw.scaled(factor);
 
+    // Realize the traffic ensemble (if configured) against the *calibrated*
+    // base matrix, so every variant inherits the utilization calibration.
+    // All realized matrices share the base's exact endpoint structure; only
+    // rates differ, which is what lets checkers share routing structure.
+    let (extra_demands, ensemble_labels) = match &opts.ensemble {
+        Some(spec) => {
+            let ens = spec
+                .realize(&demands)
+                .map_err(|e| PlanError::InvalidEnsemble(e.to_string()))?;
+            ens.validate_against(topology.num_switches())
+                .map_err(|e| PlanError::InvalidEnsemble(e.to_string()))?;
+            (ens.extras().to_vec(), ens.labels().to_vec())
+        }
+        None => (Vec::new(), Vec::new()),
+    };
+
     // Canonical per-type block order = block insertion order.
     let mut blocks_by_type: Vec<Vec<BlockId>> = vec![Vec::new(); actions.len()];
     for b in &blocks {
@@ -894,6 +940,9 @@ fn finish_spec(
         migration_type,
         topology,
         demands,
+        extra_demands,
+        ensemble_labels,
+        ensemble: opts.ensemble.clone(),
         initial,
         blocks,
         actions,

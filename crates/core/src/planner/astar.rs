@@ -16,7 +16,10 @@ use crate::cost::{CostModel, HeuristicMode};
 use crate::error::PlanError;
 use crate::migration::MigrationSpec;
 use crate::plan::{MigrationPlan, PlanStep};
-use crate::planner::{flush_search_metrics, PlanOutcome, PlanStats, Planner, SearchBudget};
+use crate::planner::{
+    emit_ensemble_trace, flush_ensemble_metrics, flush_search_metrics, PlanOutcome, PlanStats,
+    Planner, SearchBudget,
+};
 use crate::satcheck::{EscMode, SatChecker};
 use klotski_parallel::WorkerPool;
 use klotski_telemetry::{log_event, span};
@@ -123,6 +126,10 @@ impl Planner for AStarPlanner {
                     .field("expansions", outcome.stats.states_visited)
                     .field("cost", outcome.cost);
                 flush_search_metrics("astar", &outcome.stats);
+                if let Some(ens) = &outcome.ensemble {
+                    emit_ensemble_trace("astar", ens);
+                    flush_ensemble_metrics("astar", ens);
+                }
             }
             Err(PlanError::BudgetExceeded { .. }) => {
                 guard.field("outcome", "budget");
@@ -197,10 +204,13 @@ impl AStarPlanner {
                 stats.absorb_sat(checker.stats());
                 stats.planning_time = start.elapsed();
                 let plan = rebuild_plan(spec, &parents, entry.key, target);
+                let ensemble =
+                    (!spec.extra_demands.is_empty()).then(|| checker.ensemble_breakdown().clone());
                 return Ok(PlanOutcome {
                     plan,
                     cost: entry.g,
                     stats,
+                    ensemble,
                 });
             }
 

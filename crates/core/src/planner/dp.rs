@@ -17,7 +17,10 @@ use crate::cost::CostModel;
 use crate::error::PlanError;
 use crate::migration::MigrationSpec;
 use crate::plan::{MigrationPlan, PlanStep};
-use crate::planner::{flush_search_metrics, PlanOutcome, PlanStats, Planner, SearchBudget};
+use crate::planner::{
+    emit_ensemble_trace, flush_ensemble_metrics, flush_search_metrics, PlanOutcome, PlanStats,
+    Planner, SearchBudget,
+};
 use crate::satcheck::{EscMode, SatChecker};
 use klotski_parallel::WorkerPool;
 use klotski_telemetry::{log_event, span};
@@ -77,6 +80,10 @@ impl Planner for DpPlanner {
                     .field("expansions", outcome.stats.states_visited)
                     .field("cost", outcome.cost);
                 flush_search_metrics("dp", &outcome.stats);
+                if let Some(ens) = &outcome.ensemble {
+                    emit_ensemble_trace("dp", ens);
+                    flush_ensemble_metrics("dp", ens);
+                }
             }
             Err(PlanError::BudgetExceeded { .. }) => {
                 guard.field("outcome", "budget");
@@ -225,10 +232,13 @@ impl DpPlanner {
         }
         rev_steps.reverse();
         let plan = MigrationPlan::new(rev_steps);
+        let ensemble =
+            (!spec.extra_demands.is_empty()).then(|| checker.ensemble_breakdown().clone());
         Ok(PlanOutcome {
             plan,
             cost: best_cost,
             stats,
+            ensemble,
         })
     }
 }

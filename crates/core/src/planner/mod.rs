@@ -21,7 +21,7 @@ pub use dp::DpPlanner;
 use crate::error::PlanError;
 use crate::migration::MigrationSpec;
 use crate::plan::MigrationPlan;
-use crate::satcheck::SatStats;
+use crate::satcheck::{EnsembleBreakdown, SatStats};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -63,6 +63,15 @@ pub struct PlanStats {
     pub satcheck_time: Duration,
     /// Wall-clock planning time.
     pub planning_time: Duration,
+    /// Traffic-ensemble size K (0 when no ensemble is configured).
+    #[serde(default)]
+    pub ensemble_matrices: u64,
+    /// Total per-matrix evaluations across all full evaluations.
+    #[serde(default)]
+    pub ensemble_matrix_checks: u64,
+    /// Full evaluations killed by some ensemble matrix (short-circuited).
+    #[serde(default)]
+    pub ensemble_short_circuits: u64,
 }
 
 impl PlanStats {
@@ -75,6 +84,9 @@ impl PlanStats {
         self.incremental_dirty = s.incremental_dirty;
         self.esc_entries = s.esc_entries;
         self.esc_bytes = s.esc_bytes;
+        self.ensemble_matrices = s.ensemble_matrices;
+        self.ensemble_matrix_checks = s.ensemble_matrix_checks;
+        self.ensemble_short_circuits = s.ensemble_short_circuits;
     }
 
     /// ESC cache hit rate over all satisfiability queries, in `[0, 1]`.
@@ -174,6 +186,62 @@ pub(crate) fn flush_search_metrics(planner: &str, stats: &PlanStats) {
         .record(stats.planning_time);
 }
 
+/// Publishes a finished search's per-matrix ensemble counters under the
+/// `klotski_ensemble_*` families, labelled by planner and matrix. No-op for
+/// single-matrix (non-ensemble) searches.
+pub(crate) fn flush_ensemble_metrics(planner: &str, breakdown: &EnsembleBreakdown) {
+    if breakdown.matrices.is_empty() {
+        return;
+    }
+    let reg = klotski_telemetry::registry();
+    for (family, help) in [
+        (
+            "klotski_ensemble_matrix_checks_total",
+            "Per-ensemble-matrix satisfiability evaluations",
+        ),
+        (
+            "klotski_ensemble_matrix_kills_total",
+            "Candidates killed by each ensemble matrix (first failure)",
+        ),
+        (
+            "klotski_ensemble_matrix_us_total",
+            "Microseconds spent evaluating each ensemble matrix",
+        ),
+    ] {
+        reg.set_help(family, help);
+    }
+    for (k, m) in breakdown.matrices.iter().enumerate() {
+        let label = |family: &str| {
+            format!(
+                "{family}{{planner=\"{planner}\",matrix=\"{k}:{}\"}}",
+                m.label
+            )
+        };
+        reg.counter(&label("klotski_ensemble_matrix_checks_total"))
+            .add(m.checks);
+        reg.counter(&label("klotski_ensemble_matrix_kills_total"))
+            .add(m.kills);
+        reg.counter(&label("klotski_ensemble_matrix_us_total"))
+            .add(m.wall_ns / 1_000);
+    }
+}
+
+/// Emits one `satcheck.ensemble` trace event per ensemble matrix, so
+/// `trace summarize` can render which matrix killed how many candidates.
+pub(crate) fn emit_ensemble_trace(planner: &str, breakdown: &EnsembleBreakdown) {
+    for (k, m) in breakdown.matrices.iter().enumerate() {
+        klotski_telemetry::log_event!(
+            "satcheck.ensemble",
+            "planner" = planner,
+            "matrix" = k as u64,
+            "label" = m.label.as_str(),
+            "checks" = m.checks,
+            "kills" = m.kills,
+            "wall_us" = m.wall_ns / 1_000,
+        );
+    }
+}
+
 /// A successful planning result.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlanOutcome {
@@ -183,6 +251,9 @@ pub struct PlanOutcome {
     pub cost: f64,
     /// Search counters.
     pub stats: PlanStats,
+    /// Per-matrix ensemble accounting (`None` for single-matrix searches
+    /// and for baselines that don't run the ensemble checker).
+    pub ensemble: Option<EnsembleBreakdown>,
 }
 
 /// Common planner interface (Klotski planners and baselines alike).

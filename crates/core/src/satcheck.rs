@@ -43,6 +43,7 @@ use klotski_traffic::DemandMatrix;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Cache strategy for satisfiability results.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -88,6 +89,19 @@ pub struct SatStats {
     /// cached.
     #[serde(default)]
     pub live_audits: u64,
+    /// Traffic-ensemble size K (0 when no ensemble is configured; every
+    /// verdict is then over the single planning matrix).
+    #[serde(default)]
+    pub ensemble_matrices: u64,
+    /// Total per-matrix evaluations across all full evaluations (for an
+    /// ensemble of K matrices, each full evaluation contributes between 1
+    /// and K of these, depending on where it short-circuited).
+    #[serde(default)]
+    pub ensemble_matrix_checks: u64,
+    /// Full evaluations that failed at some ensemble matrix (and skipped
+    /// the matrices after it).
+    #[serde(default)]
+    pub ensemble_short_circuits: u64,
 }
 
 impl SatStats {
@@ -99,6 +113,46 @@ impl SatStats {
         } else {
             self.incremental_clean as f64 / total as f64
         }
+    }
+}
+
+/// Per-matrix satisfiability accounting of one ensemble checker: how many
+/// times each matrix was evaluated, how many candidates it killed (it was
+/// the first failing matrix), and the wall time spent on it. Empty when no
+/// ensemble is configured. Unlike the `Copy` aggregate counters in
+/// [`SatStats`], this is sized by K and lives on the checker; planners
+/// surface it through `PlanOutcome.ensemble`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnsembleBreakdown {
+    /// One row per ensemble matrix, in check (index) order.
+    pub matrices: Vec<EnsembleMatrixStat>,
+}
+
+/// One matrix's row in an [`EnsembleBreakdown`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnsembleMatrixStat {
+    /// Human-readable matrix label ("base", "ewma[a=0.35]", ...).
+    pub label: String,
+    /// Evaluations of this matrix (its load sweep + constraint tail ran).
+    pub checks: u64,
+    /// Candidates this matrix killed: it was the first failing matrix, so
+    /// every matrix after it was skipped.
+    pub kills: u64,
+    /// Wall time spent evaluating this matrix, nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl EnsembleBreakdown {
+    /// True when this checker runs a K>1 ensemble.
+    pub fn is_ensemble(&self) -> bool {
+        self.matrices.len() > 1
+    }
+
+    fn record(&mut self, k: usize, wall: Duration, kill: bool) {
+        let row = &mut self.matrices[k];
+        row.checks += 1;
+        row.kills += kill as u64;
+        row.wall_ns += wall.as_nanos() as u64;
     }
 }
 
@@ -168,6 +222,11 @@ struct LaneEval {
     loads: LoadMap,
     mask: UsableMask,
     outcome: RouteOutcome,
+    /// Per-ensemble-matrix `(checks, kills, wall_ns)` accumulated on this
+    /// lane, merged into the checker's [`EnsembleBreakdown`] after each
+    /// batch (in lane order; the sums are order-independent). Empty when no
+    /// ensemble is configured.
+    ens: Vec<(u64, u64, u64)>,
 }
 
 /// Delta-evaluation context: the incremental routing engine plus the base
@@ -287,6 +346,11 @@ pub struct SatChecker {
     /// Estimated heap bytes of one `CacheKey::Full` activation bitset.
     full_key_bytes: u64,
     stats: SatStats,
+    /// Per-matrix ensemble accounting (empty when no ensemble).
+    ensemble: EnsembleBreakdown,
+    /// Index of the matrix that failed the most recent cache-missing
+    /// sequential evaluation (`None` when it passed, or no ensemble).
+    last_fail_matrix: Option<usize>,
     esc_entries_gauge: Arc<Gauge>,
     esc_bytes_gauge: Arc<Gauge>,
 }
@@ -338,9 +402,10 @@ impl SatChecker {
         // batch evaluators.
         let csr = Arc::new(CsrGraph::build(&spec.topology));
         let incremental = spec.incremental.then(|| IncrementalEval {
-            engine: IncrementalRouter::with_csr(
+            engine: IncrementalRouter::with_csr_ensemble(
                 csr.clone(),
                 &spec.demands,
+                &spec.extra_demands,
                 pool.lanes(),
                 spec.split,
             ),
@@ -369,6 +434,23 @@ impl SatChecker {
             full_key_bytes: ((spec.topology.num_switches() + spec.topology.num_circuits())
                 .div_ceil(8)) as u64,
             stats: SatStats::default(),
+            ensemble: EnsembleBreakdown {
+                matrices: if spec.extra_demands.is_empty() {
+                    Vec::new()
+                } else {
+                    (0..=spec.extra_demands.len())
+                        .map(|k| EnsembleMatrixStat {
+                            label: spec
+                                .ensemble_labels
+                                .get(k)
+                                .cloned()
+                                .unwrap_or_else(|| format!("m{k}")),
+                            ..EnsembleMatrixStat::default()
+                        })
+                        .collect()
+                },
+            },
+            last_fail_matrix: None,
             esc_entries_gauge: reg.gauge("klotski_esc_cache_entries"),
             esc_bytes_gauge: reg.gauge("klotski_esc_cache_bytes"),
         }
@@ -386,7 +468,27 @@ impl SatChecker {
         }
         s.esc_entries = self.cache.len() as u64;
         s.esc_bytes = self.cache_bytes;
+        s.ensemble_matrices = self.ensemble.matrices.len() as u64;
+        s.ensemble_matrix_checks = self.ensemble.matrices.iter().map(|m| m.checks).sum();
+        s.ensemble_short_circuits = self.ensemble.matrices.iter().map(|m| m.kills).sum();
         s
+    }
+
+    /// Per-matrix ensemble accounting — who killed which candidates, and
+    /// how long each matrix's load sweeps took. Empty rows when no ensemble
+    /// is configured.
+    pub fn ensemble_breakdown(&self) -> &EnsembleBreakdown {
+        &self.ensemble
+    }
+
+    /// Index of the ensemble matrix that failed the most recent
+    /// cache-missing sequential [`check`](Self::check) (`None` when the
+    /// state passed all matrices, or no ensemble is configured). Test hook
+    /// for the short-circuit determinism proptests; batch-mode verdicts
+    /// don't update it.
+    #[doc(hidden)]
+    pub fn last_fail_matrix(&self) -> Option<usize> {
+        self.last_fail_matrix
     }
 
     /// True when this checker evaluates child states incrementally.
@@ -622,6 +724,11 @@ impl SatChecker {
                         loads: LoadMap::new(&spec.topology),
                         mask: UsableMask::new(),
                         outcome: RouteOutcome::new(),
+                        ens: if spec.extra_demands.is_empty() {
+                            Vec::new()
+                        } else {
+                            vec![(0, 0, 0); 1 + spec.extra_demands.len()]
+                        },
                     })
                     .collect();
             }
@@ -644,6 +751,21 @@ impl SatChecker {
             }
         }
 
+        // Merge lane-local ensemble counters (additive, so the merged sums
+        // are deterministic regardless of item-to-lane assignment).
+        if !spec.extra_demands.is_empty() {
+            for lane in &mut self.lane_scratch {
+                for (k, (checks, kills, wall_ns)) in lane.ens.iter_mut().enumerate() {
+                    let row = &mut self.ensemble.matrices[k];
+                    row.checks += *checks;
+                    row.kills += *kills;
+                    row.wall_ns += *wall_ns;
+                    *checks = 0;
+                    *kills = 0;
+                    *wall_ns = 0;
+                }
+            }
+        }
         for (i, slot) in resolve.iter().enumerate() {
             if let Some(slot) = slot {
                 results[i] = verdicts[*slot];
@@ -700,6 +822,9 @@ impl SatChecker {
                 return false;
             }
         }
+        // Ensemble accounting is armed only when extra matrices exist, so
+        // the single-matrix path pays no timing overhead.
+        let ens_start = (!spec.extra_demands.is_empty()).then(Instant::now);
         if let Some(incr) = &mut self.incremental {
             // Apply a staged parent rebase first, so this child's delta is
             // the one block the planner applied.
@@ -740,7 +865,49 @@ impl SatChecker {
             );
             self.mask = mask;
         }
-        finish_evaluate(spec, v, state, last, &mut self.loads, &self.outcome)
+        let ok = finish_evaluate(spec, v, state, last, &mut self.loads, &self.outcome);
+        let Some(t0) = ens_start else {
+            return ok;
+        };
+        // Ensemble verdict: AND over all K matrices, evaluated in index
+        // order with a short-circuit on the first failure — a sequential
+        // order independent of lane count, so verdicts (and the failing
+        // index) are deterministic at any thread count.
+        self.ensemble.record(0, t0.elapsed(), !ok);
+        if !ok {
+            self.last_fail_matrix = Some(0);
+            return false;
+        }
+        for k in 0..spec.extra_demands.len() {
+            let tk = Instant::now();
+            self.loads.clear();
+            if let Some(incr) = &mut self.incremental {
+                // Distance labels, DAGs, and the base matrix's edit lists
+                // were just built for `state`; only the load sweep replays.
+                incr.engine
+                    .replay_extra(k, state, &mut self.loads, &mut self.outcome);
+            } else {
+                // The usable mask was computed for `state` above and is
+                // demand-independent; only the routing pass re-runs.
+                self.router.route_with_mask_into(
+                    &self.pool,
+                    &spec.topology,
+                    state,
+                    &self.mask,
+                    &spec.extra_demands[k],
+                    &mut self.loads,
+                    &mut self.outcome,
+                );
+            }
+            let ok = finish_evaluate(spec, v, state, last, &mut self.loads, &self.outcome);
+            self.ensemble.record(k + 1, tk.elapsed(), !ok);
+            if !ok {
+                self.last_fail_matrix = Some(k + 1);
+                return false;
+            }
+        }
+        self.last_fail_matrix = None;
+        true
     }
 }
 
@@ -757,6 +924,7 @@ fn evaluate_on_lane(
             return false;
         }
     }
+    let ens_start = (!spec.extra_demands.is_empty()).then(Instant::now);
     lane.mask.compute(&spec.topology, state);
     lane.loads.clear();
     lane.router.route_with_mask_into(
@@ -767,7 +935,43 @@ fn evaluate_on_lane(
         &mut lane.loads,
         &mut lane.outcome,
     );
-    finish_evaluate(spec, v, state, last, &mut lane.loads, &lane.outcome)
+    let ok = finish_evaluate(spec, v, state, last, &mut lane.loads, &lane.outcome);
+    let Some(t0) = ens_start else {
+        return ok;
+    };
+    // Same index-ordered short-circuit as the sequential path: each item's
+    // ensemble verdict is evaluated entirely on one lane, so the first
+    // failing matrix per item is independent of how items map to lanes.
+    record_lane(lane, 0, t0, !ok);
+    if !ok {
+        return false;
+    }
+    for k in 0..spec.extra_demands.len() {
+        let tk = Instant::now();
+        lane.loads.clear();
+        lane.router.route_with_mask_into(
+            &spec.topology,
+            state,
+            &lane.mask,
+            &spec.extra_demands[k],
+            &mut lane.loads,
+            &mut lane.outcome,
+        );
+        let ok = finish_evaluate(spec, v, state, last, &mut lane.loads, &lane.outcome);
+        record_lane(lane, k + 1, tk, !ok);
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// Accumulates one per-matrix evaluation into a lane's local counters.
+fn record_lane(lane: &mut LaneEval, k: usize, since: Instant, kill: bool) {
+    let (checks, kills, wall_ns) = &mut lane.ens[k];
+    *checks += 1;
+    *kills += kill as u64;
+    *wall_ns += since.elapsed().as_nanos() as u64;
 }
 
 /// Shared tail of every evaluation: funneling headroom, θ comparison, and

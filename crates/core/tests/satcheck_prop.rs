@@ -4,10 +4,10 @@
 //! as the single-threaded checker — parallelism is an implementation
 //! detail, never a semantics knob.
 
-use klotski_core::migration::{MigrationBuilder, MigrationOptions};
+use klotski_core::migration::{MigrationBuilder, MigrationOptions, MigrationSpec};
 use klotski_core::planner::{AStarPlanner, Planner};
 use klotski_core::satcheck::{EscMode, SatChecker};
-use klotski_core::{ActionTypeId, CompactState};
+use klotski_core::{ActionTypeId, CompactState, EnsembleSpec};
 use klotski_topology::presets::{self, PresetId};
 use klotski_topology::NetState;
 use proptest::prelude::*;
@@ -102,6 +102,164 @@ proptest! {
                 }
             }
         }
+    }
+}
+
+/// Walk states shared by the ensemble differential tests: a handful of
+/// block walks plus origin and target.
+fn walk_states(spec: &MigrationSpec, seed: u64) -> Vec<(CompactState, NetState)> {
+    let target = spec.target_counts.clone();
+    let mut states: Vec<(CompactState, NetState)> = Vec::new();
+    for i in 0..5u64 {
+        let v = walk(&target, seed.wrapping_add(i * 7919), 1 + (i as usize) * 3);
+        let s = spec.state_for(&v);
+        states.push((v, s));
+    }
+    states.push((CompactState::origin(spec.num_types()), spec.initial.clone()));
+    states.push((target.clone(), spec.target_state()));
+    states
+}
+
+/// Clone of `spec` reduced to one of its ensemble matrices: index 0 is the
+/// base demand set, index k > 0 the k-th realized variant.
+fn single_matrix_spec(spec: &MigrationSpec, k: usize) -> MigrationSpec {
+    let mut s = spec.clone();
+    if k > 0 {
+        s.demands = spec.extra_demands[k - 1].clone();
+    }
+    s.extra_demands = Vec::new();
+    s.ensemble_labels = Vec::new();
+    s.ensemble = None;
+    s
+}
+
+/// Differential core of the AND-fold property: on `preset`, the ensemble
+/// verdict must equal the conjunction of K independent single-matrix
+/// checks, and the first failing matrix index must be the fold's first
+/// `false` — at every thread count, with and without incremental routing.
+fn assert_ensemble_is_and_fold(preset: PresetId, k: usize, seed: u64, theta: f64) {
+    let opts = MigrationOptions {
+        theta,
+        ensemble: Some(EnsembleSpec::with_k(k, seed)),
+        ..MigrationOptions::default()
+    };
+    let spec = MigrationBuilder::hgrid_v1_to_v2(&presets::build(preset), &opts).unwrap();
+    let states = walk_states(&spec, seed);
+
+    // Reference fold: one sequential single-threaded checker per matrix,
+    // each spec carrying exactly one demand set and no ensemble at all.
+    let singles: Vec<MigrationSpec> = (0..=spec.extra_demands.len())
+        .map(|i| single_matrix_spec(&spec, i))
+        .collect();
+    let mut folds: Vec<Vec<bool>> = Vec::new();
+    for (v, s) in &states {
+        let fold: Vec<bool> = singles
+            .iter()
+            .map(|sp| SatChecker::with_threads(sp, EscMode::Off, 1).check(sp, v, s, None))
+            .collect();
+        folds.push(fold);
+    }
+
+    let mut spec_full = spec.clone();
+    spec_full.incremental = false;
+    for threads in [1usize, 4] {
+        for sp in [&spec, &spec_full] {
+            let mut checker = SatChecker::with_threads(sp, EscMode::Off, threads);
+            for ((v, s), fold) in states.iter().zip(&folds) {
+                let expected = fold.iter().all(|&b| b);
+                let expected_fail = fold.iter().position(|&b| !b);
+                let got = checker.check(sp, v, s, None);
+                assert_eq!(
+                    got, expected,
+                    "ensemble verdict != AND-fold on {preset} x{threads} \
+                     incremental={} fold={fold:?}",
+                    sp.incremental
+                );
+                assert_eq!(
+                    checker.last_fail_matrix(),
+                    expected_fail,
+                    "first failing matrix diverged on {preset} x{threads} \
+                     incremental={} fold={fold:?}",
+                    sp.incremental
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// A K=1 ensemble is the base matrix alone: verdicts *and* per-circuit
+    /// loads are bitwise-identical to the plain single-matrix checker, at
+    /// every thread count, with and without incremental routing.
+    #[test]
+    fn prop_k1_ensemble_is_bitwise_identical_to_single_matrix(
+        seed in 0u64..1_000_000,
+        theta in 0.55f64..0.95,
+    ) {
+        let plain_opts = MigrationOptions { theta, ..MigrationOptions::default() };
+        let k1_opts = MigrationOptions {
+            theta,
+            ensemble: Some(EnsembleSpec::with_k(1, seed)),
+            ..MigrationOptions::default()
+        };
+        let preset = presets::build(PresetId::A);
+        let plain = MigrationBuilder::hgrid_v1_to_v2(&preset, &plain_opts).unwrap();
+        let k1 = MigrationBuilder::hgrid_v1_to_v2(&preset, &k1_opts).unwrap();
+        prop_assert!(k1.extra_demands.is_empty(), "K=1 realizes no extra matrices");
+        let states = walk_states(&plain, seed);
+
+        for threads in [1usize, 2, 4] {
+            for incremental in [true, false] {
+                let mut p = plain.clone();
+                p.incremental = incremental;
+                let mut e = k1.clone();
+                e.incremental = incremental;
+                let mut plain_checker = SatChecker::with_threads(&p, EscMode::Off, threads);
+                let mut k1_checker = SatChecker::with_threads(&e, EscMode::Off, threads);
+                for (v, s) in &states {
+                    let want = plain_checker.check(&p, v, s, None);
+                    let got = k1_checker.check(&e, v, s, None);
+                    prop_assert_eq!(
+                        got, want,
+                        "verdict x{} incremental={}", threads, incremental
+                    );
+                    prop_assert!(
+                        k1_checker.last_loads() == plain_checker.last_loads(),
+                        "per-circuit loads diverged x{} incremental={}",
+                        threads, incremental
+                    );
+                    prop_assert_eq!(k1_checker.last_fail_matrix(), None);
+                }
+                let stats = k1_checker.stats();
+                prop_assert_eq!(stats.ensemble_matrices, 0);
+                prop_assert_eq!(stats.ensemble_matrix_checks, 0);
+            }
+        }
+    }
+
+    /// The tentpole differential property on preset A: ensemble verdict ==
+    /// AND of independent per-matrix checks, first failing matrix index
+    /// deterministic across thread counts and engines.
+    #[test]
+    fn prop_ensemble_verdict_is_and_fold_on_preset_a(
+        seed in 0u64..1_000_000,
+        k in 2usize..5,
+        theta in 0.55f64..0.95,
+    ) {
+        assert_ensemble_is_and_fold(PresetId::A, k, seed, theta);
+    }
+}
+
+/// The same AND-fold property on the mid-size preset C, at fixed seeds so
+/// the tier-1 suite stays fast. θ = 0.62 sits where the 1.3× surge
+/// variants fail while the base matrix often passes, exercising the
+/// short-circuit index.
+#[test]
+fn ensemble_verdict_is_and_fold_on_preset_c() {
+    for seed in [3u64, 1009] {
+        assert_ensemble_is_and_fold(PresetId::C, 4, seed, 0.62);
     }
 }
 

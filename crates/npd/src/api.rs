@@ -14,6 +14,7 @@
 
 use crate::schema::Npd;
 use klotski_core::report::PlanAudit;
+use klotski_core::{EnsembleMatrixStat, EnsembleSpec};
 use serde::{Deserialize, Serialize};
 
 /// 64-bit FNV-1a offset basis.
@@ -70,6 +71,11 @@ pub struct PlanRequestOptions {
     /// Entry cap for the evaluated-state cache (FIFO eviction beyond it).
     #[serde(default)]
     pub esc_cache_cap: Option<usize>,
+    /// Traffic-ensemble specification: plan so every checked state is safe
+    /// under all K realized matrices (base forecast + EWMA/surge variants).
+    /// Absent means single-matrix planning, exactly as before.
+    #[serde(default)]
+    pub ensemble: Option<EnsembleSpec>,
 }
 
 impl PlanRequestOptions {
@@ -80,10 +86,18 @@ impl PlanRequestOptions {
     /// for the same reason: both are evaluation-speed knobs whose verdicts
     /// (and hence plans) are bit-identical across settings.
     pub fn digest(&self) -> u64 {
-        let canonical = format!(
+        let mut canonical = format!(
             "theta={:?};alpha={:?};planner={:?}",
             self.theta, self.alpha, self.planner
         );
+        // Appended only when present, so pre-ensemble requests keep their
+        // historical digests (and cache entries) unchanged.
+        if let Some(ens) = &self.ensemble {
+            canonical.push_str(&format!(
+                ";ensemble=k{}@{};alphas={:?};surge={:?}",
+                ens.k, ens.seed, ens.ewma_alphas, ens.surge_factor
+            ));
+        }
         fnv1a(canonical.as_bytes())
     }
 }
@@ -142,6 +156,19 @@ pub struct PlanSummary {
     pub satcheck_ms: u64,
     /// Planning wall-clock, milliseconds.
     pub planning_ms: u64,
+    /// Traffic-ensemble size K (0 when the request had no ensemble).
+    #[serde(default)]
+    pub ensemble_matrices: u64,
+    /// Total per-matrix evaluations across all full evaluations.
+    #[serde(default)]
+    pub ensemble_matrix_checks: u64,
+    /// Full evaluations short-circuited by a failing ensemble matrix.
+    #[serde(default)]
+    pub ensemble_short_circuits: u64,
+    /// Per-matrix ensemble detail (label, checks, kills, wall time), in
+    /// matrix index order; empty for single-matrix requests.
+    #[serde(default)]
+    pub ensemble: Vec<EnsembleMatrixStat>,
     /// True when the response was served from the shared plan cache.
     #[serde(default)]
     pub cached: bool,
@@ -276,6 +303,25 @@ mod tests {
     }
 
     #[test]
+    fn options_digest_distinguishes_ensembles() {
+        let base = PlanRequestOptions::default();
+        let k4 = PlanRequestOptions {
+            ensemble: Some(EnsembleSpec::with_k(4, 7)),
+            ..base.clone()
+        };
+        assert_ne!(base.digest(), k4.digest());
+        let k4_other_seed = PlanRequestOptions {
+            ensemble: Some(EnsembleSpec::with_k(4, 8)),
+            ..base
+        };
+        assert_ne!(
+            k4.digest(),
+            k4_other_seed.digest(),
+            "the seed changes the realized matrices, so it must key the cache"
+        );
+    }
+
+    #[test]
     fn job_status_roundtrips_through_json() {
         let status = JobStatusResponse {
             id: "17".into(),
@@ -303,6 +349,15 @@ mod tests {
                 esc_bytes: 2_048,
                 satcheck_ms: 6,
                 planning_ms: 12,
+                ensemble_matrices: 2,
+                ensemble_matrix_checks: 130,
+                ensemble_short_circuits: 25,
+                ensemble: vec![EnsembleMatrixStat {
+                    label: "base".into(),
+                    checks: 80,
+                    kills: 20,
+                    wall_ns: 5_000,
+                }],
                 cached: false,
             }),
         };

@@ -52,7 +52,7 @@ use klotski_telemetry::{registry, Counter, Gauge};
 use klotski_topology::{BitSet, CircuitId, CsrGraph, NetState, SwitchId, Topology};
 use klotski_traffic::{Demand, DemandMatrix};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::sync::Arc;
 
 /// Chunks per lane for the lane-partitioned destination advance — matching
@@ -74,6 +74,12 @@ pub struct IncrementalStats {
     pub full_rebuilds: u64,
     /// Total toggled circuits across all delta evaluations.
     pub toggled_circuits: u64,
+    /// Completed [`replay_extra`](IncrementalRouter::replay_extra) calls
+    /// (one per non-base ensemble matrix actually checked).
+    pub extra_replays: u64,
+    /// Destinations whose per-extra-matrix edit list was stale and had to be
+    /// re-swept from the cached structure during an extra replay.
+    pub extra_resweeps: u64,
 }
 
 impl IncrementalStats {
@@ -164,8 +170,23 @@ struct DestEntry {
     /// Routed-demand rate terms, in demand order (kept as terms so replay
     /// preserves the summation order of `RouteOutcome::routed_gbps`).
     routed_terms: Vec<f64>,
-    /// Unreachable `(src, dst)` pairs, in demand order.
+    /// Unreachable `(src, dst)` pairs, in demand order. Ensemble variants
+    /// share the base's exact endpoints, so this list is matrix-independent
+    /// and extra replays reuse it verbatim.
     unreachable: Vec<(SwitchId, SwitchId)>,
+    /// Per non-base ensemble matrix: rates aligned with `demands` order
+    /// (endpoints are shared, only the gbps differ per matrix).
+    extra_rates: Vec<Vec<f64>>,
+    /// Per non-base ensemble matrix: cached `(slot, gbps)` edit list.
+    extra_edits: Vec<Vec<(u32, f64)>>,
+    /// Per non-base ensemble matrix: routed-demand rate terms.
+    extra_terms: Vec<Vec<f64>>,
+    /// Whether `extra_edits[k]`/`extra_terms[k]` match the base state.
+    /// Invalidated whenever the base sweep re-runs (the matrices share
+    /// structure, so a base re-sweep means the structure or state moved);
+    /// re-validated lazily by [`replay_extra`](IncrementalRouter::replay_extra)
+    /// — a short-circuited matrix simply stays stale until next replayed.
+    extra_valid: Vec<bool>,
     /// Whether `edits`/`routed_terms`/`unreachable` match the base state
     /// (false after a structure-only rebase touched this destination).
     edits_valid: bool,
@@ -290,6 +311,9 @@ pub struct IncrementalRouter {
     /// Footprint intern table: content hash → shared allocations. Buckets
     /// hold strong refs; dead ones (refcount 1) are purged on touch.
     intern: HashMap<u64, Vec<Arc<BitSet>>>,
+    /// Non-base ensemble matrices tracked (length of every entry's
+    /// `extra_*` vectors).
+    num_extras: usize,
     primed: bool,
     stats: IncrementalStats,
     metrics: IncrMetrics,
@@ -310,28 +334,77 @@ impl IncrementalRouter {
         lanes: usize,
         policy: SplitPolicy,
     ) -> Self {
+        Self::with_csr_ensemble(csr, matrix, &[], lanes, policy)
+    }
+
+    /// An engine that additionally tracks `extras` — the non-base matrices
+    /// of a traffic ensemble. Every extra must share `matrix`'s exact
+    /// `(src, dst, class)` sequence (only rates may differ); the routing
+    /// structure is then matrix-independent, and
+    /// [`replay_extra`](Self::replay_extra) re-runs only the load sweep per
+    /// matrix against the structure the base advance computed.
+    ///
+    /// # Panics
+    /// Panics when an extra's demand endpoints diverge from the base.
+    pub fn with_csr_ensemble(
+        csr: Arc<CsrGraph>,
+        matrix: &DemandMatrix,
+        extras: &[DemandMatrix],
+        lanes: usize,
+        policy: SplitPolicy,
+    ) -> Self {
         let _ = lanes;
         let n = csr.num_switches();
         // All entries start on one shared empty footprint; the priming
         // rebuild copy-on-writes each entry its own before interning merges
         // the equal ones back together.
         let empty_footprint = Arc::new(BitSet::new(csr.num_circuits()));
+        let extra_groups: Vec<BTreeMap<SwitchId, Vec<&Demand>>> =
+            extras.iter().map(|m| m.by_destination()).collect();
         let entries = matrix
             .by_destination()
             .into_iter()
-            .map(|(dst, group)| DestEntry {
-                dst,
-                demands: group.into_iter().cloned().collect(),
-                dist: vec![UNREACHED; n],
-                order: Vec::new(),
-                dag: vec![Vec::new(); n],
-                footprint: empty_footprint.clone(),
-                edits: Vec::new(),
-                routed_terms: Vec::new(),
-                unreachable: Vec::new(),
-                edits_valid: false,
-                last_clean: false,
-                last_full: false,
+            .map(|(dst, group)| {
+                let extra_rates: Vec<Vec<f64>> = extra_groups
+                    .iter()
+                    .map(|g| {
+                        let eg: &[&Demand] = g.get(&dst).map(|v| v.as_slice()).unwrap_or(&[]);
+                        assert_eq!(
+                            eg.len(),
+                            group.len(),
+                            "ensemble matrices must share the base demand endpoints"
+                        );
+                        eg.iter()
+                            .zip(&group)
+                            .map(|(e, b)| {
+                                assert_eq!(
+                                    (e.src, e.class),
+                                    (b.src, b.class),
+                                    "ensemble matrices must share the base demand endpoints"
+                                );
+                                e.gbps
+                            })
+                            .collect()
+                    })
+                    .collect();
+                DestEntry {
+                    dst,
+                    demands: group.into_iter().cloned().collect(),
+                    dist: vec![UNREACHED; n],
+                    order: Vec::new(),
+                    dag: vec![Vec::new(); n],
+                    footprint: empty_footprint.clone(),
+                    edits: Vec::new(),
+                    routed_terms: Vec::new(),
+                    unreachable: Vec::new(),
+                    extra_rates,
+                    extra_edits: vec![Vec::new(); extras.len()],
+                    extra_terms: vec![Vec::new(); extras.len()],
+                    extra_valid: vec![false; extras.len()],
+                    edits_valid: false,
+                    last_clean: false,
+                    last_full: false,
+                }
             })
             .collect();
         Self {
@@ -344,10 +417,16 @@ impl IncrementalRouter {
             replay_chunks: 0,
             toggle_words: Vec::new(),
             intern: HashMap::new(),
+            num_extras: extras.len(),
             primed: false,
             stats: IncrementalStats::default(),
             metrics: IncrMetrics::new(),
         }
+    }
+
+    /// Number of non-base ensemble matrices this engine tracks.
+    pub fn num_extras(&self) -> usize {
+        self.num_extras
     }
 
     /// Number of per-lane scratch slots currently allocated (grows to the
@@ -379,6 +458,21 @@ impl IncrementalRouter {
             bytes += e.dag.iter().map(|l| l.capacity() * 16 + 24).sum::<usize>();
             bytes += e.edits.capacity() * 16 + e.routed_terms.capacity() * 8;
             bytes += e.unreachable.capacity() * 8;
+            bytes += e
+                .extra_rates
+                .iter()
+                .map(|r| r.capacity() * 8)
+                .sum::<usize>();
+            bytes += e
+                .extra_edits
+                .iter()
+                .map(|l| l.capacity() * 16)
+                .sum::<usize>();
+            bytes += e
+                .extra_terms
+                .iter()
+                .map(|t| t.capacity() * 8)
+                .sum::<usize>();
         }
         bytes as u64 + self.footprint_bytes()
     }
@@ -431,6 +525,53 @@ impl IncrementalRouter {
             }
             outcome.unreachable.extend_from_slice(&r.unreachable);
         }
+    }
+
+    /// Replays ensemble matrix `k + 1` (the k-th non-base extra) over the
+    /// structures of the engine's base state, accumulating into `loads`
+    /// (NOT cleared) and writing the outcome buffer.
+    ///
+    /// Must be called after an [`evaluate`](Self::evaluate) of the same
+    /// `state`: the distance labels, DAGs, canonical orders, and
+    /// unreachable lists are exactly the base advance's, and only the load
+    /// sweep differs per matrix (ensemble variants share the base's demand
+    /// endpoints, so reachability is matrix-independent). Destinations
+    /// whose cached per-matrix edit list is still valid replay it verbatim;
+    /// stale ones re-sweep from the cached structure — no BFS, no DAG work.
+    /// The pass is sequential in ascending destination order, so results
+    /// are bit-identical to a from-scratch sequential evaluation of that
+    /// matrix at any thread count.
+    pub fn replay_extra(
+        &mut self,
+        k: usize,
+        state: &NetState,
+        loads: &mut LoadMap,
+        outcome: &mut RouteOutcome,
+    ) {
+        debug_assert!(self.primed, "replay_extra needs a primed engine");
+        outcome.clear();
+        let Self {
+            ref mut entries,
+            ref mut scratch,
+            ..
+        } = *self;
+        let lane = &mut scratch[0];
+        let mut reswept = 0u64;
+        for entry in entries.iter_mut() {
+            if !entry.extra_valid[k] {
+                sweep_extra(entry, lane, state, k);
+                reswept += 1;
+            }
+            for &(slot, gbps) in &entry.extra_edits[k] {
+                loads.add_slot(slot, gbps);
+            }
+            for &term in &entry.extra_terms[k] {
+                outcome.routed_gbps += term;
+            }
+            outcome.unreachable.extend_from_slice(&entry.unreachable);
+        }
+        self.stats.extra_replays += 1;
+        self.stats.extra_resweeps += reswept;
     }
 
     /// Moves the base to `state` updating routing *structures* only, without
@@ -895,9 +1036,15 @@ fn advance_entry(
     if sweep {
         if !clean || !entry.edits_valid {
             sweep_entry(entry, scratch, state);
+            // The base sweep re-ran, so the structure or state moved:
+            // every cached per-extra-matrix edit list is now stale. They
+            // re-validate lazily on their next replay — a matrix the
+            // checker short-circuits past simply stays stale.
+            entry.extra_valid.fill(false);
         }
     } else if !clean {
         entry.edits_valid = false;
+        entry.extra_valid.fill(false);
     }
 }
 
@@ -1035,6 +1182,61 @@ fn sweep_entry(entry: &mut DestEntry, scratch: &mut LaneScratch, state: &NetStat
     }
     scratch.touched.clear();
     entry.edits_valid = true;
+}
+
+/// [`sweep_entry`] for the k-th non-base ensemble matrix: identical
+/// injection + reverse-sweep sequence over the same cached structures, but
+/// reading rates from `extra_rates[k]` and recording into the per-matrix
+/// edit list. Unreachable pairs are not re-derived — the endpoints match
+/// the base's, so the base's `unreachable` list applies verbatim.
+fn sweep_extra(entry: &mut DestEntry, scratch: &mut LaneScratch, state: &NetState, k: usize) {
+    entry.extra_edits[k].clear();
+    entry.extra_terms[k].clear();
+    for (i, d) in entry.demands.iter().enumerate() {
+        let src = d.src.index();
+        if entry.dist[src] == UNREACHED || !state.switch_up(d.src) {
+            continue; // recorded in the base's shared unreachable list
+        }
+        let gbps = entry.extra_rates[k][i];
+        if scratch.inflow[src] == 0.0 {
+            scratch.touched.push(src as u32);
+        }
+        scratch.inflow[src] += gbps;
+        entry.extra_terms[k].push(gbps);
+    }
+    for i in (0..entry.order.len()).rev() {
+        let u = entry.order[i] as usize;
+        let flow = scratch.inflow[u];
+        if flow == 0.0 {
+            continue;
+        }
+        if entry.dist[u] == 0 {
+            continue; // the destination absorbs its inflow
+        }
+        let list = &entry.dag[u];
+        let mut total_weight = 0.0_f64;
+        for &(_, _, weight) in list {
+            total_weight += weight;
+        }
+        debug_assert!(
+            total_weight > 0.0,
+            "a reachable non-destination switch must have a downhill circuit"
+        );
+        for &(slot, far, weight) in list {
+            let share = flow * weight / total_weight;
+            entry.extra_edits[k].push((slot, share));
+            let fi = far as usize;
+            if scratch.inflow[fi] == 0.0 {
+                scratch.touched.push(far);
+            }
+            scratch.inflow[fi] += share;
+        }
+    }
+    for &u in &scratch.touched {
+        scratch.inflow[u as usize] = 0.0;
+    }
+    scratch.touched.clear();
+    entry.extra_valid[k] = true;
 }
 
 /// Convenience for tests and callers without an external toggle source:
@@ -1229,6 +1431,86 @@ mod tests {
         let (ref_loads, ref_out) = full_reference(&t, &child, &demands, SplitPolicy::Ecmp);
         assert_eq!(out, ref_out);
         assert_bit_identical(&loads, &ref_loads, &t, "child after rebase");
+    }
+
+    #[test]
+    fn extra_matrices_replay_bit_identical_to_from_scratch() {
+        let (t, state, demands) = preset_world();
+        // Ensemble variants: same endpoints, scaled rates (globally and per
+        // class, like the realized EWMA/surge variants).
+        let surged: DemandMatrix = demands
+            .iter()
+            .cloned()
+            .map(|mut d| {
+                if d.class == klotski_traffic::DemandClass::RswToRsw {
+                    d.gbps *= 1.45;
+                }
+                d
+            })
+            .collect();
+        let extras = vec![demands.scaled(1.25), surged, demands.scaled(0.5)];
+        for threads in [1usize, 3] {
+            let pool = WorkerPool::new(threads);
+            let mut engine = IncrementalRouter::with_csr_ensemble(
+                Arc::new(CsrGraph::build(&t)),
+                &demands,
+                &extras,
+                pool.lanes(),
+                SplitPolicy::Ecmp,
+            );
+            assert_eq!(engine.num_extras(), 3);
+            let mut prev = state.clone();
+            let mut loads = LoadMap::new(&t);
+            let mut out = RouteOutcome::new();
+            engine.evaluate(&pool, &t, &prev, None, &mut loads, &mut out);
+            let mut seed = 0xab5eed ^ threads as u64;
+            for step in 0..10 {
+                let mut next = prev.clone();
+                for _ in 0..(1 + splitmix(&mut seed) % 3) {
+                    if splitmix(&mut seed).is_multiple_of(2) {
+                        let c = CircuitId::from_index(
+                            (splitmix(&mut seed) % t.num_circuits() as u64) as usize,
+                        );
+                        let up = next.circuit_up(c);
+                        next.set_circuit(c, !up);
+                    } else {
+                        let s = SwitchId::from_index(
+                            (splitmix(&mut seed) % t.num_switches() as u64) as usize,
+                        );
+                        if next.switch_up(s) {
+                            next.drain_switch(&t, s);
+                        } else {
+                            next.undrain_switch(&t, s);
+                        }
+                    }
+                }
+                let toggles = usability_toggles(&t, &prev, &next);
+                loads.clear();
+                engine.evaluate(&pool, &t, &next, Some(&toggles), &mut loads, &mut out);
+                for k in 0..extras.len() {
+                    // Skip some replays to exercise short-circuit staleness:
+                    // a skipped matrix must still replay correctly later.
+                    if (step + k) % 3 == 2 {
+                        continue;
+                    }
+                    loads.clear();
+                    engine.replay_extra(k, &next, &mut loads, &mut out);
+                    let (ref_loads, ref_out) =
+                        full_reference(&t, &next, &extras[k], SplitPolicy::Ecmp);
+                    assert_eq!(out, ref_out, "step {step} extra {k} ({threads} threads)");
+                    assert_eq!(
+                        out.routed_gbps.to_bits(),
+                        ref_out.routed_gbps.to_bits(),
+                        "step {step} extra {k}"
+                    );
+                    assert_bit_identical(&loads, &ref_loads, &t, &format!("step {step} extra {k}"));
+                }
+                prev = next;
+            }
+            let s = engine.stats();
+            assert!(s.extra_replays > 0);
+            assert!(s.extra_resweeps > 0, "staleness path must be exercised");
+        }
     }
 
     #[test]

@@ -254,6 +254,10 @@ mod tests {
                 esc_bytes: 0,
                 satcheck_ms: 0,
                 planning_ms: 0,
+                ensemble_matrices: 0,
+                ensemble_matrix_checks: 0,
+                ensemble_short_circuits: 0,
+                ensemble: vec![],
                 cached: false,
             },
             plan_json: b"{}".to_vec(),

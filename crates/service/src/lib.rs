@@ -642,6 +642,14 @@ fn options_from_query(request: &Request) -> Result<PlanRequestOptions, String> {
                 }
                 options.esc_cache_cap = Some(cap)
             }
+            "ensemble" => {
+                // CLI shorthand `K@SEED`; full specs (custom α ladder /
+                // surge factor) travel as PlanRequestOptions JSON.
+                options.ensemble = Some(
+                    klotski_core::EnsembleSpec::parse(value)
+                        .map_err(|e| format!("bad ensemble {value:?}: {e}"))?,
+                )
+            }
             "wait" => {} // handled by the caller
             other => return Err(format!("unknown query parameter {other:?}")),
         }

@@ -96,6 +96,15 @@ fn resolve_options(
         }
         mig.esc_cache_cap = cap;
     }
+    if let Some(ensemble) = &options.ensemble {
+        // Fail the request up front (4xx) instead of deep in spec
+        // construction; realization against the topology can still fail
+        // later, which surfaces as Invalid through the builder.
+        ensemble
+            .validate()
+            .map_err(|e| PipelineError::Invalid(format!("ensemble: {e}")))?;
+        mig.ensemble = Some(ensemble.clone());
+    }
     let use_dp = match options.planner.as_deref() {
         None | Some("astar") | Some("a*") => false,
         Some("dp") => true,
@@ -193,6 +202,14 @@ pub fn plan_document(
         esc_bytes: outcome.stats.esc_bytes,
         satcheck_ms: outcome.stats.satcheck_time.as_millis() as u64,
         planning_ms: outcome.stats.planning_time.as_millis() as u64,
+        ensemble_matrices: outcome.stats.ensemble_matrices,
+        ensemble_matrix_checks: outcome.stats.ensemble_matrix_checks,
+        ensemble_short_circuits: outcome.stats.ensemble_short_circuits,
+        ensemble: outcome
+            .ensemble
+            .as_ref()
+            .map(|e| e.matrices.clone())
+            .unwrap_or_default(),
         cached: false,
     };
     Ok(PlanArtifact {
@@ -299,6 +316,44 @@ mod tests {
                 .expect_err("must reject");
             assert!(matches!(err, PipelineError::Invalid(_)), "{err}");
         }
+    }
+
+    #[test]
+    fn ensemble_options_plan_and_report_per_matrix_counters() {
+        let npd = small_npd();
+        let options: PlanRequestOptions =
+            serde_json::from_str(r#"{"ensemble": {"k": 2, "seed": 11}}"#).unwrap();
+        let artifact = plan_document(&npd, &options, SearchBudget::default(), None)
+            .expect("preset A plans under a K=2 ensemble");
+        assert_eq!(artifact.summary.ensemble_matrices, 2);
+        assert_eq!(artifact.summary.ensemble.len(), 2);
+        assert!(artifact.summary.ensemble_matrix_checks > 0);
+        assert_eq!(artifact.summary.ensemble[0].label, "base");
+        // The ensemble spec keys the cache: its options digest must differ
+        // from the single-matrix default.
+        assert_ne!(
+            artifact.summary.options_digest,
+            digest_hex(PlanRequestOptions::default().digest())
+        );
+    }
+
+    #[test]
+    fn invalid_ensemble_options_are_rejected_as_invalid() {
+        let npd = small_npd();
+        for body in [
+            r#"{"ensemble": {"k": 0, "seed": 1}}"#,
+            r#"{"ensemble": {"k": 999, "seed": 1}}"#,
+            r#"{"ensemble": {"k": 2, "seed": 1, "ewma_alphas": [1.5]}}"#,
+            r#"{"ensemble": {"k": 2, "seed": 1, "surge_factor": 0.5}}"#,
+        ] {
+            let options: PlanRequestOptions = serde_json::from_str(body).unwrap();
+            let err = plan_document(&npd, &options, SearchBudget::default(), None)
+                .expect_err("must reject");
+            assert!(matches!(err, PipelineError::Invalid(_)), "{err}");
+        }
+        // A seedless ensemble must not even deserialize: reproducibility
+        // requires the seed on the wire.
+        assert!(serde_json::from_str::<PlanRequestOptions>(r#"{"ensemble": {"k": 2}}"#).is_err());
     }
 
     #[test]

@@ -18,12 +18,14 @@
 //!   backup incident) for executor fault injection.
 
 pub mod demand;
+pub mod ensemble;
 pub mod forecast;
 pub mod generator;
 pub mod history;
 pub mod surge;
 
 pub use demand::{Demand, DemandClass, DemandMatrix};
+pub use ensemble::{matrix_digest, EnsembleError, EnsembleSpec, TrafficEnsemble};
 pub use forecast::{EwmaForecaster, Forecaster, LinearTrendForecaster, SeasonalNaiveForecaster};
 pub use generator::{generate, DemandGenConfig};
 pub use history::{HistoryConfig, TrafficHistory};

@@ -56,7 +56,7 @@ impl CliError {
             message: "usage:\n  klotski presets\n  klotski export <preset> <out.json>\n  \
                  klotski plan <npd.json> [-o out.json] [--planner astar|dp] \
                  [--theta X] [--alpha X] [--trace out.jsonl] [--stats] \
-                 [--no-incremental] [--esc-cache-cap N]\n  \
+                 [--no-incremental] [--esc-cache-cap N] [--ensemble K@SEED]\n  \
                  klotski audit <preset>\n  \
                  klotski run --scenario <file> [-o report.json] [--deadline-ms N] \
                  [--flight-dump DIR] [--trace out.jsonl]\n  \
@@ -181,6 +181,16 @@ fn cmd_export(preset: &str, out: &str) -> Result<(), CliError> {
 }
 
 fn cmd_plan(mut args: Vec<String>) -> Result<(), CliError> {
+    // `--ensemble K@SEED`: plan so every checked state is safe under all K
+    // realized traffic matrices. The seed is explicit and required, so runs
+    // are byte-for-byte reproducible across machines.
+    let ensemble = match take_flag::<String>(&mut args, "--ensemble")? {
+        Some(spec) => Some(
+            klotski::core::EnsembleSpec::parse(&spec)
+                .or_fail(format_args!("bad --ensemble value {spec:?}"))?,
+        ),
+        None => None,
+    };
     let options = PlanRequestOptions {
         theta: take_flag(&mut args, "--theta")?,
         alpha: take_flag(&mut args, "--alpha")?,
@@ -188,6 +198,7 @@ fn cmd_plan(mut args: Vec<String>) -> Result<(), CliError> {
         deadline_ms: take_flag(&mut args, "--deadline-ms")?,
         incremental: take_switch(&mut args, "--no-incremental").then_some(false),
         esc_cache_cap: take_flag(&mut args, "--esc-cache-cap")?,
+        ensemble,
     };
     let out = take_flag::<String>(&mut args, "-o")?;
     let trace = take_flag::<String>(&mut args, "--trace")?;
@@ -281,6 +292,21 @@ fn print_search_stats(s: &klotski::npd::api::PlanSummary) {
         s.planning_ms.saturating_sub(s.satcheck_ms)
     );
     println!("  total planning    {:>8}ms", s.planning_ms);
+    if s.ensemble_matrices > 0 {
+        println!(
+            "  ensemble          {:>10}  matrices, {} matrix checks, {} short-circuits",
+            s.ensemble_matrices, s.ensemble_matrix_checks, s.ensemble_short_circuits
+        );
+        for (k, m) in s.ensemble.iter().enumerate() {
+            println!(
+                "    [{k}] {:<22} {:>8} checks {:>7} kills {:>8.1}ms",
+                m.label,
+                m.checks,
+                m.kills,
+                m.wall_ns as f64 / 1e6
+            );
+        }
+    }
 }
 
 fn cmd_trace(path: &str) -> Result<(), CliError> {
@@ -356,6 +382,42 @@ fn cmd_trace_summarize(path: &str) -> Result<(), CliError> {
         println!("events:");
         for (name, count) in event_counts {
             println!("  {name:<24} {count:>6}");
+        }
+    }
+
+    // Ensemble breakdown: one `satcheck.ensemble` event per matrix, emitted
+    // by planners that ran an ensemble checker.
+    let ensemble_rows: Vec<_> = records
+        .iter()
+        .filter_map(|r| match r {
+            Record::Event { name, fields, .. } if *name == "satcheck.ensemble" => Some(fields),
+            _ => None,
+        })
+        .collect();
+    if !ensemble_rows.is_empty() {
+        println!("ensemble matrices:");
+        println!(
+            "  {:<8} {:<6} {:<22} {:>10} {:>8} {:>12}",
+            "planner", "matrix", "label", "checks", "kills", "wall"
+        );
+        for fields in ensemble_rows {
+            let text = |key: &str| {
+                fields
+                    .get(key)
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("?")
+                    .to_string()
+            };
+            let num = |key: &str| fields.get(key).and_then(|v| v.as_f64()).unwrap_or(0.0);
+            println!(
+                "  {:<8} {:<6} {:<22} {:>10} {:>8} {:>10.1}ms",
+                text("planner"),
+                num("matrix"),
+                text("label"),
+                num("checks"),
+                num("kills"),
+                num("wall_us") / 1000.0,
+            );
         }
     }
 

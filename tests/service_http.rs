@@ -114,6 +114,67 @@ fn served_plan_is_byte_identical_to_cli_output() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The `ensemble` query option plans against a traffic ensemble: the
+/// response is byte-identical to the CLI's `--ensemble` output, and an
+/// invalid spec is rejected up front with a 400.
+#[test]
+fn ensemble_query_option_matches_cli_and_validates() {
+    let npd = npd_json(PresetId::A);
+    let dir = std::env::temp_dir().join(format!("klotski-svc-ens-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("a.json");
+    let output = dir.join("a_ens_plan.json");
+    std::fs::write(&input, &npd).unwrap();
+
+    let cli = std::process::Command::new(env!("CARGO_BIN_EXE_klotski"))
+        .args([
+            "plan",
+            input.to_str().unwrap(),
+            "--ensemble",
+            "2@11",
+            "-o",
+            output.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run CLI");
+    assert!(
+        cli.status.success(),
+        "CLI failed: {}",
+        String::from_utf8_lossy(&cli.stderr)
+    );
+    let cli_bytes = std::fs::read(&output).unwrap();
+
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let (status, _, served_bytes) = http(
+        service.local_addr(),
+        "POST /v1/plan?ensemble=2@11 HTTP/1.1\r\nHost: t",
+        &npd,
+    );
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&served_bytes));
+    assert_eq!(
+        served_bytes, cli_bytes,
+        "served ensemble plan differs from CLI plan for the same NPD"
+    );
+
+    // Malformed and semantically invalid ensembles are rejected before any
+    // planning (or cache lookup) happens.
+    for bad in ["ensemble=0@1", "ensemble=nope"] {
+        let (status, _, body) = http(
+            service.local_addr(),
+            &format!("POST /v1/plan?{bad} HTTP/1.1\r\nHost: t"),
+            &npd,
+        );
+        assert_eq!(status, 400, "{}", String::from_utf8_lossy(&body));
+    }
+
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Async submission: 202 + job id, poll to Done, fetch the result, and the
 /// audit endpoint returns a safety timeline consistent with the plan.
 #[test]
