@@ -15,10 +15,15 @@
 //! - `KLOTSKI_FULL_SCALE_STEPS` / `KLOTSKI_FULL_SCALE_MIN_TIME_MS` —
 //!   walk length and per-arm window of the `full-scale` experiment;
 //! - `KLOTSKI_LONGHORIZON_WAVES` — storm waves per worker-pool width in
-//!   the `long-horizon` experiment (default 6).
+//!   the `long-horizon` experiment (default 6);
+//! - `KLOTSKI_SERVICE_ROUNDS` — interleaved measurement rounds in the
+//!   `service` experiment (default 3);
+//! - `KLOTSKI_FLEET_DOCS` / `KLOTSKI_FLEET_REQUESTS` /
+//!   `KLOTSKI_FLEET_CLIENTS` — zipf workload shape of the `fleet`
+//!   experiment (defaults 12 / 72 / 8).
 
 use klotski_bench::{
-    experiments, full_scale, incremental, longhorizon, parallel, robust, runner, scenarios,
+    experiments, fleet, full_scale, incremental, longhorizon, parallel, robust, runner, scenarios,
     service, telemetry,
 };
 use klotski_telemetry::{log_event, registry};
@@ -26,7 +31,7 @@ use klotski_telemetry::{log_event, registry};
 /// A named experiment: label plus the function rendering its output.
 type Experiment = (&'static str, fn() -> String);
 
-const EXPERIMENTS: [Experiment; 16] = [
+const EXPERIMENTS: [Experiment; 17] = [
     ("table1", experiments::table1),
     ("table3", experiments::table3),
     ("fig8", experiments::fig8),
@@ -41,6 +46,7 @@ const EXPERIMENTS: [Experiment; 16] = [
     ("full-scale", full_scale::full_scale),
     ("scenarios", scenarios::scenarios),
     ("service", service::service),
+    ("fleet", fleet::fleet),
     ("telemetry", telemetry::telemetry),
     ("long-horizon", longhorizon::longhorizon),
 ];

@@ -1,0 +1,402 @@
+//! Fleet-scale zipf load generation: thousands of tenants re-planning
+//! against a small set of NPD revisions is the production pattern RNG and
+//! METTEOR describe for commercial DCN control planes, so request keys
+//! repeat heavily. This experiment samples tenant documents under a
+//! zipf(1.1) popularity law and measures the daemon three ways:
+//!
+//! * `cold` — cache and coalescing disabled: every request pays a full
+//!   pipeline execution (the pre-ISSUE-10 worst case);
+//! * `coalesced` — the default configuration plus `--state-dir`: the plan
+//!   cache and in-flight coalescing absorb repeats;
+//! * `warm_restart` — a fresh daemon on the same state directory: journal
+//!   replay answers every known digest from cache with zero pipeline
+//!   executions.
+//!
+//! Byte-identity is asserted across all arms (per-document FNV body
+//! hashes must agree), and the `fleet` section is merged into
+//! `BENCH_service.json` next to the `service` experiment's rows.
+//!
+//! Environment:
+//! - `KLOTSKI_FLEET_DOCS` — distinct tenant documents (default 12);
+//! - `KLOTSKI_FLEET_REQUESTS` — total requests per arm (default 72);
+//! - `KLOTSKI_FLEET_CLIENTS` — concurrent client threads (default 8).
+
+use crate::table::Table;
+use klotski_npd::api::fnv1a;
+use klotski_npd::convert::region_to_npd;
+use klotski_service::{Service, ServiceConfig};
+use klotski_topology::presets::{self, PresetId};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One arm's measurement in the `fleet` section of `BENCH_service.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetRow {
+    /// `cold`, `coalesced`, or `warm_restart`.
+    pub arm: String,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Requests issued.
+    pub requests: usize,
+    /// 200 responses.
+    pub ok: usize,
+    /// Successful requests per second, wall-clock (effective throughput).
+    pub throughput_rps: f64,
+    /// Fraction of 200s answered `X-Klotski-Cache: hit`.
+    pub cache_hit_rate: f64,
+    /// `followers / (leaders + followers)` from the daemon's metrics.
+    pub coalesce_hit_rate: f64,
+    /// Pipeline executions the arm cost the daemon (scraped at the end).
+    pub pipeline_executions: u64,
+    /// Every response body matched the cold arm's bytes for its document.
+    pub byte_identical: bool,
+}
+
+/// The `fleet` section of `BENCH_service.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetReport {
+    /// Distinct tenant documents.
+    pub docs: usize,
+    /// Zipf skew exponent.
+    pub zipf_s: f64,
+    pub rows: Vec<FleetRow>,
+    /// `coalesced` throughput over `cold` throughput.
+    pub coalesced_vs_cold: f64,
+}
+
+/// Deterministic splitmix64 stream.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A zipf(s)-distributed request sequence over `docs` document indices,
+/// sampled by CDF inversion from a seeded splitmix64 stream.
+fn zipf_sequence(docs: usize, s: f64, requests: usize, seed: u64) -> Vec<usize> {
+    let weights: Vec<f64> = (1..=docs).map(|rank| 1.0 / (rank as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(docs);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    let mut state = seed;
+    (0..requests)
+        .map(|_| {
+            let u = splitmix64(&mut state) as f64 / (u64::MAX as f64 + 1.0);
+            cdf.iter().position(|&c| u < c).unwrap_or(docs - 1)
+        })
+        .collect()
+}
+
+/// Distinct tenant documents: the preset-A NPD re-named per tenant, which
+/// changes its content digest without changing its planning difficulty.
+fn tenant_docs(docs: usize) -> Vec<Arc<String>> {
+    let base = region_to_npd(&presets::config(PresetId::A));
+    (0..docs)
+        .map(|i| {
+            let mut npd = base.clone();
+            npd.name = format!("tenant-{i:04}");
+            Arc::new(npd.to_json_pretty().expect("NPD serializes"))
+        })
+        .collect()
+}
+
+/// Minimal HTTP POST; returns (status, cache-hit?, body FNV hash).
+fn post(addr: SocketAddr, body: &str) -> Option<(u16, bool, u64)> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .ok()?;
+    let msg = format!(
+        "POST /v1/plan HTTP/1.1\r\nHost: fleet\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(msg.as_bytes()).ok()?;
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).ok()?;
+    let head_end = reply.windows(4).position(|w| w == b"\r\n\r\n")?;
+    let head = std::str::from_utf8(&reply[..head_end]).ok()?;
+    let status: u16 = head.split_whitespace().nth(1)?.parse().ok()?;
+    let cached = head
+        .lines()
+        .any(|l| l.to_ascii_lowercase().starts_with("x-klotski-cache:") && l.contains("hit"));
+    Some((status, cached, fnv1a(&reply[head_end + 4..])))
+}
+
+/// Minimal HTTP GET returning the response body.
+fn get(addr: SocketAddr, path: &str) -> Option<String> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .ok()?;
+    let msg = format!("GET {path} HTTP/1.1\r\nHost: fleet\r\nContent-Length: 0\r\n\r\n");
+    stream.write_all(msg.as_bytes()).ok()?;
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).ok()?;
+    let reply = String::from_utf8(reply).ok()?;
+    Some(reply.split_once("\r\n\r\n")?.1.to_string())
+}
+
+/// First value of an unlabeled metric family in Prometheus text.
+fn scrape(text: &str, family: &str) -> u64 {
+    text.lines()
+        .find_map(|l| l.strip_prefix(family)?.strip_prefix(' '))
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .map_or(0, |v| v as u64)
+}
+
+/// Drives `sequence` against a running daemon with `clients` threads
+/// (strided split, so the popular documents collide across clients) and
+/// folds the arm's row from the responses plus a final metrics scrape.
+fn drive_arm(
+    name: &str,
+    service: &Service,
+    docs: &[Arc<String>],
+    sequence: &[usize],
+    clients: usize,
+    reference: &mut HashMap<usize, u64>,
+) -> FleetRow {
+    let addr = service.local_addr();
+    let start = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|c| {
+            let work: Vec<(usize, Arc<String>)> = sequence
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % clients == c)
+                .map(|(_, &doc)| (doc, Arc::clone(&docs[doc])))
+                .collect();
+            std::thread::spawn(move || {
+                let mut results = Vec::with_capacity(work.len());
+                for (doc, body) in work {
+                    if let Some((status, cached, hash)) = post(addr, &body) {
+                        results.push((doc, status, cached, hash));
+                        if status == 503 {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                    }
+                }
+                results
+            })
+        })
+        .collect();
+    let results: Vec<(usize, u16, bool, u64)> = threads
+        .into_iter()
+        .flat_map(|t| t.join().unwrap())
+        .collect();
+    let wall = start.elapsed();
+
+    let metrics = get(addr, "/metrics").unwrap_or_default();
+    let leaders = scrape(&metrics, "klotski_coalesce_leaders_total");
+    let followers = scrape(&metrics, "klotski_coalesce_followers_total");
+    let executions = scrape(&metrics, "klotski_pipeline_executions_total");
+
+    let ok: Vec<_> = results.iter().filter(|(_, s, _, _)| *s == 200).collect();
+    let hits = ok.iter().filter(|(_, _, cached, _)| *cached).count();
+    let mut byte_identical = true;
+    for (doc, _, _, hash) in &ok {
+        match reference.get(doc) {
+            Some(expected) => byte_identical &= expected == hash,
+            None => {
+                reference.insert(*doc, *hash);
+            }
+        }
+    }
+    FleetRow {
+        arm: name.to_string(),
+        clients,
+        requests: sequence.len(),
+        ok: ok.len(),
+        throughput_rps: ok.len() as f64 / wall.as_secs_f64().max(1e-9),
+        cache_hit_rate: if ok.is_empty() {
+            0.0
+        } else {
+            hits as f64 / ok.len() as f64
+        },
+        coalesce_hit_rate: if leaders + followers == 0 {
+            0.0
+        } else {
+            followers as f64 / (leaders + followers) as f64
+        },
+        pipeline_executions: executions,
+        byte_identical,
+    }
+}
+
+/// Runs the three-arm zipf workload, returning the report.
+pub fn measure(docs: usize, requests: usize, clients: usize, state_dir: &PathBuf) -> FleetReport {
+    let zipf_s = 1.1;
+    let documents = tenant_docs(docs);
+    let sequence = zipf_sequence(docs, zipf_s, requests, 0x5eed_f1ee7);
+    let workers = klotski_parallel::default_lanes().clamp(2, 4);
+    let base = ServiceConfig {
+        workers,
+        queue_depth: requests.max(16),
+        ..ServiceConfig::default()
+    };
+    // The cold arm's bodies are the byte-identity reference for the rest.
+    let mut reference = HashMap::new();
+    let mut rows = Vec::new();
+
+    let cold = Service::start(ServiceConfig {
+        cache_capacity: 0,
+        coalesce: false,
+        ..base.clone()
+    })
+    .expect("bind cold service");
+    rows.push(drive_arm(
+        "cold",
+        &cold,
+        &documents,
+        &sequence,
+        clients,
+        &mut reference,
+    ));
+    cold.shutdown();
+
+    let _ = std::fs::remove_dir_all(state_dir);
+    let coalesced = Service::start(ServiceConfig {
+        state_dir: Some(state_dir.clone()),
+        ..base.clone()
+    })
+    .expect("bind coalesced service");
+    rows.push(drive_arm(
+        "coalesced",
+        &coalesced,
+        &documents,
+        &sequence,
+        clients,
+        &mut reference,
+    ));
+    // Graceful drain compacts and flushes the journal for the restart.
+    coalesced.shutdown();
+
+    let warm = Service::start(ServiceConfig {
+        state_dir: Some(state_dir.clone()),
+        ..base
+    })
+    .expect("bind warm service");
+    rows.push(drive_arm(
+        "warm_restart",
+        &warm,
+        &documents,
+        &sequence,
+        clients,
+        &mut reference,
+    ));
+    warm.shutdown();
+    let _ = std::fs::remove_dir_all(state_dir);
+
+    let coalesced_vs_cold = rows[1].throughput_rps / rows[0].throughput_rps.max(1e-9);
+    FleetReport {
+        docs,
+        zipf_s,
+        rows,
+        coalesced_vs_cold,
+    }
+}
+
+/// The `fleet` experiment: runs the zipf workload, renders the table, and
+/// merges the `fleet` section into `BENCH_service.json`.
+pub fn fleet() -> String {
+    let docs = crate::env_usize("KLOTSKI_FLEET_DOCS", 12);
+    let requests = crate::env_usize("KLOTSKI_FLEET_REQUESTS", 72);
+    let clients = crate::env_usize("KLOTSKI_FLEET_CLIENTS", 8);
+    let state_dir = std::env::temp_dir().join(format!("klotski-fleet-{}", std::process::id()));
+    let report = measure(docs, requests, clients, &state_dir);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    let note = crate::service::write_bench_section("fleet", &json);
+    let mut t = Table::new([
+        "arm",
+        "clients",
+        "requests",
+        "ok",
+        "rps",
+        "cache hit",
+        "coalesce hit",
+        "pipeline execs",
+        "byte-identical",
+    ]);
+    for r in &report.rows {
+        t.row([
+            r.arm.clone(),
+            r.clients.to_string(),
+            r.requests.to_string(),
+            r.ok.to_string(),
+            format!("{:.1}", r.throughput_rps),
+            format!("{:.0}%", r.cache_hit_rate * 100.0),
+            format!("{:.0}%", r.coalesce_hit_rate * 100.0),
+            r.pipeline_executions.to_string(),
+            r.byte_identical.to_string(),
+        ]);
+    }
+    format!(
+        "== Fleet zipf({}) workload: {} tenants, {} requests/arm ==\n{}\n\
+         coalesced vs cold effective throughput: {:.2}x\n[{note}]",
+        report.zipf_s,
+        report.docs,
+        report.rows[0].requests,
+        t.render(),
+        report.coalesced_vs_cold,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_sequence_is_deterministic_and_skewed() {
+        let a = zipf_sequence(16, 1.1, 400, 7);
+        let b = zipf_sequence(16, 1.1, 400, 7);
+        assert_eq!(a, b, "same seed, same sequence");
+        assert!(a.iter().all(|&d| d < 16));
+        // Rank 0 must dominate any tail rank under s=1.1.
+        let head = a.iter().filter(|&&d| d == 0).count();
+        let tail = a.iter().filter(|&&d| d == 15).count();
+        assert!(head > tail, "zipf head {head} must beat tail {tail}");
+    }
+
+    #[test]
+    fn tenant_docs_have_distinct_digests() {
+        let docs = tenant_docs(3);
+        let digests: Vec<u64> = docs
+            .iter()
+            .map(|d| klotski_npd::npd_digest(&klotski_npd::Npd::from_json(d).expect("valid NPD")))
+            .collect();
+        assert_ne!(digests[0], digests[1]);
+        assert_ne!(digests[1], digests[2]);
+    }
+
+    #[test]
+    fn scrape_reads_unlabeled_families() {
+        let text = "# HELP x y\nklotski_coalesce_leaders_total 7\nother 9\n";
+        assert_eq!(scrape(text, "klotski_coalesce_leaders_total"), 7);
+        assert_eq!(scrape(text, "missing_family"), 0);
+    }
+
+    #[test]
+    fn tiny_fleet_measures_cleanly() {
+        let dir = std::env::temp_dir().join(format!("klotski-fleet-test-{}", std::process::id()));
+        let report = measure(2, 6, 2, &dir);
+        assert_eq!(report.rows.len(), 3);
+        for row in &report.rows {
+            assert!(row.ok > 0, "arm {} got no 200s", row.arm);
+            assert!(row.byte_identical, "arm {} diverged", row.arm);
+        }
+        // The restarted daemon must plan nothing: every digest replays.
+        let warm = &report.rows[2];
+        assert_eq!(warm.pipeline_executions, 0, "warm arm must not plan");
+        assert!(warm.cache_hit_rate > 0.99, "warm arm must hit cache");
+    }
+}

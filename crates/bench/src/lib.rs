@@ -17,6 +17,7 @@
 //! identical at both scales.
 
 pub mod experiments;
+pub mod fleet;
 pub mod full_scale;
 pub mod incremental;
 pub mod longhorizon;
@@ -39,4 +40,13 @@ pub fn bench_timeout() -> std::time::Duration {
         .and_then(|v| v.parse::<u64>().ok())
         .unwrap_or(120);
     std::time::Duration::from_secs(secs)
+}
+
+/// A `usize` environment knob with a default (the experiments' shared
+/// idiom for CI-shrinkable workloads).
+pub(crate) fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(default)
 }

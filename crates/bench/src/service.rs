@@ -155,21 +155,66 @@ fn outcome_was_shed(results: &[(u16, bool, Duration)]) -> bool {
     matches!(results.last(), Some((503, _, _)))
 }
 
+/// Merges one experiment's section into `BENCH_service.json`, preserving
+/// every other key already in the document — the `service` and `fleet`
+/// experiments share the file without clobbering each other. Returns the
+/// note rendered under the experiment's table.
+pub(crate) fn write_bench_section(key: &str, section_json: &str) -> String {
+    let path = "BENCH_service.json";
+    let mut doc = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| serde_json::from_str::<serde::Value>(&text).ok())
+        .and_then(|value| match value {
+            serde::Value::Object(map) => Some(map),
+            _ => None,
+        })
+        .unwrap_or_default();
+    let section = match serde_json::from_str::<serde::Value>(section_json) {
+        Ok(v) => v,
+        Err(e) => return format!("could not parse {key} section: {e}"),
+    };
+    doc.insert(key.to_string(), section);
+    match serde_json::to_string_pretty(&serde::Value::Object(doc)) {
+        Ok(json) => match std::fs::write(path, json) {
+            Ok(()) => format!("wrote {key} into {path}"),
+            Err(e) => format!("could not write {path}: {e}"),
+        },
+        Err(e) => format!("could not serialize {path}: {e}"),
+    }
+}
+
+/// The per-arm sample whose throughput is the median of its round samples
+/// (one preempted round cannot drag an arm's reported numbers).
+fn median_row(mut samples: Vec<ServiceRow>) -> ServiceRow {
+    samples.sort_by(|a, b| a.throughput_rps.total_cmp(&b.throughput_rps));
+    samples.remove(samples.len() / 2)
+}
+
 /// The `service` experiment: sweeps client counts against a fixed daemon
-/// shape, renders the table, and writes `BENCH_service.json`.
+/// shape, renders the table, and merges its rows into
+/// `BENCH_service.json`.
+///
+/// The client-count arms are measured in interleaved rounds with a
+/// rotating start (the `full_scale` pattern): arm-at-a-time measurement
+/// folds machine drift — frequency scaling, page-cache warm-up — entirely
+/// into whichever arm runs last, and a fixed order hands each arm a
+/// systematic inheritance from its predecessor. `KLOTSKI_SERVICE_ROUNDS`
+/// sets the rounds (default 3); each arm reports its median round.
 pub fn service() -> String {
     let workers = klotski_parallel::default_lanes().clamp(2, 4);
-    let rows: Vec<ServiceRow> = [4, 16, 32]
-        .into_iter()
-        .map(|clients| measure(clients, 8, workers))
-        .collect();
+    let arms = [4usize, 16, 32];
+    let rounds = crate::env_usize("KLOTSKI_SERVICE_ROUNDS", 3).max(1);
+    let mut samples: Vec<Vec<ServiceRow>> = vec![Vec::new(); arms.len()];
+    for round in 0..rounds {
+        for k in 0..arms.len() {
+            let i = (round + k) % arms.len();
+            samples[i].push(measure(arms[i], 8, workers));
+        }
+    }
+    let rows: Vec<ServiceRow> = samples.into_iter().map(median_row).collect();
     let report = ServiceReport { rows };
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    let path = "BENCH_service.json";
-    let note = match std::fs::write(path, &json) {
-        Ok(()) => format!("wrote {path}"),
-        Err(e) => format!("could not write {path}: {e}"),
-    };
+    let json = serde_json::to_string_pretty(&report.rows).expect("report serializes");
+    let note = write_bench_section("rows", &json);
     let mut t = Table::new([
         "clients",
         "workers",

@@ -6,17 +6,38 @@
 //! Eviction is FIFO per shard: the planner's outputs are deterministic, so
 //! recency bookkeeping buys nothing — the cache exists to absorb repeated
 //! submissions of the same document, which arrive in bursts.
+//!
+//! Each shard keeps its own hit/miss/eviction counters (surfaced as the
+//! `klotski_cache_shard_*` metric families) so an operator can see a
+//! skewed tenant population hammering one shard; the global atomics back
+//! the aggregate gauges without locking.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Number of independent shards. Power of two so shard selection is a mask.
-const SHARDS: usize = 8;
+pub const SHARDS: usize = 8;
 
 struct Shard<V> {
     map: HashMap<(u64, u64), Arc<V>>,
     order: VecDeque<(u64, u64)>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Point-in-time counters for one shard, for `/metrics`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Entries resident in the shard.
+    pub entries: usize,
+    /// Lookups answered by this shard.
+    pub hits: u64,
+    /// Lookups this shard missed.
+    pub misses: u64,
+    /// Entries evicted by the shard's FIFO bound.
+    pub evictions: u64,
 }
 
 /// A concurrent capacity-bounded map from `(npd_digest, options_digest)` to
@@ -28,6 +49,7 @@ pub struct PlanCache<V> {
     shard_capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl<V> PlanCache<V> {
@@ -39,12 +61,16 @@ impl<V> PlanCache<V> {
                     Mutex::new(Shard {
                         map: HashMap::new(),
                         order: VecDeque::new(),
+                        hits: 0,
+                        misses: 0,
+                        evictions: 0,
                     })
                 })
                 .collect(),
             shard_capacity: capacity.div_ceil(SHARDS),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -58,15 +84,19 @@ impl<V> PlanCache<V> {
     pub fn get(&self, key: (u64, u64)) -> Option<Arc<V>> {
         if self.shard_capacity == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            self.shard(key).lock().unwrap().misses += 1;
             return None;
         }
-        let shard = self.shard(key).lock().unwrap();
+        let mut shard = self.shard(key).lock().unwrap();
         match shard.map.get(&key) {
             Some(v) => {
+                let v = Arc::clone(v);
+                shard.hits += 1;
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(v))
+                Some(v)
             }
             None => {
+                shard.misses += 1;
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -86,6 +116,8 @@ impl<V> PlanCache<V> {
             while shard.order.len() > self.shard_capacity {
                 if let Some(old) = shard.order.pop_front() {
                     shard.map.remove(&old);
+                    shard.evictions += 1;
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -113,6 +145,43 @@ impl<V> PlanCache<V> {
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
+
+    /// Evictions since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Per-shard counters, in shard order (for the labeled metric
+    /// families).
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let shard = s.lock().unwrap();
+                ShardStats {
+                    entries: shard.map.len(),
+                    hits: shard.hits,
+                    misses: shard.misses,
+                    evictions: shard.evictions,
+                }
+            })
+            .collect()
+    }
+
+    /// Every resident entry, FIFO order within each shard (the journal
+    /// compactor's view of what is worth persisting).
+    pub fn snapshot(&self) -> Vec<((u64, u64), Arc<V>)> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            let shard = s.lock().unwrap();
+            for key in &shard.order {
+                if let Some(v) = shard.map.get(key) {
+                    out.push((*key, Arc::clone(v)));
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -132,7 +201,7 @@ mod tests {
     }
 
     #[test]
-    fn capacity_bounds_entries() {
+    fn capacity_bounds_entries_and_counts_evictions() {
         let cache = PlanCache::new(SHARDS); // one slot per shard
         for i in 0..100u64 {
             cache.insert((i, 0), Arc::new(i));
@@ -144,6 +213,13 @@ mod tests {
         );
         // The newest key in some shard must still be resident.
         assert!((0..100u64).any(|i| cache.get((i, 0)).is_some()));
+        assert_eq!(cache.evictions(), 100 - cache.len() as u64);
+        let stats = cache.shard_stats();
+        assert_eq!(stats.len(), SHARDS);
+        assert_eq!(
+            stats.iter().map(|s| s.evictions).sum::<u64>(),
+            cache.evictions()
+        );
     }
 
     #[test]
@@ -152,6 +228,8 @@ mod tests {
         cache.insert((1, 1), Arc::new(7u32));
         assert!(cache.get((1, 1)).is_none());
         assert_eq!(cache.len(), 0);
+        // The miss still lands on the key's shard.
+        assert_eq!(cache.shard_stats().iter().map(|s| s.misses).sum::<u64>(), 1);
     }
 
     #[test]
@@ -161,6 +239,34 @@ mod tests {
         cache.insert((1, 20), Arc::new("dp"));
         assert_eq!(*cache.get((1, 10)).unwrap(), "astar");
         assert_eq!(*cache.get((1, 20)).unwrap(), "dp");
+    }
+
+    #[test]
+    fn per_shard_counters_sum_to_globals() {
+        let cache = PlanCache::new(64);
+        for i in 0..32u64 {
+            cache.insert((i, i), Arc::new(i));
+        }
+        for i in 0..48u64 {
+            let _ = cache.get((i, i)); // 32 hits, 16 misses
+        }
+        let stats = cache.shard_stats();
+        assert_eq!(stats.iter().map(|s| s.hits).sum::<u64>(), cache.hits());
+        assert_eq!(stats.iter().map(|s| s.misses).sum::<u64>(), cache.misses());
+        assert_eq!(stats.iter().map(|s| s.entries).sum::<usize>(), cache.len());
+    }
+
+    #[test]
+    fn snapshot_returns_every_resident_entry() {
+        let cache = PlanCache::new(64);
+        for i in 0..10u64 {
+            cache.insert((i, 1), Arc::new(i));
+        }
+        let snap = cache.snapshot();
+        assert_eq!(snap.len(), 10);
+        for (key, v) in snap {
+            assert_eq!(*v, key.0);
+        }
     }
 
     #[test]

@@ -232,8 +232,8 @@ mod tests {
     use klotski_npd::api::PlanSummary;
 
     fn artifact() -> Arc<PlanArtifact> {
-        Arc::new(PlanArtifact {
-            summary: PlanSummary {
+        Arc::new(PlanArtifact::new(
+            PlanSummary {
                 name: "t".into(),
                 npd_digest: "0".into(),
                 options_digest: "0".into(),
@@ -260,13 +260,13 @@ mod tests {
                 ensemble: vec![],
                 cached: false,
             },
-            plan_json: b"{}".to_vec(),
-            audit: PlanAudit {
+            b"{}".to_vec(),
+            PlanAudit {
                 migration: "t".into(),
                 theta: 0.75,
                 phases: vec![],
             },
-        })
+        ))
     }
 
     #[test]

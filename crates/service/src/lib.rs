@@ -17,6 +17,14 @@
 //!   once, not per request.
 //! * **Shared plan cache** keyed by `(NPD digest, options digest)`:
 //!   repeated submissions of the same document return the original bytes.
+//! * **Request coalescing**: concurrent submissions with an identical
+//!   `(NPD digest, options digest)` key singleflight onto one pipeline
+//!   computation — the first becomes the leader, duplicates follow its
+//!   job (same id, same event stream) and receive byte-identical bytes.
+//! * **Warm persistent state**: with `--state-dir`, a checksummed
+//!   write-ahead journal persists admissions and finished artifacts; a
+//!   restarted daemon replays it, answering known digests from cache
+//!   immediately and re-running jobs that were in flight at the crash.
 //! * **Byte-identity**: the service and `klotski plan` call the same
 //!   [`pipeline::plan_document`], so a daemon response is byte-for-byte
 //!   the file the CLI would have written.
@@ -30,25 +38,26 @@ pub mod metrics;
 pub mod pipeline;
 pub mod queue;
 pub mod signal;
+pub mod state;
 
 use crate::cache::PlanCache;
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::jobs::{Job, JobKind, JobOutput, JobTable, RunArtifact};
 use crate::metrics::{Gauges, Metrics};
-use crate::pipeline::{plan_document, PipelineError, PlanArtifact};
+use crate::pipeline::{plan_document_keyed, PipelineError, PlanArtifact};
 use crate::queue::{BoundedQueue, PushError};
+use crate::state::{PendingJob, StateStore};
 use klotski_controller::{run_scenario, ControllerError, Scenario};
 use klotski_core::planner::SearchBudget;
 use klotski_core::PlanError;
-use klotski_npd::api::{
-    AcceptedResponse, AuditResponse, ErrorResponse, JobStatusResponse, PlanRequestOptions,
-    PlanSummary,
-};
+use klotski_npd::api::{AcceptedResponse, ErrorResponse, JobStatusResponse, PlanRequestOptions};
 use klotski_npd::Npd;
 use klotski_parallel::{default_lanes, WorkerPool};
+use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -88,6 +97,15 @@ pub struct ServiceConfig {
     pub sse_queue_capacity: usize,
     /// Keep-alive comment interval on idle event streams.
     pub sse_heartbeat: Duration,
+    /// Singleflight concurrent identical submissions onto one computation.
+    /// Disabled, every duplicate enqueues its own job (the pre-coalescing
+    /// behaviour backpressure tests rely on).
+    pub coalesce: bool,
+    /// Directory for the write-ahead job journal; `None` runs stateless.
+    pub state_dir: Option<PathBuf>,
+    /// Journal size that triggers compaction (the journal is rewritten as
+    /// the live cache plus pending admissions).
+    pub journal_compact_bytes: u64,
 }
 
 impl Default for ServiceConfig {
@@ -106,6 +124,9 @@ impl Default for ServiceConfig {
             sse_max_subscribers: 32,
             sse_queue_capacity: 1024,
             sse_heartbeat: Duration::from_secs(1),
+            coalesce: true,
+            state_dir: None,
+            journal_compact_bytes: 8 * 1024 * 1024,
         }
     }
 }
@@ -144,6 +165,11 @@ struct Shared {
     /// Open `/events` subscribers (the 503-shedding gauge).
     sse_active: AtomicUsize,
     draining: std::sync::atomic::AtomicBool,
+    /// Singleflight table: key → the job currently computing it. Entries
+    /// are removed by the worker that settles the key.
+    inflight: Mutex<HashMap<(u64, u64), Arc<Job>>>,
+    /// Write-ahead journal, when `--state-dir` is set.
+    state: Option<StateStore>,
 }
 
 impl Shared {
@@ -160,6 +186,10 @@ impl Shared {
             cache_entries: self.cache.len(),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
+            cache_evictions: self.cache.evictions(),
+            journal_bytes: self.state.as_ref().map_or(0, |s| s.bytes()),
+            journal_records: self.state.as_ref().map_or(0, |s| s.records()),
+            journal_compactions: self.state.as_ref().map_or(0, |s| s.compactions()),
         }
     }
 }
@@ -174,10 +204,20 @@ pub struct Service {
 }
 
 impl Service {
-    /// Binds, spawns the acceptor and worker threads, and returns.
+    /// Binds, spawns the acceptor and worker threads, and returns. With a
+    /// `state_dir`, the journal is replayed first: finished artifacts seed
+    /// the plan cache and admitted-but-unfinished jobs are re-enqueued, so
+    /// the daemon comes up warm before it accepts its first connection.
     pub fn start(config: ServiceConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
+        let (store, replay) = match &config.state_dir {
+            Some(dir) => {
+                let (store, replay) = StateStore::open(dir, config.journal_compact_bytes)?;
+                (Some(store), replay)
+            }
+            None => (None, state::Replay::default()),
+        };
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_depth),
             jobs: JobTable::new(config.jobs_capacity),
@@ -186,8 +226,23 @@ impl Service {
             workers_busy: AtomicUsize::new(0),
             sse_active: AtomicUsize::new(0),
             draining: std::sync::atomic::AtomicBool::new(false),
+            inflight: Mutex::new(HashMap::new()),
+            state: store,
             config,
         });
+
+        // Seed the cache and re-enqueue interrupted jobs before any worker
+        // or connection runs, so replayed state is never raced by traffic.
+        for (key, artifact) in replay.artifacts {
+            shared.cache.insert(key, artifact);
+            shared
+                .metrics
+                .state_replayed_artifacts
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        for pending in replay.pending {
+            replay_pending_job(&shared, pending);
+        }
 
         let workers = (0..shared.config.workers)
             .map(|i| {
@@ -241,7 +296,53 @@ impl Service {
         for w in self.workers {
             let _ = w.join();
         }
+        // Every queued job has settled; leave a compact, durable journal
+        // so the next start replays exactly the live cache.
+        if let Some(state) = &self.shared.state {
+            state.compact(self.shared.cache.snapshot());
+            state.flush();
+        }
     }
+}
+
+/// Re-admits a journal-replayed job: it gets a fresh job id (the old one
+/// died with the old process) and its key re-enters the singleflight table
+/// so duplicates arriving during warmup coalesce onto the replay.
+fn replay_pending_job(shared: &Arc<Shared>, pending: PendingJob) {
+    let kind = if pending.kind == JobKind::Audit.label() {
+        JobKind::Audit
+    } else {
+        JobKind::Plan
+    };
+    let Ok(npd) = Npd::from_json(&pending.npd) else {
+        // An admit that no longer parses (schema drift) can never run.
+        if let Some(state) = &shared.state {
+            state.settled(pending.key);
+        }
+        return;
+    };
+    let job = shared.jobs.create(kind);
+    shared
+        .inflight
+        .lock()
+        .unwrap()
+        .insert(pending.key, Arc::clone(&job));
+    let work = Work::Plan {
+        npd: Box::new(npd),
+        options: pending.options,
+        key: pending.key,
+    };
+    if push_job(shared, &job, work).is_err() {
+        settle_inflight(shared, pending.key, &job);
+        if let Some(state) = &shared.state {
+            state.settled(pending.key);
+        }
+        return;
+    }
+    shared
+        .metrics
+        .state_replayed_jobs
+        .fetch_add(1, Ordering::Relaxed);
 }
 
 /// Accept loop: one short-lived thread per connection (`Connection:
@@ -305,11 +406,15 @@ fn run_plan_job(
 ) {
     // A same-key job may have finished while this one sat queued.
     if let Some(hit) = shared.cache.get(key) {
+        if let Some(state) = &shared.state {
+            state.settled(key); // the cached artifact is already journaled
+        }
         shared
             .metrics
             .jobs_completed
             .fetch_add(1, Ordering::Relaxed);
         shared.metrics.latency.record(queued.job.admitted.elapsed());
+        settle_inflight(shared, key, &queued.job);
         queued.job.complete(JobOutput::Plan(hit));
         span.field("outcome", "cached");
         return;
@@ -319,15 +424,23 @@ fn run_plan_job(
         // Deadlines bound admission-to-answer, so they start at admission.
         budget = budget.with_deadline(queued.job.admitted + d);
     }
-    match plan_document(npd, options, budget, Some(Arc::clone(pool))) {
+    shared
+        .metrics
+        .pipeline_executions
+        .fetch_add(1, Ordering::Relaxed);
+    match plan_document_keyed(npd, options, key, budget, Some(Arc::clone(pool))) {
         Ok(artifact) => {
             let artifact = Arc::new(artifact);
             shared.cache.insert(key, Arc::clone(&artifact));
+            if let Some(state) = &shared.state {
+                state.artifact(key, &artifact, || shared.cache.snapshot());
+            }
             shared
                 .metrics
                 .jobs_completed
                 .fetch_add(1, Ordering::Relaxed);
             shared.metrics.latency.record(queued.job.admitted.elapsed());
+            settle_inflight(shared, key, &queued.job);
             queued.job.complete(JobOutput::Plan(artifact));
             span.field("outcome", "done");
         }
@@ -338,8 +451,24 @@ fn run_plan_job(
                 PipelineError::Plan(_) => 422,
                 PipelineError::Internal(_) => 500,
             };
+            // Failures are terminal, not retried: clear the admit so a
+            // restart does not re-run a deterministically failing job.
+            if let Some(state) = &shared.state {
+                state.settled(key);
+            }
+            settle_inflight(shared, key, &queued.job);
             fail_job(shared, queued, span, status, e.to_string());
         }
+    }
+}
+
+/// Removes the job's singleflight entry, guarded by pointer identity so a
+/// racing replacement leader for the same key is never evicted by the old
+/// job's settlement.
+fn settle_inflight(shared: &Shared, key: (u64, u64), job: &Arc<Job>) {
+    let mut inflight = shared.inflight.lock().unwrap();
+    if inflight.get(&key).is_some_and(|j| Arc::ptr_eq(j, job)) {
+        inflight.remove(&key);
     }
 }
 
@@ -586,7 +715,11 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Response {
             // Service-local families first (their layout is pinned by the
             // snapshot test), then the process-wide registry: search,
             // routing, and pool introspection counters.
-            let mut text = metrics::render(&shared.metrics, &shared.gauges());
+            let mut text = metrics::render(
+                &shared.metrics,
+                &shared.gauges(),
+                &shared.cache.shard_stats(),
+            );
             text.push_str(&klotski_telemetry::registry().render_prometheus());
             Response::text(200, text)
         }
@@ -694,21 +827,76 @@ fn submit(request: &Request, shared: &Arc<Shared>, kind: JobKind) -> Response {
         }
     };
 
+    // The one digest computation this request pays: the same key drives
+    // the cache, the singleflight table, and the pipeline's summary.
     let key = (klotski_npd::npd_digest(&npd), options.digest());
     if let Some(hit) = shared.cache.get(key) {
         return finished_response(kind, &JobOutput::Plan(hit), true);
     }
 
-    enqueue_and_answer(
-        request,
-        shared,
-        kind,
-        Work::Plan {
-            npd: Box::new(npd),
-            options,
-            key,
-        },
-    )
+    submit_plan_job(request, shared, kind, npd, body, options, key)
+}
+
+/// Admits a plan/audit computation, singleflighting identical keys: the
+/// first submission for an idle key leads (it enqueues the work); every
+/// concurrent duplicate follows the leader's job — same job id, same event
+/// stream, byte-identical result — without enqueueing anything.
+fn submit_plan_job(
+    request: &Request,
+    shared: &Arc<Shared>,
+    kind: JobKind,
+    npd: Npd,
+    npd_json: &str,
+    options: PlanRequestOptions,
+    key: (u64, u64),
+) -> Response {
+    // Check-and-insert under one lock hold so exactly one concurrent
+    // submission per key leads.
+    let (job, leader) = {
+        let mut inflight = shared.inflight.lock().unwrap();
+        match inflight.get(&key) {
+            Some(existing) if shared.config.coalesce => (Arc::clone(existing), false),
+            _ => {
+                let job = shared.jobs.create(kind);
+                if shared.config.coalesce {
+                    inflight.insert(key, Arc::clone(&job));
+                }
+                (job, true)
+            }
+        }
+    };
+    if !leader {
+        shared
+            .metrics
+            .coalesce_followers
+            .fetch_add(1, Ordering::Relaxed);
+        return answer_job(request, shared, kind, &job)
+            .with_header("X-Klotski-Coalesce", "follower");
+    }
+    if shared.config.coalesce {
+        shared
+            .metrics
+            .coalesce_leaders
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    // Journal the admission before the push: a crash at any later point
+    // re-runs this job on restart instead of losing it.
+    if let Some(state) = &shared.state {
+        state.admit(key, kind.label(), npd_json, &options);
+    }
+    let work = Work::Plan {
+        npd: Box::new(npd),
+        options,
+        key,
+    };
+    if let Err(response) = push_job(shared, &job, work) {
+        settle_inflight(shared, key, &job);
+        if let Some(state) = &shared.state {
+            state.settled(key);
+        }
+        return response;
+    }
+    answer_job(request, shared, kind, &job).with_header("X-Klotski-Coalesce", "leader")
 }
 
 /// `POST /v1/run`: execute a scripted controller scenario. The body is a
@@ -781,32 +969,47 @@ fn enqueue_and_answer(
     work: Work,
 ) -> Response {
     let job = shared.jobs.create(kind);
+    match push_job(shared, &job, work) {
+        Ok(()) => answer_job(request, shared, kind, &job),
+        Err(response) => response,
+    }
+}
+
+/// Pushes an admitted job into the bounded queue. On backpressure the job
+/// is failed and the 503 response to answer with is returned.
+fn push_job(shared: &Arc<Shared>, job: &Arc<Job>, work: Work) -> Result<(), Response> {
     let queued = QueuedJob {
-        job: Arc::clone(&job),
+        job: Arc::clone(job),
         work,
     };
     match shared.queue.try_push(queued) {
-        Ok(()) => {}
+        Ok(()) => Ok(()),
         Err(PushError::Full(_)) => {
             shared.metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
             job.fail(503, "queue full");
-            return Response::json(
+            Err(Response::json(
                 503,
                 &ErrorResponse::new(format!(
                     "queue full ({} jobs queued); retry later",
                     shared.queue.capacity()
                 )),
             )
-            .with_header("Retry-After", "1");
+            .with_header("Retry-After", "1"))
         }
         Err(PushError::Closed(_)) => {
             shared.metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
             job.fail(503, "draining");
-            return Response::json(503, &ErrorResponse::new("draining; not accepting work"))
-                .with_header("Retry-After", "1");
+            Err(
+                Response::json(503, &ErrorResponse::new("draining; not accepting work"))
+                    .with_header("Retry-After", "1"),
+            )
         }
     }
+}
 
+/// Answers for an already-enqueued job: 202 + job id for `?wait=0` (or a
+/// sync-wait timeout), otherwise the finished result.
+fn answer_job(request: &Request, shared: &Arc<Shared>, kind: JobKind, job: &Arc<Job>) -> Response {
     if request.query_param("wait") == Some("0") {
         return Response::json(
             202,
@@ -846,18 +1049,11 @@ fn finished_response(kind: JobKind, output: &JobOutput, cached: bool) -> Respons
                 .with_header("X-Klotski-Cost", format!("{}", artifact.summary.cost))
         }
         (JobKind::Audit, JobOutput::Plan(artifact)) => {
-            let summary = PlanSummary {
-                cached,
-                ..artifact.summary.clone()
-            };
-            Response::json(
-                200,
-                &AuditResponse {
-                    summary,
-                    audit: artifact.audit.clone(),
-                },
-            )
-            .with_header("X-Klotski-Cache", cache_header)
+            // Pre-encoded per (artifact, cached): cache hits skip the JSON
+            // serialization entirely and answer with the bytes the first
+            // responder rendered.
+            Response::raw_json(200, artifact.audit_response_bytes(cached).as_ref().clone())
+                .with_header("X-Klotski-Cache", cache_header)
         }
         (_, JobOutput::Run(run)) => Response::raw_json(200, run.json.clone())
             .with_header("X-Klotski-Run-Outcome", run.report.outcome_label())
@@ -919,6 +1115,7 @@ fn job_endpoint(request: &Request, shared: &Arc<Shared>) -> Response {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use klotski_npd::api::AuditResponse;
     use klotski_npd::convert::region_to_npd;
     use klotski_topology::presets::{self, PresetId};
     use std::io::{Read, Write};
@@ -1399,10 +1596,12 @@ mod tests {
     #[test]
     fn full_queue_rejects_with_503_and_retry_after() {
         // No workers: nothing drains, so the queue fills deterministically.
+        // Coalescing off — identical submissions must each take a slot.
         let service = Service::start(ServiceConfig {
             workers: 0,
             queue_depth: 2,
             cache_capacity: 0,
+            coalesce: false,
             ..ServiceConfig::default()
         })
         .unwrap();
@@ -1425,6 +1624,94 @@ mod tests {
         assert!(text.contains("klotski_queue_depth 2"));
 
         service.shutdown();
+    }
+
+    #[test]
+    fn followers_share_the_leaders_job_without_enqueueing() {
+        // No workers: the leader's job sits queued, so follower status is
+        // deterministic — duplicates must reuse its job id and take no
+        // queue slot.
+        let service = Service::start(ServiceConfig {
+            workers: 0,
+            queue_depth: 8,
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let addr = service.local_addr();
+        let npd = small_npd_json();
+
+        let (status, headers, body) =
+            request(addr, "POST /v1/plan?wait=0 HTTP/1.1\r\nHost: t", &npd);
+        assert_eq!(status, 202, "{body}");
+        assert_eq!(header(&headers, "x-klotski-coalesce"), Some("leader"));
+        let leader: AcceptedResponse = serde_json::from_str(&body).unwrap();
+        for _ in 0..2 {
+            let (status, headers, body) =
+                request(addr, "POST /v1/plan?wait=0 HTTP/1.1\r\nHost: t", &npd);
+            assert_eq!(status, 202, "{body}");
+            assert_eq!(header(&headers, "x-klotski-coalesce"), Some("follower"));
+            let follower: AcceptedResponse = serde_json::from_str(&body).unwrap();
+            assert_eq!(follower.job, leader.job, "followers share the job id");
+        }
+
+        let (_, _, text) = request(addr, "GET /metrics HTTP/1.1\r\nHost: t", "");
+        assert!(text.contains("klotski_coalesce_leaders_total 1"), "{text}");
+        assert!(
+            text.contains("klotski_coalesce_followers_total 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("klotski_queue_depth 1"),
+            "followers must not enqueue: {text}"
+        );
+
+        service.shutdown();
+    }
+
+    #[test]
+    fn warm_restart_answers_known_digests_without_planning() {
+        let dir = std::env::temp_dir().join(format!("klotski-serve-warm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let config = || ServiceConfig {
+            workers: 1,
+            state_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        };
+        let npd = small_npd_json();
+
+        let service = Service::start(config()).unwrap();
+        let (status, headers, cold) = request(
+            service.local_addr(),
+            "POST /v1/plan HTTP/1.1\r\nHost: t",
+            &npd,
+        );
+        assert_eq!(status, 200, "{cold}");
+        assert_eq!(header(&headers, "x-klotski-cache"), Some("miss"));
+        service.shutdown();
+
+        // The restarted daemon replays the journal: the digest answers as
+        // a cache hit, byte-identical, with zero pipeline executions.
+        let service = Service::start(config()).unwrap();
+        let addr = service.local_addr();
+        let (status, headers, warm) = request(addr, "POST /v1/plan HTTP/1.1\r\nHost: t", &npd);
+        assert_eq!(status, 200, "{warm}");
+        assert_eq!(header(&headers, "x-klotski-cache"), Some("hit"));
+        assert_eq!(cold, warm, "replayed artifact must be byte-identical");
+
+        let (_, _, text) = request(addr, "GET /metrics HTTP/1.1\r\nHost: t", "");
+        assert!(
+            text.contains("klotski_pipeline_executions_total 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("klotski_state_replayed_artifacts 1"),
+            "{text}"
+        );
+
+        service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

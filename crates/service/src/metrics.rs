@@ -6,6 +6,7 @@
 //! implementation; this module keeps the service-specific counter set and
 //! its exposition layout, which operators' dashboards scrape.
 
+use crate::cache::ShardStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -40,6 +41,19 @@ pub struct Metrics {
     /// Jobs stopped by deadline expiry or cooperative cancellation
     /// (a subset of `jobs_failed`).
     pub jobs_cancelled: AtomicU64,
+    /// Plan/audit submissions that became the one enqueued computation for
+    /// their `(npd_digest, options_digest)` key.
+    pub coalesce_leaders: AtomicU64,
+    /// Plan/audit submissions answered by subscribing to an in-flight
+    /// leader instead of enqueueing their own job.
+    pub coalesce_followers: AtomicU64,
+    /// Times the planning pipeline actually executed (cache hits, coalesced
+    /// followers, and journal-replayed answers never increment this).
+    pub pipeline_executions: AtomicU64,
+    /// Artifacts restored into the plan cache by journal replay at startup.
+    pub state_replayed_artifacts: AtomicU64,
+    /// Incomplete jobs re-enqueued by journal replay at startup.
+    pub state_replayed_jobs: AtomicU64,
     /// End-to-end plan/audit latency (admission to completion).
     pub latency: Histogram,
     started: Instant,
@@ -66,6 +80,11 @@ impl Metrics {
             jobs_completed: AtomicU64::new(0),
             jobs_failed: AtomicU64::new(0),
             jobs_cancelled: AtomicU64::new(0),
+            coalesce_leaders: AtomicU64::new(0),
+            coalesce_followers: AtomicU64::new(0),
+            pipeline_executions: AtomicU64::new(0),
+            state_replayed_artifacts: AtomicU64::new(0),
+            state_replayed_jobs: AtomicU64::new(0),
             latency: Histogram::new(),
             started: Instant::now(),
         }
@@ -126,10 +145,19 @@ pub struct Gauges {
     pub cache_hits: u64,
     /// Plan-cache misses since start.
     pub cache_misses: u64,
+    /// Plan-cache FIFO evictions since start.
+    pub cache_evictions: u64,
+    /// Journal size in bytes (0 without `--state-dir`).
+    pub journal_bytes: u64,
+    /// Journal records appended since open.
+    pub journal_records: u64,
+    /// Journal compactions performed (the open-time rewrite included).
+    pub journal_compactions: u64,
 }
 
-/// Renders the Prometheus text exposition for `/metrics`.
-pub fn render(m: &Metrics, g: &Gauges) -> String {
+/// Renders the Prometheus text exposition for `/metrics`. `shards` is the
+/// plan cache's per-shard counter view, in shard order.
+pub fn render(m: &Metrics, g: &Gauges, shards: &[ShardStats]) -> String {
     let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
     let hit_rate = {
         let total = g.cache_hits + g.cache_misses;
@@ -260,6 +288,75 @@ pub fn render(m: &Metrics, g: &Gauges) -> String {
         "Plan-cache hit fraction.",
         format!("{hit_rate:.4}"),
     );
+    line!(
+        "klotski_cache_evictions_total",
+        "Plan-cache FIFO evictions.",
+        g.cache_evictions.to_string(),
+    );
+    // Per-shard cache families: one labeled series per shard so a skewed
+    // tenant population hammering a single shard is visible.
+    for (family, help, stat) in [
+        (
+            "klotski_cache_shard_hits_total",
+            "Plan-cache hits per shard.",
+            (|s: &ShardStats| s.hits) as fn(&ShardStats) -> u64,
+        ),
+        (
+            "klotski_cache_shard_misses_total",
+            "Plan-cache misses per shard.",
+            |s: &ShardStats| s.misses,
+        ),
+        (
+            "klotski_cache_shard_evictions_total",
+            "Plan-cache evictions per shard.",
+            |s: &ShardStats| s.evictions,
+        ),
+    ] {
+        out.push_str(&format!("# HELP {family} {help}\n# TYPE {family} gauge\n"));
+        for (i, s) in shards.iter().enumerate() {
+            out.push_str(&format!("{family}{{shard=\"{i}\"}} {}\n", stat(s)));
+        }
+    }
+    line!(
+        "klotski_coalesce_leaders_total",
+        "Submissions that led an in-flight key.",
+        load(&m.coalesce_leaders).to_string(),
+    );
+    line!(
+        "klotski_coalesce_followers_total",
+        "Submissions coalesced onto an in-flight leader.",
+        load(&m.coalesce_followers).to_string(),
+    );
+    line!(
+        "klotski_pipeline_executions_total",
+        "Planning pipeline executions (work not absorbed by cache or coalescing).",
+        load(&m.pipeline_executions).to_string(),
+    );
+    line!(
+        "klotski_journal_bytes",
+        "Write-ahead job journal size.",
+        g.journal_bytes.to_string(),
+    );
+    line!(
+        "klotski_journal_records_total",
+        "Journal records appended since open.",
+        g.journal_records.to_string(),
+    );
+    line!(
+        "klotski_journal_compactions_total",
+        "Journal compactions performed.",
+        g.journal_compactions.to_string(),
+    );
+    line!(
+        "klotski_state_replayed_artifacts",
+        "Artifacts restored from the journal at startup.",
+        load(&m.state_replayed_artifacts).to_string(),
+    );
+    line!(
+        "klotski_state_replayed_jobs",
+        "Incomplete jobs re-enqueued from the journal at startup.",
+        load(&m.state_replayed_jobs).to_string(),
+    );
     for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
         out.push_str(&format!(
             "klotski_plan_latency_seconds{{quantile=\"{label}\"}} {:.6}\n",
@@ -316,6 +413,8 @@ mod tests {
     fn render_exposes_all_families() {
         let m = Metrics::new();
         m.plan_requests.fetch_add(3, Ordering::Relaxed);
+        m.coalesce_followers.fetch_add(6, Ordering::Relaxed);
+        m.pipeline_executions.fetch_add(2, Ordering::Relaxed);
         m.latency.record(Duration::from_millis(12));
         let g = Gauges {
             queue_depth: 2,
@@ -325,13 +424,38 @@ mod tests {
             cache_entries: 5,
             cache_hits: 9,
             cache_misses: 1,
+            cache_evictions: 3,
+            journal_bytes: 4096,
+            journal_records: 11,
+            journal_compactions: 1,
         };
-        let text = render(&m, &g);
+        let shards = [
+            ShardStats {
+                entries: 5,
+                hits: 9,
+                misses: 1,
+                evictions: 3,
+            },
+            ShardStats::default(),
+        ];
+        let text = render(&m, &g, &shards);
         for family in [
             "klotski_plan_requests_total 3",
             "klotski_queue_depth 2",
             "klotski_queue_capacity 64",
             "klotski_cache_hit_rate 0.9000",
+            "klotski_cache_evictions_total 3",
+            "klotski_cache_shard_hits_total{shard=\"0\"} 9",
+            "klotski_cache_shard_misses_total{shard=\"1\"} 0",
+            "klotski_cache_shard_evictions_total{shard=\"0\"} 3",
+            "klotski_coalesce_leaders_total 0",
+            "klotski_coalesce_followers_total 6",
+            "klotski_pipeline_executions_total 2",
+            "klotski_journal_bytes 4096",
+            "klotski_journal_records_total 11",
+            "klotski_journal_compactions_total 1",
+            "klotski_state_replayed_artifacts 0",
+            "klotski_state_replayed_jobs 0",
             "klotski_plan_latency_seconds{quantile=\"0.5\"}",
             "klotski_plan_latency_seconds_count 1",
             "klotski_workers 4",
@@ -358,6 +482,11 @@ mod tests {
         m.jobs_completed.fetch_add(4, Ordering::Relaxed);
         m.jobs_failed.fetch_add(2, Ordering::Relaxed);
         m.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+        m.coalesce_leaders.fetch_add(2, Ordering::Relaxed);
+        m.coalesce_followers.fetch_add(6, Ordering::Relaxed);
+        m.pipeline_executions.fetch_add(2, Ordering::Relaxed);
+        m.state_replayed_artifacts.fetch_add(3, Ordering::Relaxed);
+        m.state_replayed_jobs.fetch_add(1, Ordering::Relaxed);
         m.latency.record(Duration::from_millis(12));
         let g = Gauges {
             queue_depth: 2,
@@ -367,8 +496,21 @@ mod tests {
             cache_entries: 5,
             cache_hits: 9,
             cache_misses: 1,
+            cache_evictions: 3,
+            journal_bytes: 4096,
+            journal_records: 11,
+            journal_compactions: 1,
         };
-        let text = render(&m, &g);
+        let shards = [
+            ShardStats {
+                entries: 5,
+                hits: 9,
+                misses: 1,
+                evictions: 3,
+            },
+            ShardStats::default(),
+        ];
+        let text = render(&m, &g, &shards);
         let normalized: String = text
             .lines()
             .map(|l| {
@@ -444,6 +586,45 @@ klotski_cache_misses_total 1
 # HELP klotski_cache_hit_rate Plan-cache hit fraction.
 # TYPE klotski_cache_hit_rate gauge
 klotski_cache_hit_rate 0.9000
+# HELP klotski_cache_evictions_total Plan-cache FIFO evictions.
+# TYPE klotski_cache_evictions_total gauge
+klotski_cache_evictions_total 3
+# HELP klotski_cache_shard_hits_total Plan-cache hits per shard.
+# TYPE klotski_cache_shard_hits_total gauge
+klotski_cache_shard_hits_total{shard=\"0\"} 9
+klotski_cache_shard_hits_total{shard=\"1\"} 0
+# HELP klotski_cache_shard_misses_total Plan-cache misses per shard.
+# TYPE klotski_cache_shard_misses_total gauge
+klotski_cache_shard_misses_total{shard=\"0\"} 1
+klotski_cache_shard_misses_total{shard=\"1\"} 0
+# HELP klotski_cache_shard_evictions_total Plan-cache evictions per shard.
+# TYPE klotski_cache_shard_evictions_total gauge
+klotski_cache_shard_evictions_total{shard=\"0\"} 3
+klotski_cache_shard_evictions_total{shard=\"1\"} 0
+# HELP klotski_coalesce_leaders_total Submissions that led an in-flight key.
+# TYPE klotski_coalesce_leaders_total gauge
+klotski_coalesce_leaders_total 2
+# HELP klotski_coalesce_followers_total Submissions coalesced onto an in-flight leader.
+# TYPE klotski_coalesce_followers_total gauge
+klotski_coalesce_followers_total 6
+# HELP klotski_pipeline_executions_total Planning pipeline executions (work not absorbed by cache or coalescing).
+# TYPE klotski_pipeline_executions_total gauge
+klotski_pipeline_executions_total 2
+# HELP klotski_journal_bytes Write-ahead job journal size.
+# TYPE klotski_journal_bytes gauge
+klotski_journal_bytes 4096
+# HELP klotski_journal_records_total Journal records appended since open.
+# TYPE klotski_journal_records_total gauge
+klotski_journal_records_total 11
+# HELP klotski_journal_compactions_total Journal compactions performed.
+# TYPE klotski_journal_compactions_total gauge
+klotski_journal_compactions_total 1
+# HELP klotski_state_replayed_artifacts Artifacts restored from the journal at startup.
+# TYPE klotski_state_replayed_artifacts gauge
+klotski_state_replayed_artifacts 3
+# HELP klotski_state_replayed_jobs Incomplete jobs re-enqueued from the journal at startup.
+# TYPE klotski_state_replayed_jobs gauge
+klotski_state_replayed_jobs 1
 klotski_plan_latency_seconds{quantile=\"0.5\"} 0.014733
 klotski_plan_latency_seconds{quantile=\"0.95\"} 0.014733
 klotski_plan_latency_seconds{quantile=\"0.99\"} 0.014733

@@ -13,13 +13,13 @@ use klotski_core::plan::validate_plan;
 use klotski_core::planner::{AStarPlanner, DpPlanner, Planner, SearchBudget};
 use klotski_core::report::{audit_plan, PlanAudit};
 use klotski_core::{CostModel, PlanError};
-use klotski_npd::api::{digest_hex, npd_digest, PlanRequestOptions, PlanSummary};
+use klotski_npd::api::{digest_hex, npd_digest, AuditResponse, PlanRequestOptions, PlanSummary};
 use klotski_npd::convert::{attach_plan, npd_to_region};
 use klotski_npd::Npd;
 use klotski_parallel::WorkerPool;
 use klotski_topology::presets::{Preset, PresetId};
 use klotski_topology::region::build_region;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Everything a finished planning job produces. Cached whole behind `Arc`
 /// so repeated submissions reuse the bytes, the audit, and the summary.
@@ -33,6 +33,49 @@ pub struct PlanArtifact {
     pub plan_json: Vec<u8>,
     /// Per-phase safety audit of the same plan.
     pub audit: PlanAudit,
+    /// Lazily encoded audit response bodies (`cached: false` / `true`), so
+    /// repeated audit answers reuse bytes instead of re-serializing the
+    /// summary + audit on every hit.
+    audit_body_miss: OnceLock<Arc<Vec<u8>>>,
+    audit_body_hit: OnceLock<Arc<Vec<u8>>>,
+}
+
+impl PlanArtifact {
+    /// A fresh artifact with empty response-byte caches.
+    pub fn new(summary: PlanSummary, plan_json: Vec<u8>, audit: PlanAudit) -> Self {
+        Self {
+            summary,
+            plan_json,
+            audit,
+            audit_body_miss: OnceLock::new(),
+            audit_body_hit: OnceLock::new(),
+        }
+    }
+
+    /// The audit response body for this artifact, encoded at most once per
+    /// `cached` flag over the artifact's lifetime. Every caller gets the
+    /// same bytes the first audit answer produced.
+    pub fn audit_response_bytes(&self, cached: bool) -> Arc<Vec<u8>> {
+        let slot = if cached {
+            &self.audit_body_hit
+        } else {
+            &self.audit_body_miss
+        };
+        Arc::clone(slot.get_or_init(|| {
+            let response = AuditResponse {
+                summary: PlanSummary {
+                    cached,
+                    ..self.summary.clone()
+                },
+                audit: self.audit.clone(),
+            };
+            Arc::new(
+                serde_json::to_string_pretty(&response)
+                    .map(String::into_bytes)
+                    .unwrap_or_else(|_| b"{}".to_vec()),
+            )
+        }))
+    }
 }
 
 /// Why the pipeline rejected or failed a request.
@@ -132,6 +175,21 @@ pub fn plan_document(
     budget: SearchBudget,
     pool: Option<Arc<WorkerPool>>,
 ) -> Result<PlanArtifact, PipelineError> {
+    let key = (npd_digest(npd), options.digest());
+    plan_document_keyed(npd, options, key, budget, pool)
+}
+
+/// [`plan_document`] with the `(npd_digest, options_digest)` pair already
+/// computed. The service computes both digests once at admission (for the
+/// cache and coalescing key) and passes them here, so the hot path never
+/// re-canonicalizes the NPD.
+pub fn plan_document_keyed(
+    npd: &Npd,
+    options: &PlanRequestOptions,
+    key: (u64, u64),
+    budget: SearchBudget,
+    pool: Option<Arc<WorkerPool>>,
+) -> Result<PlanArtifact, PipelineError> {
     let _span = klotski_telemetry::span!("pipeline.plan", "npd" = npd.name.as_str());
     let (mig_options, cost, use_dp) = resolve_options(options)?;
     let cfg = npd_to_region(npd).map_err(|e| PipelineError::Invalid(e.to_string()))?;
@@ -183,8 +241,8 @@ pub fn plan_document(
     let steps = outcome.plan.phases().iter().map(|p| p.blocks.len()).sum();
     let summary = PlanSummary {
         name: spec.name.clone(),
-        npd_digest: digest_hex(npd_digest(npd)),
-        options_digest: digest_hex(options.digest()),
+        npd_digest: digest_hex(key.0),
+        options_digest: digest_hex(key.1),
         planner: planner_name.to_string(),
         cost: outcome.cost,
         phases: outcome.plan.num_phases(),
@@ -212,11 +270,7 @@ pub fn plan_document(
             .unwrap_or_default(),
         cached: false,
     };
-    Ok(PlanArtifact {
-        summary,
-        plan_json,
-        audit,
-    })
+    Ok(PlanArtifact::new(summary, plan_json, audit))
 }
 
 #[cfg(test)]

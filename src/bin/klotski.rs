@@ -63,7 +63,8 @@ impl CliError {
                  klotski trace <trace.jsonl>\n  \
                  klotski trace summarize <trace.jsonl>\n  \
                  klotski serve [--addr HOST:PORT] [--workers N] [--queue-depth N] \
-                 [--cache N] [--deadline-ms N] [--sse-max-subscribers N]"
+                 [--cache N] [--deadline-ms N] [--sse-max-subscribers N] \
+                 [--state-dir DIR] [--no-coalesce]"
                 .into(),
             code: 2,
         }
@@ -662,6 +663,12 @@ fn cmd_serve(mut args: Vec<String>) -> Result<(), CliError> {
     if let Some(cap) = take_flag(&mut args, "--sse-max-subscribers")? {
         config.sse_max_subscribers = cap;
     }
+    if let Some(dir) = take_flag::<String>(&mut args, "--state-dir")? {
+        config.state_dir = Some(std::path::PathBuf::from(dir));
+    }
+    if take_switch(&mut args, "--no-coalesce") {
+        config.coalesce = false;
+    }
     if !args.is_empty() {
         return Err(CliError::usage());
     }
@@ -674,6 +681,9 @@ fn cmd_serve(mut args: Vec<String>) -> Result<(), CliError> {
         config.workers,
         config.queue_depth
     );
+    if let Some(dir) = &config.state_dir {
+        println!("warm state: journal under {}", dir.display());
+    }
     println!(
         "endpoints: POST /v1/plan  POST /v1/audit  POST /v1/run  GET /v1/jobs/{{id}}  GET /v1/jobs/{{id}}/events  GET /metrics  GET /healthz"
     );

@@ -240,6 +240,9 @@ fn overfilled_queue_sheds_load_with_503() {
         workers: 0,
         queue_depth: 3,
         cache_capacity: 0,
+        // Identical submissions must each occupy a queue slot here, so
+        // singleflight coalescing is off for this test.
+        coalesce: false,
         ..ServiceConfig::default()
     })
     .unwrap();
@@ -302,6 +305,243 @@ fn thirty_two_concurrent_audits_resolve_bounded() {
     assert_eq!((status, body.as_slice()), (200, b"ok".as_slice()));
 
     service.shutdown();
+}
+
+/// Subscribes to a job's event stream and returns the dechunked SSE text
+/// after the server closes the connection at the terminal event.
+fn sse_events(addr: SocketAddr, job: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let msg = format!("GET /v1/jobs/{job}/events HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n");
+    stream.write_all(msg.as_bytes()).unwrap();
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).unwrap();
+    let reply = String::from_utf8(reply).unwrap();
+    let (head, raw) = reply.split_once("\r\n\r\n").expect("header terminator");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    let mut out = String::new();
+    let mut rest = raw;
+    while let Some((size_line, tail)) = rest.split_once("\r\n") {
+        let size = usize::from_str_radix(size_line.trim(), 16).expect("hex chunk size");
+        if size == 0 {
+            break;
+        }
+        out.push_str(&tail[..size]);
+        rest = &tail[size + 2..];
+    }
+    out
+}
+
+/// Coalescing determinism: concurrent identical submissions ride exactly
+/// one pipeline execution — the leader's — and every follower (including
+/// an SSE subscriber attached mid-flight) observes byte-identical output.
+#[test]
+fn concurrent_identical_requests_coalesce_onto_one_execution() {
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let addr = service.local_addr();
+    let npd = std::sync::Arc::new(npd_json(PresetId::A));
+
+    // Occupy the single worker with a scenario run, so the plan leader
+    // below stays queued while the followers and SSE subscriber attach.
+    let scenario = serde_json::to_string(&klotski::controller::Scenario::sample()).unwrap();
+    let (status, _, _) = http(addr, "POST /v1/run?wait=0 HTTP/1.1\r\nHost: t", &scenario);
+    assert_eq!(status, 202);
+
+    let (status, headers, body) = http(addr, "POST /v1/plan?wait=0 HTTP/1.1\r\nHost: t", &npd);
+    assert_eq!(status, 202, "{}", String::from_utf8_lossy(&body));
+    assert_eq!(header(&headers, "x-klotski-coalesce"), Some("leader"));
+    let leader: AcceptedResponse =
+        serde_json::from_str(std::str::from_utf8(&body).unwrap()).unwrap();
+
+    // An async duplicate is answered with the leader's own job id.
+    let (status, headers, body) = http(addr, "POST /v1/plan?wait=0 HTTP/1.1\r\nHost: t", &npd);
+    assert_eq!(status, 202);
+    assert_eq!(header(&headers, "x-klotski-coalesce"), Some("follower"));
+    let dup: AcceptedResponse = serde_json::from_str(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert_eq!(dup.job, leader.job, "follower must share the leader's job");
+
+    // Synchronous duplicates block on the shared job; the SSE subscriber
+    // attaches to the same job id while it is still queued.
+    let waiters: Vec<_> = (0..3)
+        .map(|_| {
+            let npd = std::sync::Arc::clone(&npd);
+            std::thread::spawn(move || http(addr, "POST /v1/plan HTTP/1.1\r\nHost: t", &npd))
+        })
+        .collect();
+    let subscriber = {
+        let job = leader.job.clone();
+        std::thread::spawn(move || sse_events(addr, &job))
+    };
+
+    let bodies: Vec<Vec<u8>> = waiters
+        .into_iter()
+        .map(|w| {
+            let (status, headers, body) = w.join().unwrap();
+            assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+            assert_eq!(header(&headers, "x-klotski-coalesce"), Some("follower"));
+            body
+        })
+        .collect();
+    assert!(
+        bodies.windows(2).all(|w| w[0] == w[1]),
+        "coalesced follower bodies differ"
+    );
+    let events = subscriber.join().unwrap();
+    assert!(events.contains("event: end\n"), "{events}");
+
+    let (status, _, body) = http(addr, "GET /metrics HTTP/1.1\r\nHost: t", "");
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).unwrap();
+    assert!(
+        text.contains("klotski_pipeline_executions_total 1"),
+        "{text}"
+    );
+    assert!(text.contains("klotski_coalesce_leaders_total 1"), "{text}");
+    assert!(
+        text.contains("klotski_coalesce_followers_total 4"),
+        "{text}"
+    );
+
+    service.shutdown();
+}
+
+fn free_port() -> u16 {
+    std::net::TcpListener::bind("127.0.0.1:0")
+        .unwrap()
+        .local_addr()
+        .unwrap()
+        .port()
+}
+
+fn serve_daemon(port: u16, state_dir: &std::path::Path) -> std::process::Child {
+    std::process::Command::new(env!("CARGO_BIN_EXE_klotski"))
+        .args([
+            "serve",
+            "--addr",
+            &format!("127.0.0.1:{port}"),
+            "--workers",
+            "1",
+            "--state-dir",
+            state_dir.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn daemon")
+}
+
+fn wait_healthy(addr: SocketAddr) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while TcpStream::connect(addr).is_err() {
+        assert!(
+            Instant::now() < deadline,
+            "daemon did not come up on {addr}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let (status, _, _) = http(addr, "GET /healthz HTTP/1.1\r\nHost: t", "");
+    assert_eq!(status, 200);
+}
+
+/// Crash recovery: kill the real daemon mid-job, restart it on the same
+/// `--state-dir`, and the journal replay must re-serve completed digests
+/// from cache (byte-identical, no re-planning) and re-run the incomplete
+/// job to the same bytes the CLI produces — even with a torn record at
+/// the journal's tail.
+#[test]
+fn killed_daemon_recovers_completed_and_pending_work_from_its_journal() {
+    let npd_a = npd_json(PresetId::A);
+    // A second document with a distinct digest but the same planning cost:
+    // preset A under a different tenant name.
+    let npd_b = {
+        let mut npd = region_to_npd(&presets::config(PresetId::A));
+        npd.name = "crash-recovery-pending".into();
+        npd.to_json_pretty().unwrap()
+    };
+    let dir = std::env::temp_dir().join(format!("klotski-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let state_dir = dir.join("state");
+    std::fs::create_dir_all(&state_dir).unwrap();
+
+    // Reference bytes for the job the recovered daemon must re-run.
+    let input = dir.join("b.json");
+    let output = dir.join("b_plan.json");
+    std::fs::write(&input, &npd_b).unwrap();
+    let cli = std::process::Command::new(env!("CARGO_BIN_EXE_klotski"))
+        .args([
+            "plan",
+            input.to_str().unwrap(),
+            "-o",
+            output.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run CLI");
+    assert!(
+        cli.status.success(),
+        "CLI failed: {}",
+        String::from_utf8_lossy(&cli.stderr)
+    );
+    let cli_b = std::fs::read(&output).unwrap();
+
+    let port = free_port();
+    let addr: SocketAddr = format!("127.0.0.1:{port}").parse().unwrap();
+    let mut child = serve_daemon(port, &state_dir);
+    wait_healthy(addr);
+
+    // One completed plan (journaled artifact) ...
+    let (status, headers, cold_a) = http(addr, "POST /v1/plan HTTP/1.1\r\nHost: t", &npd_a);
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&cold_a));
+    assert_eq!(header(&headers, "x-klotski-cache"), Some("miss"));
+
+    // ... and one admitted-but-unfinished job: kill the daemon mid-plan.
+    let (status, _, body) = http(addr, "POST /v1/plan?wait=0 HTTP/1.1\r\nHost: t", &npd_b);
+    assert_eq!(status, 202, "{}", String::from_utf8_lossy(&body));
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    // A torn frame at the crash point must not poison replay: the tail is
+    // truncated at the last good record.
+    let mut journal = std::fs::OpenOptions::new()
+        .append(true)
+        .open(state_dir.join("journal.log"))
+        .unwrap();
+    journal.write_all(&[0x2a, 0x00, 0x00]).unwrap();
+    drop(journal);
+
+    let mut child = serve_daemon(port, &state_dir);
+    wait_healthy(addr);
+
+    // Completed digests are re-served from cache without re-planning.
+    let (status, headers, warm_a) = http(addr, "POST /v1/plan HTTP/1.1\r\nHost: t", &npd_a);
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&warm_a));
+    assert_eq!(header(&headers, "x-klotski-cache"), Some("hit"));
+    assert_eq!(warm_a, cold_a, "recovered plan differs from cold plan");
+
+    // The interrupted job was re-admitted at startup; a duplicate
+    // submission coalesces onto it (or hits its finished artifact) and
+    // lands on exactly the bytes the CLI computes for the same NPD.
+    let (status, _, warm_b) = http(addr, "POST /v1/plan HTTP/1.1\r\nHost: t", &npd_b);
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&warm_b));
+    assert_eq!(warm_b, cli_b, "replayed job diverged from the CLI plan");
+
+    let (status, _, body) = http(addr, "GET /metrics HTTP/1.1\r\nHost: t", "");
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).unwrap();
+    assert!(
+        text.contains("klotski_state_replayed_artifacts 1"),
+        "{text}"
+    );
+    assert!(text.contains("klotski_state_replayed_jobs 1"), "{text}");
+
+    child.kill().unwrap();
+    child.wait().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Graceful shutdown drains admitted jobs and then refuses new ones.
